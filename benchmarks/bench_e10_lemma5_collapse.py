@@ -1,0 +1,28 @@
+"""E10 — regenerate the Lemma 5 table: collapse-to-centers loses <= 4a+1.
+
+Kernel benchmarked: collapsing a 6-requests-per-step instance to centers.
+"""
+
+import numpy as np
+
+from repro.analysis import collapse_to_centers
+from repro.experiments import EXPERIMENTS
+from repro.workloads import RandomWalkWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e10_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E10"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = RandomWalkWorkload(150, dim=2, D=2.0, m=1.0, sigma=0.3, spread=0.6,
+                            requests_per_step=6)
+    inst = wl.generate(np.random.default_rng(0))
+
+    def kernel():
+        return collapse_to_centers(inst).length
+
+    n = benchmark(kernel)
+    assert n == 150
+    assert result.passed, result.render()

@@ -1,0 +1,33 @@
+"""E11 — regenerate the potential-argument table (Sections 4.1/4.2).
+
+Kernel benchmarked: evaluating the potential along a 150-step run pair.
+"""
+
+import numpy as np
+
+from repro.algorithms import MoveToCenter
+from repro.analysis import collapse_to_centers, verify_potential_argument
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+from repro.offline import solve_line
+from repro.workloads import DriftWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e11_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E11"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = DriftWorkload(150, dim=1, D=2.0, m=1.0, speed=0.75, spread=0.3,
+                       requests_per_step=6)
+    inst = collapse_to_centers(wl.generate(np.random.default_rng(0)))
+    tr = simulate(inst, MoveToCenter(), delta=0.5)
+    dp = solve_line(inst)
+
+    def kernel():
+        return verify_potential_argument(inst, tr, dp.positions, 0.5).max_k
+
+    max_k = benchmark(kernel)
+    assert np.isfinite(max_k)
+    assert result.passed, result.render()

@@ -1,0 +1,30 @@
+"""E12 — regenerate the MtC ablation table (damping, tie-break, augmentation).
+
+Kernel benchmarked: the paper-exact MtC on a drift instance (the common
+denominator of every ablation row).
+"""
+
+import numpy as np
+
+from repro.algorithms import MoveToCenter
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+from repro.workloads import DriftWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e12_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E12"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = DriftWorkload(200, dim=1, D=4.0, m=1.0, speed=0.8, spread=0.2,
+                       requests_per_step=2)
+    inst = wl.generate(np.random.default_rng(0))
+
+    def kernel():
+        return simulate(inst, MoveToCenter(), delta=0.5).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

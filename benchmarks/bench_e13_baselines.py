@@ -1,0 +1,26 @@
+"""E13 — regenerate the baseline cross-section (Euclidean, page migration, k-server).
+
+Kernel benchmarked: the exact page-migration node DP on a 16-node network.
+"""
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+from repro.pagemigration import complete_uniform, offline_page_migration
+
+from conftest import BENCH_SCALE
+
+
+def test_e13_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E13"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    net = complete_uniform(16)
+    requests = np.random.default_rng(0).integers(0, 16, size=300)
+
+    def kernel():
+        return offline_page_migration(net, requests, start=0, D=4.0).total
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

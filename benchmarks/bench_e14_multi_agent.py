@@ -1,0 +1,34 @@
+"""E14 (extension) — regenerate the multi-agent moving-client table.
+
+Kernel benchmarked: multi-agent MtC over 4 patrol agents on the line.
+"""
+
+import numpy as np
+
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+from repro.extensions import MultiAgentInstance, MultiAgentMtC
+from repro.workloads import random_waypoint_path
+
+from conftest import BENCH_SCALE
+
+
+def test_e14_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E14"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    rng = np.random.default_rng(0)
+    paths = np.stack(
+        [random_waypoint_path(200, dim=1, speed=1.0, rng=rng, arena=15.0) for _ in range(4)],
+        axis=1,
+    )
+    ma = MultiAgentInstance(agent_paths=paths, start=np.zeros(1), D=4.0,
+                            m_server=1.0, m_agent=1.0)
+    inst = ma.as_msp()
+
+    def kernel():
+        return simulate(inst, MultiAgentMtC(n_agents=4), delta=0.0).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

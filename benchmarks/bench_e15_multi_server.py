@@ -1,0 +1,29 @@
+"""E15 (extension) — regenerate the capped 2-server table.
+
+Kernel benchmarked: the product-grid 2-server DP bracket.
+"""
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.e15_multi_server import _two_hotspot_batches
+from repro.extensions import solve_two_servers_line
+
+from conftest import BENCH_SCALE
+
+
+def test_e15_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E15"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    rng = np.random.default_rng(0)
+    batches = _two_hotspot_batches(60, speed=0.5, gap=6.0, amplitude=4.0,
+                                   spread=0.2, rng=rng)
+    starts = np.array([[-3.0], [3.0]])
+
+    def kernel():
+        return solve_two_servers_line(starts, batches, m=1.0, D=2.0, grid_size=128).cost
+
+    cost = benchmark(kernel)
+    assert cost >= 0
+    assert result.passed, result.render()

@@ -1,0 +1,28 @@
+"""E16 (extension) — regenerate the mobile facility-location table.
+
+Kernel benchmarked: one mobile-Meyerson run on a drifting workload.
+"""
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.e16_facility import _drift_batches
+from repro.extensions import MobileMeyerson, simulate_facilities
+
+from conftest import BENCH_SCALE
+
+
+def test_e16_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E16"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    batches = _drift_batches(150, np.random.default_rng(0))
+
+    def kernel():
+        return simulate_facilities(
+            batches, MobileMeyerson(np.random.default_rng(1)), f=30.0, D=1.0, m=1.0
+        ).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

@@ -1,0 +1,29 @@
+"""E17 — regenerate the dimension-sweep table.
+
+Kernel benchmarked: one MtC run on an 8-dimensional random walk.
+"""
+
+import numpy as np
+
+from repro.algorithms import MoveToCenter
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+from repro.workloads import RandomWalkWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e17_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E17"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = RandomWalkWorkload(300, dim=8, D=2.0, m=1.0, sigma=0.3, spread=0.4,
+                            requests_per_step=4)
+    inst = wl.generate(np.random.default_rng(0))
+
+    def kernel():
+        return simulate(inst, MoveToCenter(), delta=0.5).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

@@ -1,0 +1,27 @@
+"""E1 — regenerate the Theorem 1 table (ratio ~ sqrt(T/D), no augmentation).
+
+Kernel benchmarked: one MtC run on a T=1024 Theorem-1 instance.
+"""
+
+import numpy as np
+
+from repro.adversaries import build_thm1
+from repro.algorithms import MoveToCenter
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+
+from conftest import BENCH_SCALE
+
+
+def test_e1_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E1"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    adv = build_thm1(1024, rng=np.random.default_rng(0))
+
+    def kernel():
+        return simulate(adv.instance, MoveToCenter(), delta=0.0).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

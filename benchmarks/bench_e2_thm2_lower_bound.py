@@ -1,0 +1,27 @@
+"""E2 — regenerate the Theorem 2 table (ratio ~ (1/delta)*Rmax/Rmin).
+
+Kernel benchmarked: one augmented MtC run on a delta=0.25 construction.
+"""
+
+import numpy as np
+
+from repro.adversaries import build_thm2
+from repro.algorithms import MoveToCenter
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+
+from conftest import BENCH_SCALE
+
+
+def test_e2_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E2"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    adv = build_thm2(0.25, cycles=4, rng=np.random.default_rng(0))
+
+    def kernel():
+        return simulate(adv.instance, MoveToCenter(), delta=0.25).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

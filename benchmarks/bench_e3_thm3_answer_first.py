@@ -1,0 +1,27 @@
+"""E3 — regenerate the Theorem 3 table (answer-first ratio ~ r/D).
+
+Kernel benchmarked: answer-first MtC on a 60-cycle, r=16 construction.
+"""
+
+import numpy as np
+
+from repro.adversaries import build_thm3
+from repro.algorithms import AnswerFirstMoveToCenter
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+
+from conftest import BENCH_SCALE
+
+
+def test_e3_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E3"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    adv = build_thm3(cycles=60, r=16, rng=np.random.default_rng(0))
+
+    def kernel():
+        return simulate(adv.instance, AnswerFirstMoveToCenter(), delta=0.5).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

@@ -1,0 +1,28 @@
+"""E4 — regenerate the Theorem 4 (line) table: MtC O(1/delta) with certification.
+
+Kernel benchmarked: the exact 1-D DP bracket (the experiment's dominant cost).
+"""
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+from repro.offline import solve_line
+from repro.workloads import DriftWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e4_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E4"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = DriftWorkload(200, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2,
+                       requests_per_step=4)
+    inst = wl.generate(np.random.default_rng(0))
+
+    def kernel():
+        return solve_line(inst).cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

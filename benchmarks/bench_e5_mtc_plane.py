@@ -1,0 +1,28 @@
+"""E5 — regenerate the Theorem 4 (plane) table: MtC O(1/delta^{3/2}).
+
+Kernel benchmarked: the convex relaxation bracket on a 2-D instance.
+"""
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+from repro.offline import convex_bracket
+from repro.workloads import RandomWalkWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e5_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E5"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = RandomWalkWorkload(100, dim=2, D=2.0, m=1.0, sigma=0.3, spread=0.4,
+                            requests_per_step=4)
+    inst = wl.generate(np.random.default_rng(0))
+
+    def kernel():
+        return convex_bracket(inst).upper
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

@@ -1,0 +1,32 @@
+"""E6 — regenerate the Theorem 7 table: answer-first MtC inflation bound.
+
+Kernel benchmarked: paired move-first/answer-first simulation of one instance.
+"""
+
+import numpy as np
+
+from repro.algorithms import MoveToCenter
+from repro.core import CostModel, simulate
+from repro.experiments import EXPERIMENTS
+from repro.workloads import DriftWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e6_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E6"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = DriftWorkload(150, dim=1, D=4.0, m=1.0, speed=0.8, spread=0.2,
+                       requests_per_step=8)
+    inst = wl.generate(np.random.default_rng(0))
+    inst_af = inst.with_cost_model(CostModel.ANSWER_FIRST)
+
+    def kernel():
+        a = simulate(inst, MoveToCenter(), delta=0.5).total_cost
+        b = simulate(inst_af, MoveToCenter(), delta=0.5).total_cost
+        return b / a
+
+    inflation = benchmark(kernel)
+    assert inflation >= 1.0
+    assert result.passed, result.render()

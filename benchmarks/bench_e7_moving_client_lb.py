@@ -1,0 +1,27 @@
+"""E7 — regenerate the Theorem 8 table: faster agent forces ratio ~ sqrt(T).
+
+Kernel benchmarked: moving-client MtC on a T=2048 sprint construction.
+"""
+
+import numpy as np
+
+from repro.adversaries import build_thm8
+from repro.algorithms import MovingClientMtC
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+
+from conftest import BENCH_SCALE
+
+
+def test_e7_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E7"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    adv = build_thm8(2048, epsilon=1.0, rng=np.random.default_rng(0))
+
+    def kernel():
+        return simulate(adv.instance, MovingClientMtC(), delta=0.0).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

@@ -1,0 +1,29 @@
+"""E8 — regenerate the Theorem 10 table: O(1) moving-client MtC when m_s >= m_a.
+
+Kernel benchmarked: a patrol-agent simulation (instance generation + run).
+"""
+
+import numpy as np
+
+from repro.algorithms import MovingClientMtC
+from repro.core import simulate
+from repro.experiments import EXPERIMENTS
+from repro.workloads import PatrolAgentWorkload
+
+from conftest import BENCH_SCALE
+
+
+def test_e8_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E8"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    wl = PatrolAgentWorkload(T=300, dim=2, D=4.0, m_server=1.0, m_agent=1.0)
+    mc = wl.generate(np.random.default_rng(0))
+    inst = mc.as_msp()
+
+    def kernel():
+        return simulate(inst, MovingClientMtC(), delta=0.0).total_cost
+
+    cost = benchmark(kernel)
+    assert cost > 0
+    assert result.passed, result.render()

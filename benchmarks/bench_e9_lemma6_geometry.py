@@ -1,0 +1,24 @@
+"""E9 — regenerate the Lemma 6 verification table (Figures 1-2).
+
+Kernel benchmarked: sampling 2000 premise-satisfying configurations.
+"""
+
+import numpy as np
+
+from repro.analysis import sample_lemma6
+from repro.experiments import EXPERIMENTS
+
+from conftest import BENCH_SCALE
+
+
+def test_e9_table_and_kernel(benchmark, emit):
+    result = EXPERIMENTS["E9"](scale=BENCH_SCALE, seed=0)
+    emit(result)
+
+    def kernel():
+        return sample_lemma6(0.25, n_samples=2000, dim=2,
+                             rng=np.random.default_rng(0)).n_checked
+
+    n = benchmark(kernel)
+    assert n == 2000
+    assert result.passed, result.render()

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark/experiment-regeneration suite.
+
+Each ``bench_eN_*.py`` file does two things:
+
+1. regenerates the experiment's table (the paper has no empirical tables,
+   so these are the theorem-shaped tables defined in DESIGN.md §4) and
+   prints it through captured-output suppression so it lands in the bench
+   log, also appending it to ``results/``;
+2. benchmarks that experiment's computational kernel with
+   ``pytest-benchmark`` (simulation loops, DP solves, samplers).
+
+``BENCH_SCALE`` trades table fidelity against wall-clock; 0.4 keeps the
+full suite in the low minutes while preserving every criterion.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+BENCH_SCALE = 0.4
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(capsys, results_dir):
+    """Print an experiment result to the live terminal and persist it."""
+
+    def _emit(result) -> None:
+        text = result.render()
+        with capsys.disabled():
+            print()
+            print(text)
+        out = results_dir / f"{result.experiment_id.lower()}.txt"
+        out.write_text(text + "\n")
+        (results_dir / f"{result.experiment_id.lower()}.csv").write_text(result.csv())
+
+    return _emit

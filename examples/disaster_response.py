@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Disaster response with a mobile signal station (Section 5's scenario).
+
+A rescue helper patrols a disaster area (random-waypoint mobility); a
+mobile signal station holding the shared data page follows them.  The
+Moving Client variant's dichotomy:
+
+* if the station is at least as fast as the helper (m_s >= m_a), the
+  Theorem-10 strategy — move min(m_s, d/D) towards the helper — is
+  O(1)-competitive *without* any resource augmentation;
+* if the helper is faster, Theorem 8 says no online strategy can be
+  competitive: on the adversarial sprint construction the measured ratio
+  grows like sqrt(T).
+
+The script demonstrates both regimes.
+
+Run:  python examples/disaster_response.py
+"""
+
+import numpy as np
+
+from repro import MovingClientMtC, simulate, simulate_moving_client
+from repro.adversaries import build_thm8
+from repro.analysis import render_table
+from repro.offline import bracket_optimum
+from repro.workloads import PatrolAgentWorkload
+
+
+def main() -> None:
+    rows = []
+
+    # Regime 1: station as fast as the helper -> flat, small ratios.
+    for T in (200, 400, 800):
+        workload = PatrolAgentWorkload(T=T, dim=2, D=4.0, m_server=1.0, m_agent=1.0,
+                                       arena=20.0)
+        mc = workload.generate(np.random.default_rng(11))
+        trace = simulate_moving_client(mc, MovingClientMtC(), delta=0.0)
+        bracket = bracket_optimum(mc.as_msp())
+        ratio = trace.total_cost / bracket.lower if bracket.lower > 0 else float("inf")
+        rows.append(["patrol m_s = m_a", T, trace.total_cost, ratio])
+
+    # Regime 2: helper twice as fast, adversarial sprint -> diverging ratio.
+    for T in (512, 2048, 8192):
+        adv = build_thm8(T, epsilon=1.0, rng=np.random.default_rng(5))
+        trace = simulate(adv.instance, MovingClientMtC(), delta=0.0)
+        rows.append(["thm8 sprint m_a = 2 m_s", T, trace.total_cost,
+                     adv.ratio_of(trace.total_cost)])
+
+    print(render_table(
+        ["regime", "T", "online cost", "ratio"],
+        rows,
+        title="Moving Client variant: station speed decides competitiveness",
+        precision=2,
+    ))
+    print()
+    print("Reading: with m_s >= m_a the ratio is flat in T (Theorem 10, O(1), no")
+    print("augmentation); with a faster agent it grows ~ sqrt(T) (Theorem 8).")
+
+
+if __name__ == "__main__":
+    main()

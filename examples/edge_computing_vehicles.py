@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Edge computing for an autonomous-vehicle platoon (the paper's intro).
+
+A platoon of six vehicles shares a data page (map updates, coordination
+state).  The page lives on a mobile server — think one of the cars or a
+support drone — that can move a bounded distance per time step.  Each
+vehicle requests data every step; serving costs grow with distance.
+
+The script compares the paper's Move-to-Center against the strategies an
+engineer might try first (follow the last requester, lazy relocation,
+never move, batch-then-jump Move-To-Min) while the platoon drives a long
+noisy road.  Expected outcome: the static and lazy servers degrade
+linearly as the platoon drives away, while MtC travels with the platoon
+and stays within a small factor of the offline optimum.
+
+Run:  python examples/edge_computing_vehicles.py
+"""
+
+import numpy as np
+
+from repro import simulate
+from repro.algorithms import (
+    FollowLastRequest,
+    LazyThreshold,
+    MoveToCenter,
+    MoveToMin,
+    StaticServer,
+)
+from repro.analysis import render_table
+from repro.offline import bracket_optimum
+from repro.workloads import VehiclePlatoonWorkload
+
+
+def main() -> None:
+    workload = VehiclePlatoonWorkload(
+        T=600,
+        dim=2,
+        D=8.0,           # the page is heavy: movement is 8x distance
+        m=1.0,
+        n_vehicles=6,
+        road_speed=0.8,  # the platoon moves at 80% of the server's speed cap
+        turn_sigma=0.04,
+        formation_radius=2.0,
+    )
+    instance = workload.generate(np.random.default_rng(7))
+    bracket = bracket_optimum(instance)  # convex bracket in 2-D
+
+    algorithms = [
+        MoveToCenter(),
+        FollowLastRequest(),
+        LazyThreshold(threshold_factor=1.0),
+        MoveToMin(),
+        StaticServer(),
+    ]
+    delta = 0.5
+    rows = []
+    for alg in algorithms:
+        trace = simulate(instance, alg, delta=delta)
+        rows.append([
+            alg.name,
+            trace.total_cost,
+            trace.total_movement_cost,
+            trace.total_service_cost,
+            trace.total_cost / bracket.lower if bracket.lower > 0 else float("inf"),
+        ])
+    rows.sort(key=lambda r: r[1])
+    print(render_table(
+        ["algorithm", "total", "movement", "service", "ratio (cert. <=)"],
+        rows,
+        title=(f"Vehicle platoon: T={workload.T}, D={workload.D}, "
+               f"road speed {workload.road_speed}, delta={delta}; "
+               f"OPT in [{bracket.lower:.1f}, {bracket.upper:.1f}]"),
+        precision=2,
+    ))
+    print()
+    print("Reading: the platoon drives ~{:.0f} units; a server that stays behind".format(
+        workload.T * workload.road_speed))
+    print("pays service distance growing with the road; MtC tracks the formation's")
+    print("weighted center and stays near-optimal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of "The Mobile Server Problem".
+
+Feldkord & Meyer auf der Heide, SPAA 2017 (full version arXiv:1904.05220).
+
+The package implements the Mobile Server Problem model, the paper's
+Move-to-Center algorithm and its variants, the lower-bound adversary
+constructions, offline optimal solvers, workload generators, and the
+analysis/experiment harness that regenerates every theorem's predicted
+behaviour as an empirical table.
+
+Quickstart::
+
+    import numpy as np
+    from repro import MSPInstance, RequestSequence, MoveToCenter, simulate
+
+    rng = np.random.default_rng(0)
+    points = np.cumsum(rng.normal(size=(500, 2)) * 0.3, axis=0)
+    inst = MSPInstance(RequestSequence.single_requests(points),
+                       start=np.zeros(2), D=4.0, m=1.0)
+    trace = simulate(inst, MoveToCenter(), delta=0.5)
+    print(trace.total_cost)
+"""
+
+from .algorithms import (
+    AnswerFirstMoveToCenter,
+    MoveToCenter,
+    MovingClientMtC,
+    OnlineAlgorithm,
+    available_algorithms,
+    make_algorithm,
+)
+from .core import (
+    CostModel,
+    MovementCapViolation,
+    MovingClientInstance,
+    MSPInstance,
+    RequestBatch,
+    RequestSequence,
+    Trace,
+    replay_cost,
+    simulate,
+    simulate_moving_client,
+)
+from .median import request_center, weber_cost, weiszfeld
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerFirstMoveToCenter",
+    "CostModel",
+    "MSPInstance",
+    "MoveToCenter",
+    "MovementCapViolation",
+    "MovingClientInstance",
+    "MovingClientMtC",
+    "OnlineAlgorithm",
+    "RequestBatch",
+    "RequestSequence",
+    "Trace",
+    "__version__",
+    "available_algorithms",
+    "make_algorithm",
+    "replay_cost",
+    "request_center",
+    "simulate",
+    "simulate_moving_client",
+    "weber_cost",
+    "weiszfeld",
+]

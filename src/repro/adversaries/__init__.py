@@ -1,0 +1,25 @@
+"""Lower-bound adversary constructions (Theorems 1, 2, 3 and 8).
+
+Each ``build_thmN`` function materialises one draw of the randomized
+instance used in the corresponding proof, together with the adversary's own
+trajectory whose replayed cost upper-bounds the offline optimum.
+"""
+
+from .adaptive import AdaptiveRunResult, GreedyEscapeAdversary
+from .base import AdversarialInstance, embed_direction
+from .thm1 import build_thm1
+from .thm2 import build_thm2, thm2_phase_lengths
+from .thm3 import build_thm3
+from .thm8 import build_thm8
+
+__all__ = [
+    "AdaptiveRunResult",
+    "AdversarialInstance",
+    "GreedyEscapeAdversary",
+    "build_thm1",
+    "build_thm2",
+    "build_thm3",
+    "build_thm8",
+    "embed_direction",
+    "thm2_phase_lengths",
+]

@@ -1,0 +1,139 @@
+"""A generic adaptive adversary harness.
+
+The paper's lower bounds are oblivious (fixed randomized sequences), but
+for exploration it is useful to play an algorithm against an *adaptive*
+opponent that observes the online server and places the next batch to
+maximise instantaneous damage while keeping its own server cheap.  The
+:class:`GreedyEscapeAdversary` implements the natural strategy underlying
+all four constructions: walk the adversary server away from the online
+server at full offline speed and request at the adversary's position.
+
+This is not a proof device — adaptive adversaries are *stronger* than
+oblivious ones — but the measured ratios upper-bound what any oblivious
+construction built from the same moves can achieve, which makes the
+harness a useful sanity check on the Thm-1/2 generators (they should come
+close to it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.base import OnlineAlgorithm
+from ..core.costs import CostModel
+from ..core.geometry import distances_to
+from ..core.instance import MSPInstance
+from ..core.requests import RequestBatch, RequestSequence
+from ..core.simulator import replay_cost
+from ..core.validation import check_move
+
+__all__ = ["AdaptiveRunResult", "GreedyEscapeAdversary"]
+
+
+@dataclass(frozen=True)
+class AdaptiveRunResult:
+    """Outcome of an adaptive game.
+
+    Attributes
+    ----------
+    algorithm_cost, adversary_cost:
+        Total costs of the two players under the same accounting.
+    ratio:
+        ``algorithm_cost / adversary_cost``.
+    instance:
+        The materialised instance (requests as actually issued), replayable.
+    """
+
+    algorithm_cost: float
+    adversary_cost: float
+    ratio: float
+    instance: MSPInstance
+
+
+class GreedyEscapeAdversary:
+    """Runs `T` rounds of: flee the online server, request at own position.
+
+    Parameters
+    ----------
+    D, m:
+        Instance parameters granted to both players (the online algorithm
+        additionally gets augmentation ``delta`` at run time).
+    requests_per_step:
+        Batch size placed on the adversary's server each round.
+    """
+
+    def __init__(self, D: float = 1.0, m: float = 1.0, requests_per_step: int = 1) -> None:
+        if requests_per_step < 1:
+            raise ValueError("requests_per_step must be positive")
+        self.D = D
+        self.m = m
+        self.r = requests_per_step
+
+    def run(
+        self,
+        algorithm: OnlineAlgorithm,
+        T: int,
+        dim: int = 1,
+        delta: float = 0.0,
+        start: np.ndarray | None = None,
+    ) -> AdaptiveRunResult:
+        """Play ``T`` adaptive rounds against ``algorithm``."""
+        if start is None:
+            start = np.zeros(dim)
+        start = np.asarray(start, dtype=np.float64)
+
+        # Seed the algorithm with a throwaway instance so reset() has the
+        # right D/m; requests are revealed round by round below.
+        stub = MSPInstance(
+            RequestSequence([np.zeros((1, dim))], dim=dim), start=start, D=self.D, m=self.m
+        )
+        cap = stub.online_cap(delta)
+        algorithm.reset(stub, cap)
+
+        adv_pos = start.copy()
+        online_pos = algorithm.position
+        adv_path = [start.copy()]
+        batches: list[np.ndarray] = []
+        algorithm_cost = 0.0
+
+        for t in range(T):
+            # Adversary flees the online server at full offline speed.
+            away = adv_pos - online_pos
+            n = float(np.linalg.norm(away))
+            if n <= 1e-12:
+                away = np.zeros(dim)
+                away[0] = 1.0
+                n = 1.0
+            adv_pos = adv_pos + (self.m / n) * away
+            adv_path.append(adv_pos.copy())
+            batch_pts = np.tile(adv_pos, (self.r, 1))
+            batches.append(batch_pts)
+            batch = RequestBatch(batch_pts)
+
+            new_pos = np.asarray(algorithm.decide(t, batch), dtype=np.float64)
+            moved = check_move(t, online_pos, new_pos, cap, algorithm.name)
+            service = float(distances_to(new_pos, batch_pts).sum())
+            algorithm_cost += self.D * moved + service
+            algorithm.position = new_pos
+            online_pos = new_pos
+
+        seq = RequestSequence(batches, dim=dim)
+        inst = MSPInstance(
+            seq,
+            start=start,
+            D=self.D,
+            m=self.m,
+            cost_model=CostModel.MOVE_FIRST,
+            name=f"adaptive[T={T}]",
+        )
+        adv_cost = replay_cost(inst, np.asarray(adv_path), validate_cap=self.m).total_cost
+        if adv_cost <= 0:
+            adv_cost = float("nan")
+        return AdaptiveRunResult(
+            algorithm_cost=algorithm_cost,
+            adversary_cost=adv_cost,
+            ratio=algorithm_cost / adv_cost,
+            instance=inst,
+        )

@@ -1,0 +1,71 @@
+"""Common scaffolding for the lower-bound constructions.
+
+Each theorem's proof builds a *randomized instance* (Yao's principle) plus
+the adversary's own server trajectory, whose cost upper-bounds the offline
+optimum.  An :class:`AdversarialInstance` packages the two together with
+the coin outcomes, so experiments can simulate any algorithm on the
+instance and divide by the adversary's (replayed) cost to get a certified
+ratio lower bound:
+
+.. math:: \\frac{C_{Alg}}{C_{Adv}} \\le \\frac{C_{Alg}}{C_{Opt}}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.instance import MovingClientInstance, MSPInstance
+from ..core.simulator import replay_cost
+
+__all__ = ["AdversarialInstance", "embed_direction"]
+
+
+def embed_direction(sign: float, dim: int) -> np.ndarray:
+    """The proofs act along one axis; embed ``±1`` as ``±e_1`` in ``dim``."""
+    u = np.zeros(dim)
+    u[0] = float(sign)
+    return u
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """A lower-bound instance with its adversary trajectory.
+
+    Attributes
+    ----------
+    instance:
+        The MSP (or lowered moving-client) instance to play.
+    adversary_positions:
+        ``(T + 1, d)`` trajectory of the adversary's server (row 0 = start).
+    params:
+        Construction parameters (``T``, ``x``, coin outcomes, ...), kept for
+        reporting.
+    moving_client:
+        The original :class:`MovingClientInstance` when the construction is
+        a Section-5 one, else ``None``.
+    """
+
+    instance: MSPInstance
+    adversary_positions: np.ndarray
+    params: dict[str, Any] = field(default_factory=dict)
+    moving_client: MovingClientInstance | None = None
+
+    def adversary_cost(self) -> float:
+        """Replay the adversary trajectory under the instance's accounting.
+
+        The trajectory is validated against the *offline* cap ``m`` — the
+        constructions never exceed it, and a violation here would mean the
+        generator is wrong, so it raises.
+        """
+        trace = replay_cost(self.instance, self.adversary_positions, validate_cap=self.instance.m)
+        return trace.total_cost
+
+    def ratio_of(self, algorithm_cost: float) -> float:
+        """Certified competitive-ratio lower bound for a measured cost."""
+        denom = self.adversary_cost()
+        if denom <= 0:
+            raise ZeroDivisionError("adversary cost is zero; degenerate construction")
+        return algorithm_cost / denom

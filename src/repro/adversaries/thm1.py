@@ -1,0 +1,82 @@
+"""Theorem 1 construction: :math:`\\Omega(\\sqrt{T/D})` without augmentation.
+
+The sequence has two phases driven by one fair coin:
+
+1. for :math:`x` steps one request per step sits on the starting position
+   :math:`P_0` while the adversary walks its server distance ``m`` per step
+   left or right (the coin);
+2. for the remaining :math:`T - x` steps the request sits on the
+   adversary's server, which keeps walking the same way.
+
+With probability 1/2 any online server is at distance :math:`\\ge x m` from
+the adversary after phase 1 (it cannot know the coin), and — lacking
+augmentation — never catches up, paying :math:`\\ge (T - x) x m` against the
+adversary's :math:`O(T D m + m x^2)`.  The proof's optimal choice is
+:math:`x = \\sqrt{T}`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from ..core.requests import RequestSequence
+from .base import AdversarialInstance, embed_direction
+
+__all__ = ["build_thm1"]
+
+
+def build_thm1(
+    T: int,
+    D: float = 1.0,
+    m: float = 1.0,
+    dim: int = 1,
+    x: int | None = None,
+    requests_per_step: int = 1,
+    rng: np.random.Generator | None = None,
+    sign: float | None = None,
+) -> AdversarialInstance:
+    """Build one draw of the Theorem-1 instance.
+
+    Parameters
+    ----------
+    T:
+        Sequence length.
+    x:
+        Separation-phase length; defaults to the proof's
+        :math:`\\lfloor\\sqrt{T}\\rfloor`.
+    requests_per_step:
+        The theorem holds "even if there is only one request per time
+        step"; larger values are allowed for sensitivity checks.
+    rng, sign:
+        Pass ``sign`` (±1) to fix the coin, else it is drawn from ``rng``.
+    """
+    if T < 4:
+        raise ValueError("T must be at least 4")
+    if x is None:
+        x = max(1, int(np.floor(np.sqrt(T))))
+    if not (1 <= x < T):
+        raise ValueError(f"need 1 <= x < T, got x={x}, T={T}")
+    if sign is None:
+        if rng is None:
+            rng = np.random.default_rng()
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+    u = embed_direction(sign, dim)
+    start = np.zeros(dim)
+
+    # Adversary walks m per step in direction `sign` for all T steps.
+    steps = np.arange(1, T + 1, dtype=np.float64)
+    adv = start[None, :] + (m * steps)[:, None] * u[None, :]
+    adv_full = np.vstack([start[None, :], adv])
+
+    # Requests: phase 1 on P0, phase 2 on the adversary's position.
+    pts = np.empty((T, requests_per_step, dim))
+    pts[:x] = start
+    pts[x:] = adv[x:][:, None, :]
+    seq = RequestSequence.from_packed(pts)
+    inst = MSPInstance(seq, start=start, D=D, m=m, name=f"thm1[T={T},x={x}]")
+    return AdversarialInstance(
+        instance=inst,
+        adversary_positions=adv_full,
+        params={"theorem": 1, "T": T, "x": x, "D": D, "m": m, "sign": sign, "r": requests_per_step},
+    )

@@ -1,0 +1,119 @@
+"""Theorem 2 construction: :math:`\\Omega((1/\\delta)\\,R_{max}/R_{min})`
+despite :math:`(1+\\delta)m` augmentation.
+
+Each *cycle* consists of two phases driven by a fresh fair coin:
+
+* **separation** (:math:`x` steps): :math:`R_{min}` requests per step at the
+  cycle's anchor (the adversary's position when the cycle starts); the
+  adversary walks ``m`` per step in the coin's direction;
+* **punishment** (:math:`\\lceil x/\\delta \\rceil` steps): :math:`R_{max}`
+  requests per step on the adversary's server, which keeps walking.  An
+  online server that guessed wrong trails by :math:`\\ge x m` and closes at
+  most :math:`\\delta m` per step, paying
+  :math:`\\approx R_{max}\\, m x^2 / (4\\delta)` versus the adversary's
+  :math:`O(R_{min} m x^2)` (for :math:`x \\ge` both :math:`2/\\delta` and
+  :math:`D\\delta/R_{min}`, the proof's "sufficiently large").
+
+Cycles repeat independently, so the expected ratio concentrates with the
+number of cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from ..core.requests import RequestBatch, RequestSequence
+from .base import AdversarialInstance, embed_direction
+
+__all__ = ["build_thm2", "thm2_phase_lengths"]
+
+
+def thm2_phase_lengths(delta: float, x: int | None = None) -> tuple[int, int]:
+    """Proof-faithful phase lengths ``(x, ceil(x / delta))``."""
+    if not (0.0 < delta <= 1.0):
+        raise ValueError(f"delta must lie in (0, 1], got {delta}")
+    if x is None:
+        x = int(np.ceil(2.0 / delta))
+    punish = int(np.ceil(x / delta))
+    return x, punish
+
+
+def build_thm2(
+    delta: float,
+    cycles: int = 4,
+    r_min: int = 1,
+    r_max: int = 1,
+    D: float = 1.0,
+    m: float = 1.0,
+    dim: int = 1,
+    x: int | None = None,
+    rng: np.random.Generator | None = None,
+    signs: np.ndarray | None = None,
+) -> AdversarialInstance:
+    """Build one draw of the Theorem-2 instance.
+
+    Parameters
+    ----------
+    delta:
+        The online augmentation the construction is calibrated against.
+    cycles:
+        Number of independent separation/punishment cycles.
+    r_min, r_max:
+        Requests per step in the two phases (:math:`R_{min}, R_{max}`).
+    x:
+        Separation length; defaults to :math:`\\lceil 2/\\delta \\rceil`.
+    signs:
+        Optional array of per-cycle coins (±1) to fix the randomness.
+    """
+    if r_min < 1 or r_max < r_min:
+        raise ValueError("need 1 <= r_min <= r_max")
+    x, punish = thm2_phase_lengths(delta, x)
+    if signs is None:
+        if rng is None:
+            rng = np.random.default_rng()
+        signs = np.where(rng.random(cycles) < 0.5, 1.0, -1.0)
+    signs = np.asarray(signs, dtype=np.float64)
+    if signs.shape != (cycles,):
+        raise ValueError(f"signs must have shape ({cycles},)")
+
+    start = np.zeros(dim)
+    batches: list[RequestBatch] = []
+    adv_positions = [start.copy()]
+    anchor = start.copy()
+
+    for k in range(cycles):
+        u = embed_direction(signs[k], dim)
+        pos = anchor.copy()
+        # Separation: requests at the anchor, adversary walks away.
+        for _ in range(x):
+            pos = pos + m * u
+            adv_positions.append(pos.copy())
+            batches.append(RequestBatch(np.tile(anchor, (r_min, 1))))
+        # Punishment: requests on the adversary, still walking.
+        for _ in range(punish):
+            pos = pos + m * u
+            adv_positions.append(pos.copy())
+            batches.append(RequestBatch(np.tile(pos, (r_max, 1))))
+        anchor = pos.copy()
+
+    seq = RequestSequence(batches, dim=dim)
+    inst = MSPInstance(
+        seq, start=start, D=D, m=m, name=f"thm2[delta={delta:g},x={x},cycles={cycles}]"
+    )
+    return AdversarialInstance(
+        instance=inst,
+        adversary_positions=np.asarray(adv_positions),
+        params={
+            "theorem": 2,
+            "delta": delta,
+            "x": x,
+            "punish": punish,
+            "cycles": cycles,
+            "r_min": r_min,
+            "r_max": r_max,
+            "D": D,
+            "m": m,
+            "signs": signs.tolist(),
+        },
+    )

@@ -1,0 +1,101 @@
+"""Theorem 3 construction: :math:`\\Omega(r/D)` in the Answer-First model.
+
+A two-step cycle, one fresh coin per cycle:
+
+1. ``r`` requests at the adversary's current position; the adversary then
+   hops ``m`` left or right (the coin);
+2. ``r`` requests at the adversary's new position; the adversary rests.
+
+In the answer-first model the online server must serve step 2's requests
+*before* moving; since it cannot know the coin, with probability 1/2 it is
+:math:`\\ge m` away and pays :math:`\\ge r m` for the cycle, against the
+adversary's :math:`D m`.  Note the same sequence is harmless in the
+move-first model — the server may hop onto the requests before serving —
+which is exactly the asymmetry experiment E3 exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.costs import CostModel
+from ..core.instance import MSPInstance
+from ..core.requests import RequestSequence
+from .base import AdversarialInstance, embed_direction
+
+__all__ = ["build_thm3"]
+
+
+def build_thm3(
+    cycles: int,
+    r: int = 1,
+    D: float = 1.0,
+    m: float = 1.0,
+    dim: int = 1,
+    rng: np.random.Generator | None = None,
+    signs: np.ndarray | None = None,
+    cost_model: CostModel = CostModel.ANSWER_FIRST,
+) -> AdversarialInstance:
+    """Build one draw of the Theorem-3 instance (``2 * cycles`` steps).
+
+    Parameters
+    ----------
+    cycles:
+        Number of two-step cycles.
+    r:
+        Requests per step (the theorem's fixed constant).
+    cost_model:
+        Defaults to ``ANSWER_FIRST`` (the model the bound addresses); pass
+        ``MOVE_FIRST`` to measure the same sequence in the default model
+        and observe the bound evaporate.
+    """
+    if cycles < 1:
+        raise ValueError("cycles must be positive")
+    if r < 1:
+        raise ValueError("r must be positive")
+    if signs is None:
+        if rng is None:
+            rng = np.random.default_rng()
+        signs = np.where(rng.random(cycles) < 0.5, 1.0, -1.0)
+    signs = np.asarray(signs, dtype=np.float64)
+    if signs.shape != (cycles,):
+        raise ValueError(f"signs must have shape ({cycles},)")
+
+    start = np.zeros(dim)
+    T = 2 * cycles
+    pts = np.empty((T, r, dim))
+    adv_positions = np.empty((T + 1, dim))
+    adv_positions[0] = start
+    pos = start.copy()
+    for k in range(cycles):
+        u = embed_direction(signs[k], dim)
+        # Step 2k: requests at current adversary position, then the hop.
+        pts[2 * k] = pos
+        pos = pos + m * u
+        adv_positions[2 * k + 1] = pos
+        # Step 2k+1: requests at the new position, adversary rests.
+        pts[2 * k + 1] = pos
+        adv_positions[2 * k + 2] = pos
+
+    seq = RequestSequence.from_packed(pts)
+    inst = MSPInstance(
+        seq,
+        start=start,
+        D=D,
+        m=m,
+        cost_model=cost_model,
+        name=f"thm3[r={r},cycles={cycles},{cost_model.value}]",
+    )
+    return AdversarialInstance(
+        instance=inst,
+        adversary_positions=adv_positions,
+        params={
+            "theorem": 3,
+            "cycles": cycles,
+            "r": r,
+            "D": D,
+            "m": m,
+            "signs": signs.tolist(),
+            "cost_model": cost_model.value,
+        },
+    )

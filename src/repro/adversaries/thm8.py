@@ -1,0 +1,114 @@
+"""Theorem 8 construction: :math:`\\Omega(\\sqrt{T}\\,\\varepsilon/(1+\\varepsilon))`
+in the Moving Client variant when the agent is faster
+(:math:`m_a = (1+\\varepsilon) m_s`).
+
+Two phases, one coin:
+
+1. for :math:`k = x \\cdot m_a / m_s` rounds the adversary walks its server
+   :math:`m_s` per round in the coin's direction; the agent idles at
+   :math:`P_0` and sprints (speed :math:`m_a`) to the adversary's position
+   during the *last* ``x`` rounds of the phase;
+2. adversary and agent walk together at :math:`m_s` per round.
+
+An online server that guessed wrong trails the agent by
+:math:`\\ge x (m_a - m_s) = x \\varepsilon m_s` at the end of phase 1 and —
+being no faster than the agent — never closes the gap, paying
+:math:`\\ge (T - k)\\, x \\varepsilon m_s` against the adversary's
+:math:`O(T D m_s + x^2 m_a^2 / m_s)`.  The proof's choice is
+:math:`x = \\sqrt{T}\\, m_s / m_a`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MovingClientInstance
+from .base import AdversarialInstance, embed_direction
+
+__all__ = ["build_thm8"]
+
+
+def build_thm8(
+    T: int,
+    epsilon: float = 1.0,
+    D: float = 1.0,
+    m_server: float = 1.0,
+    dim: int = 1,
+    x: int | None = None,
+    rng: np.random.Generator | None = None,
+    sign: float | None = None,
+) -> AdversarialInstance:
+    """Build one draw of the Theorem-8 moving-client instance.
+
+    Parameters
+    ----------
+    T:
+        Total rounds.
+    epsilon:
+        Agent speed advantage, :math:`m_a = (1+\\varepsilon) m_s`.
+    x:
+        Sprint length; defaults to the proof's
+        :math:`\\lfloor \\sqrt{T}\\, m_s/m_a \\rfloor`.
+    """
+    if T < 4:
+        raise ValueError("T must be at least 4")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive (agent strictly faster)")
+    m_agent = (1.0 + epsilon) * m_server
+    if x is None:
+        x = max(1, int(np.floor(np.sqrt(T) * m_server / m_agent)))
+    k = int(np.ceil(x * m_agent / m_server))  # phase-1 length in rounds
+    if k >= T:
+        raise ValueError(f"phase 1 ({k} rounds) must be shorter than T={T}; increase T")
+    if sign is None:
+        if rng is None:
+            rng = np.random.default_rng()
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+    u = embed_direction(sign, dim)
+    start = np.zeros(dim)
+
+    # Adversary server: m_s per round in direction `sign`, all T rounds.
+    steps = np.arange(1, T + 1, dtype=np.float64)
+    adv = (m_server * steps)[:, None] * u[None, :]
+    adv_full = np.vstack([start[None, :], adv])
+
+    # Agent: idle, then sprint to the adversary, then walk alongside it.
+    # The gap at the end of phase 1 is k*m_s (>= x*m_a because of the
+    # ceil), so the sprint uses ceil(k*m_s/m_a) rounds — x or x+1 — which
+    # keeps every sprint step at most m_a.
+    agent = np.empty((T, dim))
+    sprint_rounds = int(np.ceil(k * m_server / m_agent - 1e-12))
+    sprint_rounds = min(max(sprint_rounds, 1), k)
+    idle_rounds = k - sprint_rounds
+    agent[:idle_rounds] = start
+    gap_target = adv[k - 1]  # adversary position at the end of phase 1
+    for j in range(sprint_rounds):
+        frac = (j + 1) / sprint_rounds
+        agent[idle_rounds + j] = frac * gap_target
+    # Phase 2: together with the adversary.
+    agent[k:] = adv[k:]
+
+    mc = MovingClientInstance(
+        agent_path=agent,
+        start=start,
+        D=D,
+        m_server=m_server,
+        m_agent=m_agent,
+        name=f"thm8[T={T},eps={epsilon:g},x={x}]",
+    )
+    return AdversarialInstance(
+        instance=mc.as_msp(),
+        adversary_positions=adv_full,
+        params={
+            "theorem": 8,
+            "T": T,
+            "epsilon": epsilon,
+            "x": x,
+            "k": k,
+            "D": D,
+            "m_server": m_server,
+            "m_agent": m_agent,
+            "sign": sign,
+        },
+        moving_client=mc,
+    )

@@ -1,0 +1,92 @@
+"""Online-algorithm interface.
+
+Every algorithm in this library is an :class:`OnlineAlgorithm`: the
+simulator calls :meth:`~OnlineAlgorithm.reset` once with the instance and
+the algorithm's movement cap, then :meth:`~OnlineAlgorithm.decide` once per
+step with the revealed requests.  ``decide`` returns the *new* server
+position; the simulator validates that the move respects the cap, so a
+buggy algorithm fails loudly instead of producing meaningless costs.
+
+The class also keeps the current position in :attr:`position` so that
+subclasses only implement the decision rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from ..core.requests import RequestBatch
+
+__all__ = ["OnlineAlgorithm"]
+
+
+class OnlineAlgorithm(abc.ABC):
+    """Base class for online Mobile-Server algorithms.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in traces, tables and the registry.
+    position:
+        Current server position; maintained by the simulator between calls.
+    cap:
+        Per-step movement cap granted to this algorithm (already includes
+        any resource augmentation).
+    instance:
+        The instance being played, for access to ``D``, ``m``, dimension.
+    """
+
+    #: Subclasses override; instances may further specialise via __init__.
+    name: str = "online-algorithm"
+
+    def __init__(self) -> None:
+        self.position: np.ndarray | None = None
+        self.cap: float = 0.0
+        self.instance: MSPInstance | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def reset(self, instance: MSPInstance, cap: float) -> None:
+        """Prepare for a fresh run on ``instance`` with movement cap ``cap``.
+
+        Subclasses needing extra state must call ``super().reset(...)``.
+        """
+        self.instance = instance
+        self.cap = float(cap)
+        self.position = np.array(instance.start, dtype=np.float64, copy=True)
+
+    @abc.abstractmethod
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        """Return the server position for step ``t`` given the new requests.
+
+        The returned point must satisfy ``d(position, new) <= cap`` (up to
+        floating-point tolerance).  Implementations may return
+        ``self.position`` itself to stay put.  The simulator updates
+        :attr:`position` after validating the move — implementations should
+        *not* mutate it in ``decide``.
+        """
+
+    # -- conveniences -------------------------------------------------------
+
+    @property
+    def D(self) -> float:
+        if self.instance is None:
+            raise RuntimeError("algorithm not reset; call reset() first")
+        return self.instance.D
+
+    @property
+    def dim(self) -> int:
+        if self.instance is None:
+            raise RuntimeError("algorithm not reset; call reset() first")
+        return self.instance.dim
+
+    def is_randomized(self) -> bool:
+        """Randomized algorithms override to return True (used in reports)."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,68 @@
+"""The randomized Coin-Flip algorithm, adapted to the mobile setting.
+
+Westbrook's Coin-Flip algorithm for page migration is 3-competitive against
+adaptive online adversaries: after serving a request, migrate the page to
+the requester with probability :math:`1/(2D)`.  The mobile adaptation keeps
+the coin but replaces the jump by capped pursuit: when the coin comes up
+heads the batch's center becomes the pursuit target, which the server
+chases at full allowed speed until reached (or until a new heads re-aims
+it).
+
+Randomization is injected through a :class:`numpy.random.Generator` so runs
+are reproducible; the simulator treats the algorithm like any other, and
+expected ratios are estimated by averaging seeds (see
+:mod:`repro.analysis.ratio`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import move_towards
+from ..core.requests import RequestBatch
+from ..median import request_center
+from .base import OnlineAlgorithm
+
+__all__ = ["CoinFlip"]
+
+
+class CoinFlip(OnlineAlgorithm):
+    """Coin-Flip page migration with capped movement.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness; defaults to a fresh default generator (pass a
+        seeded generator for reproducibility).
+    probability:
+        Heads probability per step with requests; ``None`` uses the
+        classical :math:`1/(2D)` (evaluated at reset, when ``D`` is known).
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None, probability: float | None = None) -> None:
+        super().__init__()
+        if probability is not None and not (0.0 < probability <= 1.0):
+            raise ValueError("probability must lie in (0, 1]")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.probability = probability
+        self.name = "coin-flip"
+        self._target: np.ndarray | None = None
+        self._p = 0.5
+
+    def is_randomized(self) -> bool:
+        return True
+
+    def reset(self, instance, cap) -> None:  # type: ignore[override]
+        super().reset(instance, cap)
+        self._target = None
+        self._p = self.probability if self.probability is not None else 1.0 / (2.0 * instance.D)
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count and self.rng.random() < self._p:
+            self._target = request_center(batch.points, self.position)
+        if self._target is None:
+            return self.position
+        new_pos = move_towards(self.position, self._target, self.cap)
+        if np.allclose(new_pos, self._target, rtol=0.0, atol=1e-12):
+            self._target = None
+        return new_pos

@@ -1,0 +1,94 @@
+"""Follow-style baselines.
+
+* :class:`FollowLastRequest` — damped pursuit of the most recent request
+  (exponential smoothing of the target); a common heuristic in mobile
+  data-placement prototypes.
+* :class:`RetrospectiveCenter` — moves towards the geometric median of
+  *all* requests seen so far (the offline 1-median of the prefix), the
+  "follow the leader" strategy from online learning.  Good on i.i.d.
+  workloads, provably terrible against drift — the adversarial experiments
+  quantify this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import move_towards
+from ..core.requests import RequestBatch
+from ..median import request_center
+from .base import OnlineAlgorithm
+
+__all__ = ["FollowLastRequest", "RetrospectiveCenter"]
+
+
+class FollowLastRequest(OnlineAlgorithm):
+    """Pursue an exponentially-smoothed target of recent request centers.
+
+    Parameters
+    ----------
+    smoothing:
+        Weight of the newest batch center in the smoothed target, in
+        ``(0, 1]``; 1 means "chase the latest center directly".
+    """
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        super().__init__()
+        if not (0.0 < smoothing <= 1.0):
+            raise ValueError("smoothing must lie in (0, 1]")
+        self.smoothing = smoothing
+        self.name = f"follow-last[{smoothing:g}]" if smoothing != 1.0 else "follow-last"
+        self._target: np.ndarray | None = None
+
+    def reset(self, instance, cap) -> None:  # type: ignore[override]
+        super().reset(instance, cap)
+        self._target = None
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count:
+            c = request_center(batch.points, self.position)
+            if self._target is None:
+                self._target = c
+            else:
+                self._target = (1.0 - self.smoothing) * self._target + self.smoothing * c
+        if self._target is None:
+            return self.position
+        return move_towards(self.position, self._target, self.cap)
+
+
+class RetrospectiveCenter(OnlineAlgorithm):
+    """Move towards the median of the entire request history.
+
+    To keep the per-step cost bounded the history is subsampled to at most
+    ``max_history`` points (uniformly thinned, preserving order statistics
+    approximately).
+    """
+
+    def __init__(self, max_history: int = 4096) -> None:
+        super().__init__()
+        if max_history < 2:
+            raise ValueError("max_history must be at least 2")
+        self.max_history = max_history
+        self.name = "retrospective"
+        self._history: list[np.ndarray] = []
+        self._count = 0
+
+    def reset(self, instance, cap) -> None:  # type: ignore[override]
+        super().reset(instance, cap)
+        self._history = []
+        self._count = 0
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count:
+            self._history.append(batch.points)
+            self._count += batch.count
+            if self._count > 2 * self.max_history:
+                pooled = np.concatenate(self._history, axis=0)
+                stride = max(1, pooled.shape[0] // self.max_history)
+                self._history = [pooled[::stride].copy()]
+                self._count = self._history[0].shape[0]
+        if not self._history:
+            return self.position
+        pooled = np.concatenate(self._history, axis=0)
+        c = request_center(pooled, self.position)
+        return move_towards(self.position, c, self.cap)

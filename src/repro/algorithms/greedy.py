@@ -1,0 +1,66 @@
+"""Greedy baselines.
+
+These are the natural "no-damping" strategies an engineer would try first;
+the lower-bound experiments show exactly how they fail (they pay
+:math:`\\Theta(D)` movement for every small fluctuation in the request
+stream, or get dragged arbitrarily far by outliers).
+
+* :class:`GreedyCenter` — full speed towards the current batch's center.
+* :class:`GreedyCentroid` — full speed towards the batch centroid (mean),
+  a cheaper but wrong notion of "middle": means chase outliers.
+* :class:`NearestRequestChaser` — full speed towards the closest request,
+  a k-server-like greedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import centroid, distances_to, move_towards
+from ..core.requests import RequestBatch
+from ..median import request_center
+from .base import OnlineAlgorithm
+
+__all__ = ["GreedyCenter", "GreedyCentroid", "NearestRequestChaser"]
+
+
+class GreedyCenter(OnlineAlgorithm):
+    """Move at full allowed speed towards the batch's geometric median."""
+
+    name = "greedy-center"
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count == 0:
+            return self.position
+        c = request_center(batch.points, self.position)
+        return move_towards(self.position, c, self.cap)
+
+
+class GreedyCentroid(OnlineAlgorithm):
+    """Move at full allowed speed towards the batch centroid (mean point).
+
+    The mean minimizes the *squared* distances, not the distances, so this
+    baseline measurably over-reacts to outliers compared to
+    :class:`GreedyCenter` — a cheap ablation of the median choice.
+    """
+
+    name = "greedy-centroid"
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count == 0:
+            return self.position
+        c = centroid(batch.points)
+        return move_towards(self.position, c, self.cap)
+
+
+class NearestRequestChaser(OnlineAlgorithm):
+    """Move at full allowed speed towards the nearest request of the batch."""
+
+    name = "nearest-chaser"
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count == 0:
+            return self.position
+        dists = distances_to(self.position, batch.points)
+        target = batch.points[int(np.argmin(dists))]
+        return move_towards(self.position, target, self.cap)

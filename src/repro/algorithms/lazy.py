@@ -1,0 +1,85 @@
+"""Lazy and threshold baselines.
+
+* :class:`StaticServer` — never moves; the degenerate baseline whose cost
+  equals the total request distance from :math:`P_0`.  Useful as a sanity
+  ceiling and surprisingly competitive on stationary workloads.
+* :class:`LazyThreshold` — classic rent-or-buy behaviour: stay put until
+  the accumulated service cost since the last move exceeds
+  ``threshold_factor * D * m``, then move (at full speed, possibly over
+  several steps) to the recent requests' center.  A folklore strategy that
+  the movement cap breaks: by the time it decides to move it may be too far
+  behind to ever catch up, which experiment E13 makes visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import move_towards
+from ..core.requests import RequestBatch
+from ..median import request_center
+from .base import OnlineAlgorithm
+
+__all__ = ["StaticServer", "LazyThreshold"]
+
+
+class StaticServer(OnlineAlgorithm):
+    """Never moves; pays only service cost."""
+
+    name = "static"
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        return self.position
+
+
+class LazyThreshold(OnlineAlgorithm):
+    """Rent-or-buy: move only after service cost has accumulated.
+
+    Parameters
+    ----------
+    threshold_factor:
+        Move is triggered once the service cost accumulated since the last
+        relocation exceeds ``threshold_factor * D * m``.
+    window:
+        How many recent batches are pooled to pick the relocation target
+        (their combined geometric median).
+    """
+
+    def __init__(self, threshold_factor: float = 1.0, window: int = 8) -> None:
+        super().__init__()
+        if threshold_factor <= 0:
+            raise ValueError("threshold_factor must be positive")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.threshold_factor = threshold_factor
+        self.window = window
+        self.name = f"lazy[{threshold_factor:g}]"
+        self._accumulated = 0.0
+        self._recent: list[np.ndarray] = []
+        self._target: np.ndarray | None = None
+
+    def reset(self, instance, cap) -> None:  # type: ignore[override]
+        super().reset(instance, cap)
+        self._accumulated = 0.0
+        self._recent = []
+        self._target = None
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count:
+            self._recent.append(batch.points)
+            if len(self._recent) > self.window:
+                self._recent.pop(0)
+            self._accumulated += batch.service_cost(self.position)
+
+        threshold = self.threshold_factor * self.D * (self.instance.m if self.instance else 1.0)
+        if self._target is None and self._accumulated > threshold and self._recent:
+            pooled = np.concatenate(self._recent, axis=0)
+            self._target = request_center(pooled, self.position)
+            self._accumulated = 0.0
+
+        if self._target is None:
+            return self.position
+        new_pos = move_towards(self.position, self._target, self.cap)
+        if np.allclose(new_pos, self._target, rtol=0.0, atol=1e-12):
+            self._target = None
+        return new_pos

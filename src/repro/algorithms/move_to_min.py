@@ -1,0 +1,76 @@
+"""Westbrook's Move-To-Min, adapted to the mobile setting.
+
+The classical page-migration algorithm (Westbrook 1994; 7-competitive on
+graphs) works in phases of :math:`D` requests: at the end of a phase the
+page moves to the point minimizing the total distance to the phase's
+requests.  In the Mobile Server Problem that point may be far outside the
+per-step movement cap, so the adaptation moves *towards* the phase optimum
+at full allowed speed, possibly across several steps, while the next phase
+is already accumulating.
+
+Section 5 of the paper remarks that such batch-then-jump strategies do not
+transfer to the capped model ("they require moving to a specific point
+after collecting a batch of requests [which] may still lie outside the
+allowed moving distance") — this class is the executable version of that
+remark, and experiment E13 quantifies the damage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import move_towards
+from ..core.requests import RequestBatch
+from ..median import request_center
+from .base import OnlineAlgorithm
+
+__all__ = ["MoveToMin"]
+
+
+class MoveToMin(OnlineAlgorithm):
+    """Phase-based Move-To-Min with capped movement.
+
+    Parameters
+    ----------
+    phase_requests:
+        Number of requests per phase; ``None`` uses the classical choice
+        :math:`\\lceil D \\rceil`.
+    """
+
+    def __init__(self, phase_requests: int | None = None) -> None:
+        super().__init__()
+        if phase_requests is not None and phase_requests < 1:
+            raise ValueError("phase_requests must be positive")
+        self.phase_requests = phase_requests
+        self.name = "move-to-min"
+        self._phase_points: list[np.ndarray] = []
+        self._phase_count = 0
+        self._target: np.ndarray | None = None
+
+    def reset(self, instance, cap) -> None:  # type: ignore[override]
+        super().reset(instance, cap)
+        self._phase_points = []
+        self._phase_count = 0
+        self._target = None
+
+    @property
+    def _phase_size(self) -> int:
+        if self.phase_requests is not None:
+            return self.phase_requests
+        return max(1, int(np.ceil(self.D)))
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count:
+            self._phase_points.append(batch.points)
+            self._phase_count += batch.count
+        if self._phase_count >= self._phase_size and self._phase_points:
+            pooled = np.concatenate(self._phase_points, axis=0)
+            self._target = request_center(pooled, self.position)
+            self._phase_points = []
+            self._phase_count = 0
+        if self._target is None:
+            return self.position
+        new_pos = move_towards(self.position, self._target, self.cap)
+        if np.allclose(new_pos, self._target, rtol=0.0, atol=1e-12):
+            self._target = None
+        return new_pos

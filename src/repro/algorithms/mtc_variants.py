@@ -1,0 +1,77 @@
+"""MtC for the problem variants (Sections 4.3 and 5).
+
+* :class:`AnswerFirstMoveToCenter` — Theorem 7 analyses MtC unchanged in
+  the answer-first model; the decision rule is identical, only the cost
+  accounting differs (handled by the instance's cost model).  The class
+  exists so that runs are clearly labelled and so the variant can evolve
+  independently.
+
+* :class:`MovingClientMtC` — Theorem 10's specialisation for the Moving
+  Client variant: upon learning the agent's position :math:`A_t`, move
+  :math:`\\min(m_s, d(P_{t-1}, A_t)/D)` towards :math:`A_t`.  With a single
+  request per step this is exactly MtC's rule (``r = 1``, center = request),
+  but stated with the cap :math:`m_s` (no augmentation needed when
+  :math:`m_s \\ge m_a`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import move_towards
+from ..core.requests import RequestBatch
+from .base import OnlineAlgorithm
+from .mtc import MoveToCenter
+
+__all__ = ["AnswerFirstMoveToCenter", "MovingClientMtC"]
+
+
+class AnswerFirstMoveToCenter(MoveToCenter):
+    """MtC played in the Answer-First model (Theorem 7).
+
+    The rule is identical to :class:`MoveToCenter`; pairing it with an
+    instance whose cost model is ``ANSWER_FIRST`` yields the analysed
+    algorithm.  ``reset`` asserts the pairing to catch mis-configured
+    experiments early.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.name = "mtc-answer-first"
+
+    def reset(self, instance, cap) -> None:  # type: ignore[override]
+        from ..core.costs import CostModel
+
+        if instance.cost_model is not CostModel.ANSWER_FIRST:
+            raise ValueError(
+                "AnswerFirstMoveToCenter requires an ANSWER_FIRST instance; "
+                f"got {instance.cost_model}"
+            )
+        super().reset(instance, cap)
+
+
+class MovingClientMtC(OnlineAlgorithm):
+    """Theorem 10's algorithm for the Moving Client variant.
+
+    Moves :math:`\\min(\\text{cap}, d(P, A_t)/D)` towards the agent.  The
+    simulator supplies the cap (``m_s`` or ``(1+\\delta) m_s``); with
+    ``D = 1`` the rule degenerates to full-speed chase, and for larger ``D``
+    the server intentionally trails the agent at distance :math:`\\le D m`
+    to save movement cost — the property the O(1) proof exploits.
+    """
+
+    name = "mtc-moving-client"
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        if batch.count == 0:
+            return self.position
+        if batch.count != 1:
+            raise ValueError(
+                f"MovingClientMtC expects exactly one request per step, got {batch.count}"
+            )
+        agent = batch.points[0]
+        dist = float(np.linalg.norm(agent - self.position))
+        if dist <= 0.0:
+            return self.position
+        step = min(self.cap, dist / self.D)
+        return move_towards(self.position, agent, step)

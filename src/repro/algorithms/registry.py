@@ -1,0 +1,67 @@
+"""Algorithm registry.
+
+Maps stable string names to zero-argument factories so the CLI, the
+experiment configs and the benchmark files can request algorithms by name.
+Entries constructed with non-default parameters register under qualified
+names (e.g. ``lazy`` vs ``lazy-aggressive``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .base import OnlineAlgorithm
+from .coinflip import CoinFlip
+from .follow import FollowLastRequest, RetrospectiveCenter
+from .greedy import GreedyCenter, GreedyCentroid, NearestRequestChaser
+from .lazy import LazyThreshold, StaticServer
+from .move_to_min import MoveToMin
+from .mtc import MoveToCenter
+from .mtc_variants import MovingClientMtC
+from .work_function import WorkFunctionLine
+
+__all__ = ["ALGORITHMS", "make_algorithm", "available_algorithms", "register"]
+
+AlgorithmFactory = Callable[[], OnlineAlgorithm]
+
+ALGORITHMS: Dict[str, AlgorithmFactory] = {
+    "mtc": MoveToCenter,
+    "mtc-moving-client": MovingClientMtC,
+    "greedy-center": GreedyCenter,
+    "greedy-centroid": GreedyCentroid,
+    "nearest-chaser": NearestRequestChaser,
+    "static": StaticServer,
+    "lazy": LazyThreshold,
+    "lazy-aggressive": lambda: LazyThreshold(threshold_factor=0.25),
+    "follow-last": FollowLastRequest,
+    "follow-smooth": lambda: FollowLastRequest(smoothing=0.25),
+    "retrospective": RetrospectiveCenter,
+    "move-to-min": MoveToMin,
+    "coin-flip": lambda: CoinFlip(rng=np.random.default_rng(0)),
+    "work-function": WorkFunctionLine,
+}
+
+
+def register(name: str, factory: AlgorithmFactory, overwrite: bool = False) -> None:
+    """Add a factory to the registry (e.g. from user code or tests)."""
+    if name in ALGORITHMS and not overwrite:
+        raise KeyError(f"algorithm {name!r} already registered")
+    ALGORITHMS[name] = factory
+
+
+def make_algorithm(name: str) -> OnlineAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+    return factory()
+
+
+def available_algorithms() -> list[str]:
+    """Sorted registry keys."""
+    return sorted(ALGORITHMS)

@@ -1,0 +1,113 @@
+"""A discretized work-function heuristic for the 1-D problem.
+
+The Work Function Algorithm is the canonical near-optimal strategy for
+metrical task systems: after step ``t`` it knows, for every state ``s``,
+the optimal cost :math:`w_t(s)` of serving the prefix and ending at ``s``,
+and it moves to the state minimizing :math:`w_t(s) + D\\,d(P, s)`.
+
+For the Mobile Server Problem on the line we maintain :math:`w_t` on a
+uniform grid.  The work-function recurrence respects the *offline* cap
+``m``:
+
+.. math:: w_t(s) = \\min_{|s' - s| \\le m} \\big( w_{t-1}(s')
+          + D\\,|s' - s| \\big) + \\sum_i |s - v_{t,i}|,
+
+a banded min-plus convolution computed in ``O(grid · band)`` per step with
+in-place row updates.  The chosen grid point may be further than the online
+cap allows, in which case the server moves towards it at full speed — the
+same capping every other baseline uses.
+
+The grid spans the instance's arena (bounding box of start and requests,
+padded); this uses the *extent* of the instance but not the order of
+requests, the usual experimental convention for grid methods.  The class is
+a *heuristic* baseline: the paper proves no guarantee for it, and E13 shows
+it performs well on benign workloads while paying heavily on adversarial
+drift (the grid cannot follow an unbounded escape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import move_towards
+from ..core.requests import RequestBatch
+from .base import OnlineAlgorithm
+
+__all__ = ["WorkFunctionLine"]
+
+
+class WorkFunctionLine(OnlineAlgorithm):
+    """Grid work-function algorithm for dimension 1.
+
+    Parameters
+    ----------
+    grid_size:
+        Number of grid points (odd counts keep the start on the grid).
+    padding:
+        Extra arena padding in multiples of the instance cap ``m``.
+    """
+
+    def __init__(self, grid_size: int = 257, padding: float = 4.0) -> None:
+        super().__init__()
+        if grid_size < 3:
+            raise ValueError("grid_size must be at least 3")
+        self.grid_size = grid_size
+        self.padding = padding
+        self.name = "work-function"
+        self._grid: np.ndarray | None = None
+        self._w: np.ndarray | None = None
+        self._band: int = 1
+
+    def reset(self, instance, cap) -> None:  # type: ignore[override]
+        super().reset(instance, cap)
+        if instance.dim != 1:
+            raise ValueError("WorkFunctionLine only supports dimension 1")
+        pts = instance.requests.all_points()
+        lo = float(instance.start[0])
+        hi = lo
+        if pts.shape[0]:
+            lo = min(lo, float(pts.min()))
+            hi = max(hi, float(pts.max()))
+        pad = self.padding * instance.m + 1e-9
+        lo -= pad
+        hi += pad
+        self._grid = np.linspace(lo, hi, self.grid_size)
+        h = float(self._grid[1] - self._grid[0])
+        self._band = max(1, int(np.floor(instance.m / h)))
+        # w_0(s) = D * d(P0, s): the offline server also starts at P0 and
+        # may relocate over time at D per unit, capped per step — the cap
+        # is enforced in the transition, the start cost here is the lower
+        # bound D*|s - P0| for reaching s eventually.
+        self._w = instance.D * np.abs(self._grid - float(instance.start[0]))
+
+    def _transition(self) -> np.ndarray:
+        """One banded min-plus relaxation of the work function."""
+        assert self._w is not None and self._grid is not None
+        w = self._w
+        grid = self._grid
+        D = self.D
+        h = float(grid[1] - grid[0])
+        out = w.copy()
+        # Propagate within the band via iterated neighbour relaxation:
+        # moving one cell costs D*h; `band` sweeps realize every shift of
+        # up to `band` cells at the correct linear cost.
+        for _ in range(self._band):
+            left = out[:-1] + D * h
+            right = out[1:] + D * h
+            np.minimum(out[1:], left, out=out[1:])
+            np.minimum(out[:-1], right, out=out[:-1])
+        return out
+
+    def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
+        assert self._w is not None and self._grid is not None
+        relaxed = self._transition()
+        if batch.count:
+            service = np.abs(self._grid[:, None] - batch.points[:, 0][None, :]).sum(axis=1)
+        else:
+            service = 0.0
+        self._w = relaxed + service
+        # WFA rule: head for argmin_s w_t(s) + D * d(P, s).
+        scores = self._w + self.D * np.abs(self._grid - float(self.position[0]))
+        target_x = float(self._grid[int(np.argmin(scores))])
+        target = np.array([target_x])
+        return move_towards(self.position, target, self.cap)

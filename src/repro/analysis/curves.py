@@ -1,0 +1,56 @@
+"""Competitive-ratio curves over time.
+
+Theorem 4's qualitative content is that MtC's ratio is *bounded
+independent of T*; the most direct way to see it is the running ratio
+
+.. math:: t \\mapsto \\frac{C_{Alg}(1..t)}{C_{Opt}(1..t)}
+
+flattening out.  :func:`ratio_curve` computes it from an algorithm trace
+and a reference (OPT or adversary) trajectory, and
+:func:`separation_curve` tracks the server separation
+:math:`d(P^{Alg}_t, P^{Opt}_t)` — the quantity the potential function
+controls, useful for visualising why un-augmented algorithms lose
+(separation ratchets up and never recovers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from ..core.simulator import replay_cost
+from ..core.trace import Trace
+
+__all__ = ["ratio_curve", "separation_curve"]
+
+
+def ratio_curve(
+    instance: MSPInstance,
+    alg_trace: Trace,
+    reference_positions: np.ndarray,
+    burn_in: int = 1,
+) -> np.ndarray:
+    """Running ratio of cumulative costs, ``(T,)``.
+
+    Entries before ``burn_in`` or with zero reference cost are ``nan`` (no
+    meaningful ratio yet).
+    """
+    ref = replay_cost(instance, reference_positions)
+    num = alg_trace.cumulative_costs()
+    den = ref.cumulative_costs()
+    out = np.full(alg_trace.length, np.nan)
+    mask = (den > 0) & (np.arange(alg_trace.length) >= burn_in)
+    out[mask] = num[mask] / den[mask]
+    return out
+
+
+def separation_curve(alg_trace: Trace, reference_positions: np.ndarray) -> np.ndarray:
+    """Per-step distance between the two servers, ``(T + 1,)``."""
+    ref = np.asarray(reference_positions, dtype=np.float64)
+    if ref.shape != alg_trace.positions.shape:
+        if ref.shape[0] == alg_trace.positions.shape[0] - 1:
+            ref = np.vstack([alg_trace.positions[0][None, :], ref])
+        else:
+            raise ValueError("reference trajectory shape mismatch")
+    diff = alg_trace.positions - ref
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))

@@ -1,0 +1,208 @@
+"""Numerical verification of Lemma 6 (and Figures 1/2).
+
+Lemma 6 is the geometric heart of the upper-bound proof: with the
+notation of Figure 1 (:math:`a_1 = d(P_{Alg}, P'_{Alg})`,
+:math:`a_2 = d(P'_{Alg}, c)`, :math:`s_2 = d(P'_{Opt}, c)`,
+:math:`h = d(P'_{Opt}, P_{Alg})`, :math:`q = d(P'_{Opt}, P'_{Alg})`, where
+:math:`P'_{Alg}` lies on the segment from :math:`P_{Alg}` to :math:`c`),
+
+.. math:: s_2 \\le \\frac{\\sqrt{\\delta}}{1 + \\delta/2}\\, a_2
+          \\quad\\Longrightarrow\\quad
+          h - q \\ge \\frac{1 + \\delta/2}{1 + \\delta}\\, a_1 .
+
+The experiment samples the configuration space of Figure 1 exhaustively at
+random — all scales and angles — keeps the samples satisfying the premise,
+and checks the conclusion.  It also reports the *slack profile* and probes
+the worst case (the 90°-angle construction of Figure 2), showing where the
+bound is tight.  A violation count of zero is the reproduction target.
+
+**Reproduction finding.**  The lemma's proof maximizes :math:`q` "by
+setting the angle between :math:`s_2` and :math:`a_2` to 90 degrees"; for
+*obtuse* placements of :math:`P'_{Opt}` (beyond 90°, which the fixed-
+:math:`(h, s_2, a_1)` extremization does not cover) the true worst factor
+as :math:`a_1 \\to 0` is :math:`\\sqrt{1 - \\varepsilon^2}` rather than the
+proof's :math:`1/\\sqrt{1+\\varepsilon^2}` (:math:`\\varepsilon = s_2/a_2`),
+and the stated conclusion fails by a relative margin of order
+:math:`\\delta^2` (e.g. :math:`0.94301 < 0.94444` at :math:`\\delta = 1/8`).
+Tightening the premise coefficient from :math:`\\sqrt\\delta/(1+\\delta/2)`
+to :math:`\\sqrt\\delta/(1+\\delta)` repairs the lemma for *all* angles —
+:math:`(1+\\delta)^2 - \\delta \\ge (1+\\delta/2)^2` holds with slack
+:math:`\\tfrac34\\delta^2` — and only shifts constants inside the
+:math:`O(\\cdot)` of Theorem 4.  :func:`sample_lemma6` therefore supports
+three modes: the paper's premise restricted to the proof's acute
+configurations (zero violations), the paper's premise over all angles
+(exhibits the finding), and the repaired premise over all angles (zero
+violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Lemma6Sample", "Lemma6Report", "sample_lemma6", "figure2_worst_case"]
+
+
+@dataclass(frozen=True)
+class Lemma6Sample:
+    """One sampled configuration of Figure 1 (premise satisfied)."""
+
+    a1: float
+    a2: float
+    s2: float
+    h: float
+    q: float
+    slack: float  # (h - q) - bound * a1; Lemma 6 says slack >= 0
+
+
+@dataclass
+class Lemma6Report:
+    """Result of a Lemma 6 sampling run.
+
+    Attributes
+    ----------
+    n_checked:
+        Samples satisfying the premise.
+    violations:
+        Samples with negative slack beyond tolerance (target: 0).
+    min_slack:
+        Smallest observed slack.
+    min_slack_relative:
+        Smallest slack normalised by ``a1`` (tightness measure; the
+        Figure-2 construction drives this towards 0).
+    """
+
+    n_checked: int
+    violations: int
+    min_slack: float
+    min_slack_relative: float
+
+
+def _config_geometry(a1: float, a2: float, s2: float, angle_polar: float, angle_azim: float,
+                     dim: int) -> tuple[float, float]:
+    """Distances (h, q) for a concrete embedding of Figure 1.
+
+    ``P_Alg`` at the origin, ``c`` at distance ``a1 + a2`` along +x (so
+    ``P'_Alg`` sits between them at ``a1``), and ``P'_Opt`` at distance
+    ``s2`` from ``c`` in the direction given by the sampled angles.
+    """
+    p_alg = np.zeros(dim)
+    p_alg2 = np.zeros(dim)
+    p_alg2[0] = a1
+    c = np.zeros(dim)
+    c[0] = a1 + a2
+    u = np.zeros(dim)
+    if dim == 1:
+        u[0] = np.sign(np.cos(angle_polar)) or 1.0
+    elif dim == 2:
+        u[0], u[1] = np.cos(angle_polar), np.sin(angle_polar)
+    else:
+        u[0] = np.cos(angle_polar)
+        u[1] = np.sin(angle_polar) * np.cos(angle_azim)
+        u[2] = np.sin(angle_polar) * np.sin(angle_azim)
+    p_opt2 = c + s2 * u
+    h = float(np.linalg.norm(p_opt2 - p_alg))
+    q = float(np.linalg.norm(p_opt2 - p_alg2))
+    return h, q
+
+
+def sample_lemma6(
+    delta: float,
+    n_samples: int = 10000,
+    dim: int = 2,
+    rng: np.random.Generator | None = None,
+    tolerance: float = 1e-9,
+    scale: float = 10.0,
+    premise: str = "paper",
+    acute_only: bool = False,
+) -> Lemma6Report:
+    """Randomly sample Figure-1 configurations and check Lemma 6.
+
+    Parameters
+    ----------
+    delta:
+        The augmentation parameter in the premise/conclusion constants.
+    n_samples:
+        Number of *accepted* samples (premise-satisfying) to check.
+    dim:
+        Embedding dimension (1, 2 or 3; the lemma is planar — any
+        configuration spans at most a plane — but we verify embeddings).
+    scale:
+        Lengths are sampled log-uniformly up to this scale.
+    premise:
+        ``"paper"`` uses the stated coefficient
+        :math:`\\sqrt\\delta/(1+\\delta/2)`; ``"repaired"`` uses the
+        all-angle-valid :math:`\\sqrt\\delta/(1+\\delta)` (see module
+        docstring).
+    acute_only:
+        Restrict :math:`P'_{Opt}` to the proof's configuration family —
+        angle between :math:`s_2` and :math:`a_2` at most 90° (the
+        component of the offset along the :math:`c`-ward axis is
+        non-negative).
+    """
+    if not (0.0 < delta <= 1.0):
+        raise ValueError("delta must lie in (0, 1]")
+    if premise not in ("paper", "repaired"):
+        raise ValueError(f"unknown premise {premise!r}")
+    if rng is None:
+        rng = np.random.default_rng()
+    if premise == "paper":
+        bound_premise = np.sqrt(delta) / (1.0 + 0.5 * delta)
+    else:
+        bound_premise = np.sqrt(delta) / (1.0 + delta)
+    bound_conclusion = (1.0 + 0.5 * delta) / (1.0 + delta)
+
+    checked = 0
+    violations = 0
+    min_slack = np.inf
+    min_rel = np.inf
+    while checked < n_samples:
+        batch = n_samples - checked
+        a1 = np.exp(rng.uniform(np.log(1e-3), np.log(scale), size=batch))
+        a2 = np.exp(rng.uniform(np.log(1e-3), np.log(scale), size=batch))
+        # Premise: s2 <= bound_premise * a2 — sample inside it.
+        s2 = rng.uniform(0.0, 1.0, size=batch) * bound_premise * a2
+        if acute_only:
+            # Offset direction within 90° of +x (the a2 axis away from the
+            # servers): polar angle in [-pi/2, pi/2].
+            polar = rng.uniform(-0.5 * np.pi, 0.5 * np.pi, size=batch)
+        else:
+            polar = rng.uniform(0.0, 2.0 * np.pi, size=batch)
+        azim = rng.uniform(0.0, 2.0 * np.pi, size=batch)
+        for i in range(batch):
+            h, q = _config_geometry(a1[i], a2[i], s2[i], polar[i], azim[i], dim)
+            slack = (h - q) - bound_conclusion * a1[i]
+            checked += 1
+            if slack < -tolerance * max(1.0, a1[i]):
+                violations += 1
+            if slack < min_slack:
+                min_slack = slack
+            rel = slack / a1[i]
+            if rel < min_rel:
+                min_rel = rel
+    return Lemma6Report(
+        n_checked=checked,
+        violations=violations,
+        min_slack=float(min_slack),
+        min_slack_relative=float(min_rel),
+    )
+
+
+def figure2_worst_case(delta: float, a1: float = 1.0, a2: float = 1.0) -> Lemma6Sample:
+    """The extremal configuration of Figure 2 (right angle at ``c``).
+
+    With the premise at equality (:math:`s_2 = \\frac{\\sqrt\\delta}{1+\\delta/2} a_2`)
+    and the angle between :math:`s_2` and :math:`a_2` at 90°, the proof's
+    estimate of :math:`h - q` is tight up to its algebraic relaxations;
+    this function returns that configuration's actual slack for tightness
+    reporting.
+    """
+    s2 = np.sqrt(delta) / (1.0 + 0.5 * delta) * a2
+    # Right angle: place c at origin, P'_Alg at (-a2, 0), P_Alg at
+    # (-(a1+a2), 0), P'_Opt at (0, s2).
+    h = float(np.hypot(a1 + a2, s2))
+    q = float(np.hypot(a2, s2))
+    bound_conclusion = (1.0 + 0.5 * delta) / (1.0 + delta)
+    slack = (h - q) - bound_conclusion * a1
+    return Lemma6Sample(a1=a1, a2=a2, s2=s2, h=h, q=q, slack=slack)

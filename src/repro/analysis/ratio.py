@@ -1,0 +1,151 @@
+"""Competitive-ratio measurement.
+
+Two measurement modes:
+
+* against a **bracketed optimum** (:func:`measure_ratio`): ratio is quoted
+  as a certified interval ``[cost/upper, cost/lower]``;
+* against an **adversary construction** (:func:`measure_adversarial_ratio`):
+  the adversary's own cost upper-bounds OPT, so ``cost/adv_cost`` is a
+  certified ratio *lower bound* — exactly what a lower-bound experiment
+  needs.  Randomized constructions / algorithms are averaged over seeds.
+
+Also here: the Lemma-5 pairing helper (:func:`collapse_to_centers`), which
+replaces each batch by ``r`` copies of its tie-broken center — the
+simplified instances on which the paper's per-step analysis operates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..adversaries.base import AdversarialInstance
+from ..algorithms.base import OnlineAlgorithm
+from ..core.instance import MSPInstance
+from ..core.requests import RequestBatch, RequestSequence
+from ..core.simulator import simulate
+from ..core.trace import Trace
+from ..median import request_center
+from ..offline.bounds import OptBracket, bracket_optimum
+
+__all__ = [
+    "RatioMeasurement",
+    "measure_ratio",
+    "measure_adversarial_ratio",
+    "collapse_to_centers",
+]
+
+
+@dataclass(frozen=True)
+class RatioMeasurement:
+    """A measured competitive ratio with certification bounds.
+
+    Attributes
+    ----------
+    cost:
+        Online algorithm's total cost.
+    opt_lower, opt_upper:
+        Certified bracket of the offline optimum.
+    ratio_lower, ratio_upper:
+        ``cost/opt_upper`` and ``cost/opt_lower``.
+    algorithm:
+        Name of the measured algorithm.
+    """
+
+    cost: float
+    opt_lower: float
+    opt_upper: float
+    ratio_lower: float
+    ratio_upper: float
+    algorithm: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """Point estimate: cost over the bracket midpoint."""
+        mid = 0.5 * (self.opt_lower + self.opt_upper)
+        return self.cost / mid if mid > 0 else float("inf")
+
+
+def measure_ratio(
+    instance: MSPInstance,
+    algorithm: OnlineAlgorithm,
+    delta: float = 0.0,
+    bracket: OptBracket | None = None,
+    **bracket_kwargs,
+) -> RatioMeasurement:
+    """Simulate and divide by a bracketed offline optimum."""
+    trace = simulate(instance, algorithm, delta=delta)
+    if bracket is None:
+        bracket = bracket_optimum(instance, **bracket_kwargs)
+    lower = max(bracket.lower, 1e-300)
+    upper = max(bracket.upper, 1e-300)
+    return RatioMeasurement(
+        cost=trace.total_cost,
+        opt_lower=bracket.lower,
+        opt_upper=bracket.upper,
+        ratio_lower=trace.total_cost / upper,
+        ratio_upper=trace.total_cost / lower,
+        algorithm=algorithm.name,
+    )
+
+
+def measure_adversarial_ratio(
+    build: Callable[[np.random.Generator], AdversarialInstance],
+    algorithm_factory: Callable[[], OnlineAlgorithm],
+    delta: float,
+    seeds: Sequence[int],
+) -> tuple[float, np.ndarray]:
+    """Expected ratio of an algorithm against a randomized construction.
+
+    Parameters
+    ----------
+    build:
+        Draws one adversarial instance from a seeded generator.
+    algorithm_factory:
+        Fresh algorithm per seed (stateful algorithms must not leak state
+        across draws).
+    delta:
+        Augmentation granted to the online algorithm.
+    seeds:
+        Instance seeds; the expected ratio is their mean.
+
+    Returns
+    -------
+    (mean_ratio, per_seed_ratios)
+    """
+    ratios = np.empty(len(seeds))
+    for i, seed in enumerate(seeds):
+        adv = build(np.random.default_rng(seed))
+        trace = simulate(adv.instance, algorithm_factory(), delta=delta)
+        ratios[i] = adv.ratio_of(trace.total_cost)
+    return float(ratios.mean()), ratios
+
+
+def collapse_to_centers(instance: MSPInstance, server_hint: np.ndarray | None = None) -> MSPInstance:
+    """Lemma 5's simplification: each batch becomes ``r`` copies of its center.
+
+    The center is the tie-broken geometric median; since the true tie-break
+    depends on the online server's position (unknown offline), the hint
+    defaults to the instance start — for batches with unique medians (the
+    typical case) the hint is irrelevant.
+    """
+    hint = np.asarray(server_hint if server_hint is not None else instance.start, dtype=np.float64)
+    batches = []
+    for t in range(instance.length):
+        batch = instance.requests[t]
+        if batch.count == 0:
+            batches.append(np.empty((0, instance.dim)))
+            continue
+        c = request_center(batch.points, hint)
+        batches.append(np.tile(c, (batch.count, 1)))
+    seq = RequestSequence(batches, dim=instance.dim)
+    return MSPInstance(
+        seq,
+        start=instance.start,
+        D=instance.D,
+        m=instance.m,
+        cost_model=instance.cost_model,
+        name=f"collapsed({instance.name})",
+    )

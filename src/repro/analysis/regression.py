@@ -1,0 +1,75 @@
+"""Growth-rate fits for the lower-bound experiments.
+
+The lower-bound theorems predict *growth rates* — ratio
+:math:`\\propto \\sqrt{T}`, :math:`\\propto 1/\\delta`,
+:math:`\\propto r/D` — and the reproduction criterion is that measured
+ratios exhibit those exponents/slopes.  This module provides the
+log–log exponent fit and an ordinary linear fit, both with :math:`R^2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_power_law", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A least-squares fit.
+
+    Attributes
+    ----------
+    slope, intercept:
+        Fitted coefficients.  For :func:`fit_power_law` the model is
+        ``log y = slope * log x + intercept`` — ``slope`` *is* the
+        exponent and ``exp(intercept)`` the prefactor.
+    r_squared:
+        Coefficient of determination in the fitted (possibly log) space.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    @property
+    def exponent(self) -> float:
+        """Alias for ``slope`` when used as a power-law fit."""
+        return self.slope
+
+    @property
+    def prefactor(self) -> float:
+        return float(np.exp(self.intercept))
+
+
+def _least_squares(x: np.ndarray, y: np.ndarray) -> FitResult:
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D arrays")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit")
+    A = np.vstack([x, np.ones_like(x)]).T
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    pred = A @ coef
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitResult(slope=float(coef[0]), intercept=float(coef[1]), r_squared=r2)
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> FitResult:
+    """Fit ``y ≈ prefactor * x^exponent`` by least squares in log–log space.
+
+    All inputs must be strictly positive.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires strictly positive data")
+    return _least_squares(np.log(x), np.log(y))
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> FitResult:
+    """Ordinary least-squares line ``y ≈ slope * x + intercept``."""
+    return _least_squares(np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64))

@@ -1,0 +1,68 @@
+"""Summary statistics and bootstrap confidence intervals.
+
+The lower-bound constructions are randomized (Yao instances) and some
+algorithms are randomized too, so every reported ratio is a mean over
+seeds; the bootstrap CI quantifies the sampling noise without normality
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(data: np.ndarray) -> Summary:
+    """Summary statistics of a non-empty 1-D sample."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        median=float(np.median(data)),
+        maximum=float(data.max()),
+    )
+
+
+def bootstrap_ci(
+    data: np.ndarray,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of a sample."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must lie in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    idx = rng.integers(0, data.size, size=(n_boot, data.size))
+    means = data[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha)))

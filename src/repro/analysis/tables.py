@@ -1,0 +1,69 @@
+"""Plain-text table rendering and CSV export.
+
+The benchmark harness prints each experiment's table in a fixed-width
+format (matplotlib is not a dependency); :func:`render_table` is the one
+renderer every experiment uses, so outputs are uniform and greppable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+__all__ = ["render_table", "to_csv"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e5 or (abs(value) < 1e-3 and value != 0.0):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted to ``precision``.
+    title:
+        Optional caption printed above the table.
+    """
+    str_rows = [[_fmt(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """CSV string of the same table (for machine consumption)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()

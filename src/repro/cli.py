@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro`` / ``mobile-server``.
+
+Subcommands
+-----------
+
+``experiments``
+    Run the reproduction experiments and print their tables
+    (``--ids E1 E2 ...``, ``--scale`` to shrink/grow workloads,
+    ``--csv DIR`` to also dump CSVs).
+
+``compare``
+    Quick algorithm comparison on a named workload.
+
+``list``
+    Show registered algorithms and workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS, run_all
+
+    ids = args.ids if args.ids else list(EXPERIMENTS)
+    results = run_all(ids, scale=args.scale, seed=args.seed)
+    all_ok = True
+    for res in results:
+        print(res.render())
+        print()
+        if args.csv:
+            out = Path(args.csv)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{res.experiment_id.lower()}.csv").write_text(res.csv())
+        all_ok &= res.passed
+    print(f"{sum(r.passed for r in results)}/{len(results)} experiments reproduced their predicted shape")
+    return 0 if all_ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .algorithms import available_algorithms, make_algorithm
+    from .analysis import measure_ratio, render_table
+    from .workloads import standard_suite
+
+    suite = standard_suite(T=args.T, dim=args.dim, D=args.D, m=1.0)
+    if args.workload not in suite:
+        print(f"unknown workload {args.workload!r}; available: {', '.join(suite)}", file=sys.stderr)
+        return 2
+    inst = suite[args.workload].generate(np.random.default_rng(args.seed))
+    rows = []
+    for name in available_algorithms():
+        if name == "mtc-moving-client":
+            continue
+        if name == "work-function" and args.dim != 1:
+            continue
+        kwargs = {"prefer": "dp-line"} if args.dim == 1 else {}
+        meas = measure_ratio(inst, make_algorithm(name), delta=args.delta)
+        rows.append([name, meas.cost, meas.ratio_lower, meas.ratio_upper])
+    rows.sort(key=lambda r: r[3])
+    print(render_table(
+        ["algorithm", "cost", "ratio >=", "ratio <="],
+        rows,
+        title=f"{args.workload} (T={args.T}, dim={args.dim}, D={args.D}, delta={args.delta})",
+    ))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .algorithms import available_algorithms
+    from .experiments import EXPERIMENTS
+    from .workloads import standard_suite
+
+    print("algorithms:")
+    for name in available_algorithms():
+        print(f"  {name}")
+    print("workloads:")
+    for name in standard_suite():
+        print(f"  {name}")
+    print("experiments:")
+    for eid in EXPERIMENTS:
+        print(f"  {eid}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mobile-server",
+        description="Reproduction of 'The Mobile Server Problem' (SPAA 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="run reproduction experiments")
+    p_exp.add_argument("--ids", nargs="*", default=None, help="experiment ids (default: all)")
+    p_exp.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--csv", type=str, default="", help="directory for CSV dumps")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_cmp = sub.add_parser("compare", help="compare algorithms on a workload")
+    p_cmp.add_argument("--workload", default="drift")
+    p_cmp.add_argument("--T", type=int, default=300)
+    p_cmp.add_argument("--dim", type=int, default=1)
+    p_cmp.add_argument("--D", type=float, default=4.0)
+    p_cmp.add_argument("--delta", type=float, default=0.5)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_list = sub.add_parser("list", help="list algorithms, workloads, experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

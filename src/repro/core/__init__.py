@@ -1,0 +1,35 @@
+"""Core model of the Mobile Server Problem.
+
+Exports the containers (:class:`RequestBatch`, :class:`RequestSequence`,
+:class:`MSPInstance`, :class:`MovingClientInstance`), the cost models, the
+simulation engine (:func:`simulate`, :func:`replay_cost`) and the trace
+type.
+"""
+
+from .costs import CostAccumulator, CostModel, StepCost, step_cost
+from .instance import MovingClientInstance, MSPInstance
+from .io import load_instance, load_trace, save_instance, save_trace
+from .requests import RequestBatch, RequestSequence
+from .simulator import replay_cost, simulate, simulate_moving_client
+from .trace import Trace
+from .validation import MovementCapViolation
+
+__all__ = [
+    "CostAccumulator",
+    "CostModel",
+    "MSPInstance",
+    "MovementCapViolation",
+    "MovingClientInstance",
+    "RequestBatch",
+    "RequestSequence",
+    "StepCost",
+    "Trace",
+    "load_instance",
+    "load_trace",
+    "replay_cost",
+    "simulate",
+    "save_instance",
+    "save_trace",
+    "simulate_moving_client",
+    "step_cost",
+]

@@ -1,0 +1,122 @@
+"""Cost models of the Mobile Server Problem.
+
+The paper defines two charging schemes for a step in which the server moves
+from :math:`P_t` to :math:`P_{t+1}` and the requests :math:`v_{t,i}` arrive:
+
+* **move-first** (the paper's default, Section 2): the server moves upon
+  seeing the requests and answers them *afterwards*, so the step costs
+
+  .. math:: D\\,d(P_t, P_{t+1}) + \\sum_i d(P_{t+1}, v_{t,i});
+
+* **answer-first** (Section 2, "Answer-First Variant"): requests are served
+  before moving,
+
+  .. math:: \\sum_i d(P_t, v_{t,i}) + D\\,d(P_t, P_{t+1}).
+
+The difference looks cosmetic but changes the achievable competitive ratio
+from :math:`O(1/\\delta^{3/2})` to :math:`\\Theta(r/D)`-dependent (Theorems 3
+and 7), so both are first-class here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import distance
+from .requests import RequestBatch
+
+__all__ = ["CostModel", "StepCost", "step_cost", "CostAccumulator"]
+
+
+class CostModel(enum.Enum):
+    """Which position answers the requests of a step."""
+
+    MOVE_FIRST = "move-first"
+    ANSWER_FIRST = "answer-first"
+
+    @property
+    def serves_after_move(self) -> bool:
+        return self is CostModel.MOVE_FIRST
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Cost breakdown of a single step.
+
+    Attributes
+    ----------
+    movement:
+        :math:`D \\cdot d(P_t, P_{t+1})` — weighted movement cost.
+    service:
+        :math:`\\sum_i d(P, v_{t,i})` with :math:`P` chosen per the model.
+    distance_moved:
+        Raw (unweighted) distance :math:`d(P_t, P_{t+1})`.
+    """
+
+    movement: float
+    service: float
+    distance_moved: float
+
+    @property
+    def total(self) -> float:
+        return self.movement + self.service
+
+
+def step_cost(
+    old_position: np.ndarray,
+    new_position: np.ndarray,
+    batch: RequestBatch,
+    D: float,
+    model: CostModel = CostModel.MOVE_FIRST,
+) -> StepCost:
+    """Cost of one step under the given model.
+
+    Parameters
+    ----------
+    old_position, new_position:
+        Server positions :math:`P_t` and :math:`P_{t+1}`.
+    batch:
+        Requests of the step.
+    D:
+        Movement weight (page size); the paper assumes :math:`D \\ge 1`.
+    model:
+        Which position serves the requests.
+    """
+    moved = distance(old_position, new_position)
+    serving_pos = new_position if model.serves_after_move else old_position
+    service = batch.service_cost(serving_pos)
+    return StepCost(movement=D * moved, service=service, distance_moved=moved)
+
+
+class CostAccumulator:
+    """Running totals over a simulation; avoids re-summing trace arrays."""
+
+    __slots__ = ("movement", "service", "distance_moved", "steps")
+
+    def __init__(self) -> None:
+        self.movement = 0.0
+        self.service = 0.0
+        self.distance_moved = 0.0
+        self.steps = 0
+
+    def add(self, cost: StepCost) -> None:
+        self.movement += cost.movement
+        self.service += cost.service
+        self.distance_moved += cost.distance_moved
+        self.steps += 1
+
+    @property
+    def total(self) -> float:
+        return self.movement + self.service
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "total": self.total,
+            "movement": self.movement,
+            "service": self.service,
+            "distance_moved": self.distance_moved,
+            "steps": float(self.steps),
+        }

@@ -1,0 +1,191 @@
+"""Vectorized Euclidean geometry primitives.
+
+The Mobile Server Problem lives in the Euclidean space :math:`\\mathbb{R}^d`
+for an arbitrary dimension ``d``.  Throughout the library a *point* is a
+one-dimensional ``float64`` NumPy array of shape ``(d,)`` and a *batch of
+points* (e.g. the requests of one time step) is a two-dimensional array of
+shape ``(r, d)``.  All helpers in this module accept plain Python sequences
+and normalise them once; hot paths operate on views without copying.
+
+The only geometric operations the model needs are distances, directed
+clamped moves (the server may travel at most a fixed distance per step) and
+segment interpolation; they are collected here so that every algorithm,
+adversary and analysis module shares one well-tested implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_point",
+    "as_points",
+    "distance",
+    "distances_to",
+    "pairwise_distances",
+    "norm",
+    "direction",
+    "move_towards",
+    "clamp_step",
+    "interpolate",
+    "total_path_length",
+    "centroid",
+    "bounding_box",
+    "EPS",
+]
+
+#: Absolute tolerance used when validating movement-cap constraints.  The
+#: simulator allows moves to exceed the cap by ``EPS * (1 + cap)`` to absorb
+#: floating-point round-off in ``direction``/``move_towards`` chains.
+EPS: float = 1e-9
+
+
+def as_point(p: Sequence[float] | np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Return ``p`` as a float64 vector of shape ``(d,)``.
+
+    Parameters
+    ----------
+    p:
+        A scalar (treated as a 1-D point), sequence, or array.
+    dim:
+        If given, validate that the point has exactly this dimension.
+
+    Raises
+    ------
+    ValueError
+        If ``p`` is not interpretable as a single point or the dimension
+        does not match ``dim``.
+    """
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a single point, got array of shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise ValueError(f"expected dimension {dim}, got {arr.shape[0]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"point contains non-finite coordinates: {arr}")
+    return arr
+
+
+def as_points(ps: Iterable[Sequence[float]] | np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Return ``ps`` as a float64 batch of shape ``(r, d)``.
+
+    A single point is promoted to a batch of one.  An empty input yields an
+    array of shape ``(0, dim or 0)``.
+    """
+    arr = np.asarray(ps, dtype=np.float64)
+    if arr.size == 0:
+        d = dim if dim is not None else (arr.shape[-1] if arr.ndim == 2 else 0)
+        return np.empty((0, d), dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a batch of points, got array of shape {arr.shape}")
+    if dim is not None and arr.shape[1] != dim:
+        raise ValueError(f"expected dimension {dim}, got {arr.shape[1]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("point batch contains non-finite coordinates")
+    return arr
+
+
+def norm(v: np.ndarray) -> float:
+    """Euclidean norm of a vector, as a Python float."""
+    return float(np.sqrt(np.dot(v, v)))
+
+
+def distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two points."""
+    d = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    return float(np.sqrt(np.dot(d, d)))
+
+
+def distances_to(p: np.ndarray, batch: np.ndarray) -> np.ndarray:
+    """Distances from point ``p`` to each row of ``batch``; shape ``(r,)``.
+
+    This is the hot path of request answering: one subtraction, one square,
+    one reduction — no Python-level loop.
+    """
+    diff = batch - p
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def pairwise_distances(batch_a: np.ndarray, batch_b: np.ndarray) -> np.ndarray:
+    """All pairwise distances; shape ``(len(a), len(b))``."""
+    diff = batch_a[:, None, :] - batch_b[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def direction(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Unit vector from ``src`` towards ``dst``; zero vector if coincident."""
+    v = dst - src
+    n = np.sqrt(np.dot(v, v))
+    if n <= 0.0:
+        return np.zeros_like(v)
+    return v / n
+
+
+def move_towards(src: np.ndarray, dst: np.ndarray, step: float) -> np.ndarray:
+    """Move from ``src`` towards ``dst`` by at most ``step``.
+
+    Returns ``dst`` itself (not a copy of ``src``) when the target is within
+    reach, so that repeated calls converge exactly.
+    """
+    if step < 0.0:
+        raise ValueError(f"step must be non-negative, got {step}")
+    v = dst - src
+    n = np.sqrt(np.dot(v, v))
+    if n <= step:
+        return np.array(dst, dtype=np.float64, copy=True)
+    return src + (step / n) * v
+
+
+def clamp_step(src: np.ndarray, dst: np.ndarray, cap: float) -> np.ndarray:
+    """Clamp a proposed move ``src -> dst`` to the movement cap ``cap``.
+
+    Unlike :func:`move_towards` this treats ``dst`` as the *intended*
+    destination of one round and never overshoots: when the destination is
+    within the cap it is returned unchanged, otherwise the move is cut at
+    distance ``cap`` along the segment.
+    """
+    return move_towards(src, dst, cap)
+
+
+def interpolate(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
+    """Affine interpolation ``(1 - t) * a + t * b``."""
+    return (1.0 - t) * a + t * b
+
+
+def total_path_length(path: np.ndarray) -> float:
+    """Total Euclidean length of a polyline given as an ``(n, d)`` array."""
+    path = np.asarray(path, dtype=np.float64)
+    if path.ndim != 2 or path.shape[0] < 2:
+        return 0.0
+    seg = np.diff(path, axis=0)
+    return float(np.sqrt(np.einsum("ij,ij->i", seg, seg)).sum())
+
+
+def centroid(batch: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """(Weighted) arithmetic mean of a batch of points."""
+    batch = as_points(batch)
+    if batch.shape[0] == 0:
+        raise ValueError("centroid of an empty batch is undefined")
+    if weights is None:
+        return batch.mean(axis=0)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (batch.shape[0],):
+        raise ValueError("weights must have one entry per point")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    return (weights[:, None] * batch).sum(axis=0) / total
+
+
+def bounding_box(batch: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Axis-aligned bounding box ``(lo, hi)`` of a non-empty batch."""
+    batch = as_points(batch)
+    if batch.shape[0] == 0:
+        raise ValueError("bounding box of an empty batch is undefined")
+    return batch.min(axis=0), batch.max(axis=0)

@@ -1,0 +1,175 @@
+"""Problem-instance containers.
+
+An *instance* of the Mobile Server Problem bundles everything needed to
+evaluate an algorithm: the request sequence, the starting position
+:math:`P_0`, the movement weight :math:`D`, the per-step movement cap
+:math:`m`, and the cost model.  The *moving-client* variant of Section 5
+additionally carries the agent's speed limit so that generators and
+validators can check the agent trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from .costs import CostModel
+from .geometry import EPS, as_point, distance
+from .requests import RequestSequence
+
+__all__ = ["MSPInstance", "MovingClientInstance"]
+
+
+@dataclass(frozen=True)
+class MSPInstance:
+    """One input to the Mobile Server Problem.
+
+    Attributes
+    ----------
+    requests:
+        The request sequence (possibly ragged).
+    start:
+        Initial server position :math:`P_0`; shape ``(d,)``.
+    D:
+        Movement weight (page size), :math:`D \\ge 1`.
+    m:
+        Maximum distance the *offline* server may move per step.  Online
+        algorithms running with resource augmentation :math:`(1+\\delta)`
+        may move up to :math:`(1+\\delta) m`.
+    cost_model:
+        Move-first (default) or answer-first charging.
+    name:
+        Optional human-readable tag used in reports.
+    """
+
+    requests: RequestSequence
+    start: np.ndarray
+    D: float = 1.0
+    m: float = 1.0
+    cost_model: CostModel = CostModel.MOVE_FIRST
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", as_point(self.start, dim=self.requests.dim))
+        if self.D < 1.0:
+            raise ValueError(f"the paper assumes D >= 1, got D={self.D}")
+        if self.m <= 0.0:
+            raise ValueError(f"movement cap m must be positive, got m={self.m}")
+
+    @property
+    def dim(self) -> int:
+        return self.requests.dim
+
+    @property
+    def length(self) -> int:
+        """Sequence length ``T``."""
+        return self.requests.length
+
+    def online_cap(self, delta: float) -> float:
+        """Movement cap :math:`(1+\\delta) m` of an augmented online server."""
+        if delta < 0.0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        return (1.0 + delta) * self.m
+
+    def with_cost_model(self, model: CostModel) -> "MSPInstance":
+        """Copy of this instance under a different cost model."""
+        return replace(self, cost_model=model)
+
+    def with_requests(self, requests: RequestSequence) -> "MSPInstance":
+        return replace(self, requests=requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"MSPInstance({tag} T={self.length}, dim={self.dim}, D={self.D}, "
+            f"m={self.m}, model={self.cost_model.value})"
+        )
+
+
+@dataclass(frozen=True)
+class MovingClientInstance:
+    """The Moving Client variant (Section 5).
+
+    A single agent starts at the server's position and moves at most
+    ``m_agent`` per step; in round ``t`` the agent position :math:`A_t` is
+    revealed, then the server moves (cap ``m_server``), then pays
+    :math:`d(P_t, A_t)`.  This is exactly the move-first model with one
+    request per step, plus a validated speed constraint on the request
+    trajectory, so :meth:`as_msp` lowers it to a plain :class:`MSPInstance`.
+
+    Attributes
+    ----------
+    agent_path:
+        ``(T, d)`` array of agent positions :math:`A_1..A_T`.
+    start:
+        Common starting point :math:`P_0 = A_0`.
+    m_server, m_agent:
+        Per-step speed limits :math:`m_s` and :math:`m_a`.
+    """
+
+    agent_path: np.ndarray
+    start: np.ndarray
+    D: float = 1.0
+    m_server: float = 1.0
+    m_agent: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        path = np.asarray(self.agent_path, dtype=np.float64)
+        if path.ndim != 2:
+            raise ValueError(f"agent_path must be (T, d), got shape {path.shape}")
+        object.__setattr__(self, "agent_path", path)
+        object.__setattr__(self, "start", as_point(self.start, dim=path.shape[1]))
+        if self.D < 1.0:
+            raise ValueError(f"the paper assumes D >= 1, got D={self.D}")
+        if self.m_server <= 0 or self.m_agent <= 0:
+            raise ValueError("speed limits must be positive")
+        self.validate_agent_speed()
+
+    @property
+    def dim(self) -> int:
+        return int(self.agent_path.shape[1])
+
+    @property
+    def length(self) -> int:
+        return int(self.agent_path.shape[0])
+
+    @property
+    def epsilon(self) -> float:
+        """Speed advantage :math:`\\varepsilon` with :math:`m_a = (1+\\varepsilon) m_s`."""
+        return self.m_agent / self.m_server - 1.0
+
+    def validate_agent_speed(self) -> None:
+        """Raise if the agent trajectory exceeds its speed limit anywhere."""
+        if self.length == 0:
+            return
+        prev = np.vstack([self.start, self.agent_path[:-1]])
+        seg = self.agent_path - prev
+        lengths = np.sqrt(np.einsum("ij,ij->i", seg, seg))
+        tol = self.m_agent * (1.0 + 1e-9) + EPS
+        bad = np.nonzero(lengths > tol)[0]
+        if bad.size:
+            t = int(bad[0])
+            raise ValueError(
+                f"agent moves {lengths[t]:.6g} > m_agent={self.m_agent} at step {t}"
+            )
+
+    def as_msp(self, cost_model: CostModel = CostModel.MOVE_FIRST) -> MSPInstance:
+        """Lower to a plain MSP instance with one request per step."""
+        seq = RequestSequence.single_requests(self.agent_path)
+        return MSPInstance(
+            requests=seq,
+            start=self.start,
+            D=self.D,
+            m=self.m_server,
+            cost_model=cost_model,
+            name=self.name or "moving-client",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MovingClientInstance(T={self.length}, dim={self.dim}, D={self.D}, "
+            f"m_server={self.m_server}, m_agent={self.m_agent})"
+        )

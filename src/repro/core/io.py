@@ -1,0 +1,116 @@
+"""Persistence of instances and traces.
+
+Experiments that take minutes to generate should be storable: this module
+saves/loads :class:`~repro.core.instance.MSPInstance` and
+:class:`~repro.core.trace.Trace` objects as ``.npz`` archives (raw arrays,
+ragged sequences flattened with an offsets vector) with model parameters in
+a JSON sidecar entry.  Round-tripping is exact: every float is preserved
+bit-for-bit, so replayed costs match to the last ulp.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .costs import CostModel
+from .instance import MSPInstance
+from .requests import RequestSequence
+from .trace import Trace
+
+__all__ = ["save_instance", "load_instance", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_instance(instance: MSPInstance, path: str | Path) -> Path:
+    """Write an instance to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    seq = instance.requests
+    flat = seq.all_points()
+    offsets = np.concatenate([[0], np.cumsum(seq.counts)]).astype(np.int64)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "instance",
+        "D": instance.D,
+        "m": instance.m,
+        "cost_model": instance.cost_model.value,
+        "name": instance.name,
+        "dim": instance.dim,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        flat_points=flat,
+        offsets=offsets,
+        start=instance.start,
+    )
+    return path
+
+
+def _read_meta(data: np.lib.npyio.NpzFile, expected_kind: str) -> dict:
+    meta = json.loads(bytes(data["meta"].tobytes()).decode())
+    if meta.get("kind") != expected_kind:
+        raise ValueError(f"expected a saved {expected_kind}, found {meta.get('kind')!r}")
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {meta.get('format_version')}")
+    return meta
+
+
+def load_instance(path: str | Path) -> MSPInstance:
+    """Read an instance saved by :func:`save_instance`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data, "instance")
+        flat = data["flat_points"]
+        offsets = data["offsets"]
+        start = data["start"]
+    batches = [flat[offsets[i]:offsets[i + 1]] for i in range(offsets.shape[0] - 1)]
+    seq = RequestSequence(batches, dim=int(meta["dim"]))
+    return MSPInstance(
+        requests=seq,
+        start=start,
+        D=float(meta["D"]),
+        m=float(meta["m"]),
+        cost_model=CostModel(meta["cost_model"]),
+        name=str(meta["name"]),
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "trace",
+        "algorithm": trace.algorithm,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        positions=trace.positions,
+        movement_costs=trace.movement_costs,
+        service_costs=trace.service_costs,
+        distances_moved=trace.distances_moved,
+        request_counts=trace.request_counts,
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace saved by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data, "trace")
+        return Trace(
+            positions=data["positions"].copy(),
+            movement_costs=data["movement_costs"].copy(),
+            service_costs=data["service_costs"].copy(),
+            distances_moved=data["distances_moved"].copy(),
+            request_counts=data["request_counts"].copy(),
+            algorithm=str(meta["algorithm"]),
+        )

@@ -1,0 +1,205 @@
+"""Request batches and request sequences.
+
+In every time step ``t`` of the Mobile Server Problem an arbitrary finite
+number :math:`r_t` of requests pops up at points
+:math:`v_{t,1},\\dots,v_{t,r_t}` of the Euclidean space.  This module
+provides the two containers used everywhere else:
+
+* :class:`RequestBatch` — the requests of one step, an ``(r, d)`` array
+  with convenience accessors;
+* :class:`RequestSequence` — the full (possibly ragged) sequence, with an
+  optional packed ``(T, r, d)`` fast path when every step has the same
+  number of requests (the case analysed in Section 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .geometry import as_points, distances_to
+
+__all__ = ["RequestBatch", "RequestSequence"]
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """The requests of a single time step.
+
+    Attributes
+    ----------
+    points:
+        ``(r, d)`` float64 array; one row per requesting client.  May be
+        empty (``r = 0``) — steps without requests are legal and only incur
+        movement cost.
+    """
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", as_points(self.points))
+
+    @property
+    def count(self) -> int:
+        """Number of requests ``r`` in this step."""
+        return int(self.points.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the ambient space."""
+        return int(self.points.shape[1])
+
+    def service_cost(self, position: np.ndarray) -> float:
+        """Total cost of answering every request from ``position``.
+
+        This is :math:`\\sum_i d(P, v_i)` — the per-step serving term of the
+        paper's cost function.
+        """
+        if self.count == 0:
+            return 0.0
+        return float(distances_to(position, self.points).sum())
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class RequestSequence:
+    """A full input sequence :math:`v_{1,\\cdot},\\dots,v_{T,\\cdot}`.
+
+    The sequence may be *ragged* (varying :math:`r_t`).  When all steps have
+    the same request count the batches are additionally packed into a single
+    ``(T, r, d)`` array, exposed as :attr:`packed`, which the simulator uses
+    to avoid per-step allocation.
+
+    Parameters
+    ----------
+    batches:
+        Iterable of ``(r_t, d)`` arrays or :class:`RequestBatch` objects.
+    dim:
+        Ambient dimension; inferred from the first non-empty batch when
+        omitted, required when all batches are empty.
+    """
+
+    def __init__(
+        self,
+        batches: Iterable[np.ndarray | RequestBatch | Sequence[Sequence[float]]],
+        dim: int | None = None,
+    ) -> None:
+        normalised: list[RequestBatch] = []
+        for b in batches:
+            if isinstance(b, RequestBatch):
+                normalised.append(b)
+            else:
+                normalised.append(RequestBatch(as_points(b, dim=None)))
+        if dim is None:
+            for b in normalised:
+                if b.count > 0:
+                    dim = b.dim
+                    break
+        if dim is None:
+            raise ValueError("cannot infer dimension from an all-empty sequence; pass dim=")
+        for t, b in enumerate(normalised):
+            if b.count > 0 and b.dim != dim:
+                raise ValueError(f"batch {t} has dimension {b.dim}, expected {dim}")
+        # Re-shape empty batches so every batch agrees on d.
+        self._batches: list[RequestBatch] = [
+            b if b.count > 0 else RequestBatch(np.empty((0, dim))) for b in normalised
+        ]
+        self._dim = int(dim)
+        counts = np.array([b.count for b in self._batches], dtype=np.int64)
+        self._counts = counts
+        self._packed: np.ndarray | None = None
+        if len(self._batches) > 0 and counts.size > 0 and np.all(counts == counts[0]) and counts[0] > 0:
+            self._packed = np.stack([b.points for b in self._batches])
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_packed(cls, packed: np.ndarray) -> "RequestSequence":
+        """Build a fixed-``r`` sequence from a ``(T, r, d)`` array."""
+        packed = np.asarray(packed, dtype=np.float64)
+        if packed.ndim == 2:  # (T, d): one request per step
+            packed = packed[:, None, :]
+        if packed.ndim != 3:
+            raise ValueError(f"expected (T, r, d) array, got shape {packed.shape}")
+        return cls(list(packed), dim=packed.shape[2])
+
+    @classmethod
+    def single_requests(cls, points: np.ndarray) -> "RequestSequence":
+        """Build a one-request-per-step sequence from a ``(T, d)`` array."""
+        return cls.from_packed(np.asarray(points, dtype=np.float64))
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def length(self) -> int:
+        """Number of time steps ``T``."""
+        return len(self._batches)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """``(T,)`` int array of per-step request counts :math:`r_t`."""
+        return self._counts
+
+    @property
+    def r_min(self) -> int:
+        """Minimum requests per step (``R_min`` in the paper)."""
+        return int(self._counts.min()) if self.length else 0
+
+    @property
+    def r_max(self) -> int:
+        """Maximum requests per step (``R_max`` in the paper)."""
+        return int(self._counts.max()) if self.length else 0
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every step has the same (positive) request count."""
+        return self._packed is not None
+
+    @property
+    def packed(self) -> np.ndarray | None:
+        """``(T, r, d)`` view for uniform sequences, else ``None``."""
+        return self._packed
+
+    def total_requests(self) -> int:
+        return int(self._counts.sum())
+
+    def all_points(self) -> np.ndarray:
+        """All request points concatenated into one ``(N, d)`` array."""
+        if self.length == 0:
+            return np.empty((0, self._dim))
+        return np.concatenate([b.points for b in self._batches], axis=0)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, t: int) -> RequestBatch:
+        return self._batches[t]
+
+    def __iter__(self) -> Iterator[RequestBatch]:
+        return iter(self._batches)
+
+    def slice(self, start: int, stop: int) -> "RequestSequence":
+        """Sub-sequence of steps ``start:stop`` (shares the batch arrays)."""
+        return RequestSequence(self._batches[start:stop], dim=self._dim)
+
+    def concat(self, other: "RequestSequence") -> "RequestSequence":
+        """Concatenate two sequences of equal dimension."""
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch in concat")
+        return RequestSequence(self._batches + list(other), dim=self._dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestSequence(T={self.length}, dim={self._dim}, "
+            f"r_min={self.r_min}, r_max={self.r_max})"
+        )

@@ -1,0 +1,54 @@
+"""Run-time validation of model constraints.
+
+The simulator enforces the movement cap on every step; violations raise
+:class:`MovementCapViolation` rather than silently producing incomparable
+costs.  A small relative tolerance absorbs floating-point round-off from
+the direction/clamp arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import distance
+
+__all__ = ["MovementCapViolation", "check_move", "cap_tolerance"]
+
+
+class MovementCapViolation(RuntimeError):
+    """An algorithm tried to move its server further than its cap allows."""
+
+    def __init__(self, step: int, moved: float, cap: float, algorithm: str = "") -> None:
+        self.step = step
+        self.moved = moved
+        self.cap = cap
+        self.algorithm = algorithm
+        tag = f" by {algorithm!r}" if algorithm else ""
+        super().__init__(
+            f"movement cap violated{tag} at step {step}: moved {moved:.9g} > cap {cap:.9g}"
+        )
+
+
+def cap_tolerance(cap: float, rel: float = 1e-9, absolute: float = 1e-12) -> float:
+    """Permitted overshoot of the cap due to floating point."""
+    return cap * rel + absolute
+
+
+def check_move(
+    step: int,
+    old_position: np.ndarray,
+    new_position: np.ndarray,
+    cap: float,
+    algorithm: str = "",
+) -> float:
+    """Validate one move and return the distance travelled.
+
+    Raises
+    ------
+    MovementCapViolation
+        If the move exceeds ``cap`` beyond floating-point tolerance.
+    """
+    moved = distance(old_position, new_position)
+    if moved > cap + cap_tolerance(cap):
+        raise MovementCapViolation(step, moved, cap, algorithm)
+    return moved

@@ -1,0 +1,62 @@
+"""Experiment harness: one module per reproduced theorem/lemma.
+
+``EXPERIMENTS`` maps experiment ids to their ``run(scale, seed)``
+callables; :func:`run_all` executes a subset and returns the results.
+"""
+
+from typing import Callable, Dict
+
+from . import (
+    e1_thm1,
+    e2_thm2,
+    e3_thm3,
+    e4_mtc_line,
+    e5_mtc_plane,
+    e6_answer_first,
+    e7_moving_client_lb,
+    e8_moving_client_mtc,
+    e9_lemma6,
+    e10_lemma5,
+    e11_potential,
+    e12_ablation,
+    e13_baselines,
+    e14_multi_agent,
+    e15_multi_server,
+    e16_facility,
+    e17_dimension,
+)
+from .runner import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e1_thm1.run,
+    "E2": e2_thm2.run,
+    "E3": e3_thm3.run,
+    "E4": e4_mtc_line.run,
+    "E5": e5_mtc_plane.run,
+    "E6": e6_answer_first.run,
+    "E7": e7_moving_client_lb.run,
+    "E8": e8_moving_client_mtc.run,
+    "E9": e9_lemma6.run,
+    "E10": e10_lemma5.run,
+    "E11": e11_potential.run,
+    "E12": e12_ablation.run,
+    "E13": e13_baselines.run,
+    "E14": e14_multi_agent.run,
+    "E15": e15_multi_server.run,
+    "E16": e16_facility.run,
+    "E17": e17_dimension.run,
+}
+
+
+def run_all(ids: list[str] | None = None, scale: float = 1.0, seed: int = 0) -> list[ExperimentResult]:
+    """Run the named experiments (all by default) and return their results."""
+    chosen = ids if ids is not None else list(EXPERIMENTS)
+    results = []
+    for eid in chosen:
+        if eid not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {eid!r}; available: {', '.join(EXPERIMENTS)}")
+        results.append(EXPERIMENTS[eid](scale=scale, seed=seed))
+    return results
+
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_all"]

@@ -1,0 +1,82 @@
+"""E16 (extension) — mobile Online Facility Location (conclusion's hint).
+
+Compares classical Meyerson (static facilities) with the mobile variant
+(same opening rule + capped MtC drift) on:
+
+* a drifting workload — mobility must reduce total cost (facilities follow
+  the demand instead of strewing a trail of stale ones);
+* a stationary clustered workload — mobility must not lose (the drift is
+  damped, so facilities settle onto the cluster medians).
+
+Both are averaged over seeds; the reported ratio is
+``cost(static) / cost(mobile)`` (> 1 means mobility wins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..extensions import MeyersonStatic, MobileMeyerson, simulate_facilities
+from .runner import ExperimentResult, scaled
+
+__all__ = ["run"]
+
+
+def _drift_batches(T: int, rng: np.random.Generator) -> list[np.ndarray]:
+    pos = np.zeros(2)
+    u = rng.normal(size=2)
+    u /= np.linalg.norm(u)
+    out = []
+    for _ in range(T):
+        pos = pos + 0.6 * u
+        out.append(pos[None, :] + rng.normal(scale=0.4, size=(3, 2)))
+    return out
+
+
+def _stationary_batches(T: int, rng: np.random.Generator) -> list[np.ndarray]:
+    centers = rng.uniform(-8, 8, size=(3, 2))
+    out = []
+    for _ in range(T):
+        c = centers[rng.integers(0, 3)]
+        out.append(c[None, :] + rng.normal(scale=0.4, size=(3, 2)))
+    return out
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    T = scaled(250, scale, minimum=80)
+    f = 30.0
+    D = 1.0
+    n_seeds = scaled(5, scale, minimum=3)
+    rows = []
+    wins = {}
+    for wl_name, gen in (("drift", _drift_batches), ("stationary", _stationary_batches)):
+        static_costs, mobile_costs, static_n, mobile_n = [], [], [], []
+        for s in range(n_seeds):
+            batches = gen(T, np.random.default_rng(seed * 100 + s))
+            st = simulate_facilities(batches, MeyersonStatic(np.random.default_rng(s)),
+                                     f=f, D=D, m=1.0)
+            mo = simulate_facilities(batches, MobileMeyerson(np.random.default_rng(s)),
+                                     f=f, D=D, m=1.0)
+            static_costs.append(st.total_cost)
+            mobile_costs.append(mo.total_cost)
+            static_n.append(st.n_facilities)
+            mobile_n.append(mo.n_facilities)
+        advantage = float(np.mean(static_costs) / np.mean(mobile_costs))
+        wins[wl_name] = advantage
+        rows.append([wl_name, float(np.mean(static_costs)), float(np.mean(static_n)),
+                     float(np.mean(mobile_costs)), float(np.mean(mobile_n)), advantage])
+    ok = wins["drift"] > 1.1 and wins["stationary"] > 0.9
+    notes = [
+        "criterion: facility mobility wins clearly on drift (advantage > 1.1) and does "
+        "not lose on stationary demand (advantage > 0.9) — the conclusion's conjecture",
+        f"drift advantage x{wins['drift']:.2f}; stationary advantage x{wins['stationary']:.2f}",
+    ]
+    return ExperimentResult(
+        experiment_id="E16",
+        title="Extension: mobile Online Facility Location (Meyerson + capped drift)",
+        headers=["workload", "static cost", "static #fac", "mobile cost", "mobile #fac",
+                 "static/mobile"],
+        rows=rows,
+        notes=notes,
+        passed=ok,
+    )

@@ -1,0 +1,68 @@
+"""E7 — Theorem 8: a faster agent forces ratio Ω(√T · ε/(1+ε)).
+
+Sweeps ``T`` and ε on the Theorem-8 moving-client construction, measuring
+the moving-client MtC (which is optimal-in-spirit here: full-speed chase
+once behind) and fitting the growth exponent in ``T``.
+
+Reproduction criterion: fitted exponent ≈ 0.5 at each ε, and at fixed T
+the ratio grows with ε/(1+ε).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adversaries import build_thm8
+from ..algorithms import MovingClientMtC
+from ..analysis import fit_power_law, measure_adversarial_ratio
+from .runner import ExperimentResult, scaled
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    Ts = [256, 1024, 4096]
+    if scale > 1.5:
+        Ts.append(16384)
+    epsilons = [0.25, 1.0]
+    n_seeds = scaled(6, scale, minimum=3)
+    rows = []
+    fits = {}
+    for eps in epsilons:
+        means = []
+        for T in Ts:
+            seeds = [seed * 1000 + i for i in range(n_seeds)]
+            mean, _ = measure_adversarial_ratio(
+                lambda rng, T=T, eps=eps: build_thm8(T, epsilon=eps, rng=rng),
+                MovingClientMtC,
+                delta=0.0,
+                seeds=seeds,
+            )
+            rows.append([eps, T, mean, float(np.sqrt(T) * eps / (1 + eps))])
+            means.append(mean)
+        fits[eps] = fit_power_law(np.array(Ts, dtype=float), np.array(means))
+    notes = [
+        "criterion: moving-client ratio ~ sqrt(T) * eps/(1+eps) when m_a=(1+eps)m_s (Thm 8)",
+    ]
+    ok = True
+    for eps, fit in fits.items():
+        notes.append(
+            f"eps={eps:g}: exponent in T = {fit.exponent:.3f} (R^2={fit.r_squared:.3f}); predicted 0.5"
+        )
+        if not (0.3 <= fit.exponent <= 0.7):
+            ok = False
+    # Monotonicity in eps at the largest T.
+    T_big = Ts[-1]
+    r_small = [r[2] for r in rows if r[0] == epsilons[0] and r[1] == T_big][0]
+    r_big = [r[2] for r in rows if r[0] == epsilons[-1] and r[1] == T_big][0]
+    notes.append(f"eps effect at T={T_big}: ratio {r_small:.2f} (eps={epsilons[0]}) vs {r_big:.2f} (eps={epsilons[-1]})")
+    if r_big <= r_small:
+        ok = False
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Thm 8: moving-client lower bound ~ sqrt(T)*eps/(1+eps) for a faster agent",
+        headers=["eps", "T", "ratio(MtC-mc)", "sqrt(T)*eps/(1+eps)"],
+        rows=rows,
+        notes=notes,
+        passed=ok,
+    )

@@ -1,0 +1,62 @@
+"""Experiment harness plumbing.
+
+Every experiment module exposes ``run(scale=1.0, seed=0) -> ExperimentResult``.
+``scale`` shrinks/grows the workload sizes so the same code serves both the
+benchmark suite (fast, ``scale<=1``) and full CLI runs; ``seed`` makes the
+whole experiment deterministic.
+
+Results carry the rendered table plus free-form notes in which each
+experiment states the *reproduction criterion* (the shape the paper
+predicts) and whether the run met it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..analysis.tables import render_table, to_csv
+
+__all__ = ["ExperimentResult", "scaled"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id (``"E1"``, ..., matching DESIGN.md's index).
+    title:
+        Human-readable description including the theorem reproduced.
+    headers, rows:
+        The regenerated table.
+    notes:
+        Reproduction criterion, fitted exponents, pass/fail remarks.
+    passed:
+        Whether the run met the paper's predicted shape.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]]
+    notes: list[str] = field(default_factory=list)
+    passed: bool = True
+
+    def render(self, precision: int = 3) -> str:
+        txt = render_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}",
+                           precision=precision)
+        if self.notes:
+            txt += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        txt += f"\n  reproduced: {'YES' if self.passed else 'NO'}"
+        return txt
+
+    def csv(self) -> str:
+        return to_csv(self.headers, self.rows)
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer workload parameter, keeping a sane floor."""
+    return max(minimum, int(round(value * scale)))

@@ -1,0 +1,39 @@
+"""Extensions the paper explicitly flags as next steps.
+
+* :mod:`repro.extensions.multi_agent` — Section 5's "multiple agents"
+  remark, made concrete (instance type + generalised MtC);
+* :mod:`repro.extensions.multi_server` — the conclusion's capped k-server
+  ("Page Migration with multiple pages"): strategies + exact 2-server DP;
+* :mod:`repro.extensions.facility` — the conclusion's mobile Online
+  Facility Location (Meyerson's rule + capped facility drift).
+"""
+
+from .facility import FacilityTrace, MeyersonStatic, MobileMeyerson, simulate_facilities
+from .multi_agent import MultiAgentInstance, MultiAgentMtC
+from .multi_server import (
+    CappedDoubleCoverage,
+    KGreedyCenters,
+    KMoveToCenter,
+    KServerTrace,
+    MultiServerAlgorithm,
+    TwoServerDPResult,
+    simulate_k_servers,
+    solve_two_servers_line,
+)
+
+__all__ = [
+    "CappedDoubleCoverage",
+    "FacilityTrace",
+    "KGreedyCenters",
+    "KMoveToCenter",
+    "KServerTrace",
+    "MeyersonStatic",
+    "MobileMeyerson",
+    "MultiAgentInstance",
+    "MultiAgentMtC",
+    "MultiServerAlgorithm",
+    "TwoServerDPResult",
+    "simulate_facilities",
+    "simulate_k_servers",
+    "solve_two_servers_line",
+]

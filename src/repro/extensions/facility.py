@@ -1,0 +1,194 @@
+"""Mobile Online Facility Location (the conclusion's second proposal).
+
+The paper's conclusion suggests that "in problems like the Online Facility
+Location Problem, [limited movement] might give possibilities to the
+online algorithms to slightly improve upon decisions where to open a
+facility".  This module builds the minimal version of that model:
+
+* requests arrive online, one batch per step, each served by its nearest
+  *open facility* at distance cost;
+* opening a facility costs ``f``;
+* in the **mobile** variant every open facility may additionally move up
+  to ``m`` per step at cost ``D`` per unit (in the static variant
+  facilities are frozen where they opened — classical OFL).
+
+Algorithms:
+
+* :class:`MeyersonStatic` — the classical randomized O(log n)-competitive
+  rule: open at a request with probability ``min(1, d/f)`` where ``d`` is
+  its current service distance;
+* :class:`MobileMeyerson` — the same opening rule plus MtC-style drift:
+  each facility moves (damped, capped) towards the median of the requests
+  it currently serves, amortising placement mistakes exactly as the
+  conclusion anticipates.
+
+Experiment E16 measures both on drifting workloads, where mobility must
+win, and on stationary ones, where it must not lose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.geometry import distances_to, move_towards
+from ..median import request_center
+
+__all__ = ["FacilityTrace", "MeyersonStatic", "MobileMeyerson", "simulate_facilities"]
+
+
+@dataclass
+class FacilityTrace:
+    """Outcome of a facility-location run.
+
+    Attributes
+    ----------
+    opening_costs, movement_costs, service_costs:
+        ``(T,)`` per-step totals.
+    facility_history:
+        Final facility positions, ``(n_facilities, d)``.
+    """
+
+    opening_costs: np.ndarray
+    movement_costs: np.ndarray
+    service_costs: np.ndarray
+    facility_history: np.ndarray
+    algorithm: str = ""
+
+    @property
+    def total_cost(self) -> float:
+        return float(
+            self.opening_costs.sum() + self.movement_costs.sum() + self.service_costs.sum()
+        )
+
+    @property
+    def n_facilities(self) -> int:
+        return int(self.facility_history.shape[0])
+
+
+class MeyersonStatic:
+    """Classical Meyerson: open at a request w.p. ``min(1, d/f)``; never move."""
+
+    name = "meyerson-static"
+    mobile = False
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+
+class MobileMeyerson(MeyersonStatic):
+    """Meyerson's opening rule + capped MtC drift of open facilities.
+
+    Each facility tracks an exponential moving average of the medians of
+    the batches it serves and drifts towards *that* (not the raw batch
+    median): on stationary demand the EMA converges and the facility
+    settles — no movement cost is wasted chasing per-batch noise or
+    alternating clusters — while under drift the EMA lags the demand by
+    roughly ``speed / smoothing`` and the facility follows at full speed.
+
+    Parameters
+    ----------
+    damping:
+        ``None`` uses ``min{1, r_i/D}`` per facility (its assigned request
+        count, the paper's factor); a float forces a fixed damping.
+    smoothing:
+        EMA weight of the newest batch median, in ``(0, 1]``.
+    """
+
+    name = "meyerson-mobile"
+    mobile = True
+
+    def __init__(self, rng: np.random.Generator | None = None,
+                 damping: float | None = None, smoothing: float = 0.5) -> None:
+        super().__init__(rng)
+        if not (0.0 < smoothing <= 1.0):
+            raise ValueError("smoothing must lie in (0, 1]")
+        self.damping = damping
+        self.smoothing = smoothing
+
+
+def simulate_facilities(
+    batches: list[np.ndarray],
+    algorithm: MeyersonStatic,
+    f: float,
+    D: float = 1.0,
+    m: float = 1.0,
+    start: np.ndarray | None = None,
+) -> FacilityTrace:
+    """Run an online facility-location algorithm.
+
+    Parameters
+    ----------
+    batches:
+        List of ``(r_t, d)`` request arrays.
+    f:
+        Facility opening cost.
+    D, m:
+        Movement weight and per-step cap (mobile algorithms only).
+    start:
+        Position of the initial free facility; defaults to the origin of
+        the first batch's dimension.  One facility is always open at the
+        start (standard OFL convention avoids the empty-service case).
+    """
+    if f <= 0:
+        raise ValueError("opening cost f must be positive")
+    if not batches:
+        raise ValueError("need at least one batch")
+    d = np.asarray(batches[0]).reshape(-1, np.asarray(batches[0]).shape[-1]).shape[1]
+    if start is None:
+        start = np.zeros(d)
+    facilities = [np.asarray(start, dtype=np.float64).copy()]
+    targets = [facilities[0].copy()]  # per-facility EMA drift targets
+    T = len(batches)
+    opening = np.zeros(T)
+    movement = np.zeros(T)
+    service = np.zeros(T)
+    rng = algorithm.rng
+
+    for t in range(T):
+        pts = np.asarray(batches[t], dtype=np.float64).reshape(-1, d)
+        fac = np.asarray(facilities)
+        # Serve + maybe open, request by request (the online arrival order
+        # within a step is the batch order).
+        for v in pts:
+            dist = float(distances_to(v, fac).min())
+            if rng.random() < min(1.0, dist / f):
+                facilities.append(v.copy())
+                targets.append(v.copy())
+                fac = np.asarray(facilities)
+                opening[t] += f
+                dist = 0.0
+            service[t] += dist
+        # Mobile variant: each facility drifts towards the EMA of the
+        # medians of the batches it serves (see MobileMeyerson docstring);
+        # the EMA converges on stationary demand so movement stops, and
+        # lags boundedly under drift so the facility keeps up.
+        if algorithm.mobile and pts.shape[0]:
+            fac = np.asarray(facilities)
+            diff = pts[:, None, :] - fac[None, :, :]
+            owner = np.argmin(np.sqrt(np.einsum("rkd,rkd->rk", diff, diff)), axis=1)
+            alpha = algorithm.smoothing
+            for i in range(len(facilities)):
+                mine = pts[owner == i]
+                if mine.shape[0] == 0:
+                    continue
+                c = request_center(mine, facilities[i])
+                targets[i] = (1.0 - alpha) * targets[i] + alpha * c
+                gap = float(np.linalg.norm(targets[i] - facilities[i]))
+                if gap <= 0.0:
+                    continue
+                damp = algorithm.damping
+                if damp is None:
+                    damp = min(1.0, mine.shape[0] / D)
+                step = min(damp * gap, m)
+                new_pos = move_towards(facilities[i], targets[i], step)
+                movement[t] += D * float(np.linalg.norm(new_pos - facilities[i]))
+                facilities[i] = new_pos
+    return FacilityTrace(
+        opening_costs=opening,
+        movement_costs=movement,
+        service_costs=service,
+        facility_history=np.asarray(facilities),
+        algorithm=algorithm.name,
+    )

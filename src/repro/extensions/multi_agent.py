@@ -1,0 +1,130 @@
+"""Multiple moving clients (Section 5's "multiple agents" remark).
+
+The paper analyses one agent and notes that "our results can be modified
+to also work for multiple agents by similar arguments as in the original
+problem".  This module makes that concrete:
+
+* :class:`MultiAgentInstance` — ``k`` agents, each with a speed-validated
+  trajectory; round ``t`` reveals all agent positions, the server moves
+  (cap ``m_server``), then pays the sum of distances to the agents.  This
+  is exactly the fixed-``r = k`` move-first model, so it lowers to
+  :class:`~repro.core.instance.MSPInstance` and every Section-4 result
+  applies (Corollary 9 gives :math:`O(1/\\delta^{3/2})` with augmentation).
+
+* :class:`MultiAgentMtC` — the natural Theorem-10 generalisation: move
+  :math:`\\min(\\text{cap}, \\text{damping} \\cdot d(P, c))` towards the
+  *geometric median* :math:`c` of the current agent positions, with the
+  paper's damping ``min{1, k/D}``.  For ``k = 1`` this is exactly
+  :class:`~repro.algorithms.mtc_variants.MovingClientMtC`.
+
+The experiment (E14) shows the Theorem-10 dichotomy survives multiple
+agents: with ``m_server >= m_agent`` certified ratios are flat in ``T``
+without augmentation, with faster agents the Theorem-8 construction (run
+on any one agent while the others idle) still diverges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import EPS, as_point
+from ..core.instance import MSPInstance
+from ..core.requests import RequestSequence
+from ..algorithms.mtc import MoveToCenter
+
+__all__ = ["MultiAgentInstance", "MultiAgentMtC"]
+
+
+@dataclass(frozen=True)
+class MultiAgentInstance:
+    """The Moving Client variant with ``k`` agents.
+
+    Attributes
+    ----------
+    agent_paths:
+        ``(T, k, d)`` positions; all agents start at ``start``.
+    start:
+        Common starting point of the server and every agent.
+    m_server, m_agent:
+        Speed limits (one shared agent limit, as in the paper's remark).
+    """
+
+    agent_paths: np.ndarray
+    start: np.ndarray
+    D: float = 1.0
+    m_server: float = 1.0
+    m_agent: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        paths = np.asarray(self.agent_paths, dtype=np.float64)
+        if paths.ndim != 3:
+            raise ValueError(f"agent_paths must be (T, k, d), got shape {paths.shape}")
+        object.__setattr__(self, "agent_paths", paths)
+        object.__setattr__(self, "start", as_point(self.start, dim=paths.shape[2]))
+        if self.D < 1.0:
+            raise ValueError(f"the paper assumes D >= 1, got D={self.D}")
+        if self.m_server <= 0 or self.m_agent <= 0:
+            raise ValueError("speed limits must be positive")
+        self.validate_agent_speeds()
+
+    @property
+    def n_agents(self) -> int:
+        return int(self.agent_paths.shape[1])
+
+    @property
+    def length(self) -> int:
+        return int(self.agent_paths.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.agent_paths.shape[2])
+
+    def validate_agent_speeds(self) -> None:
+        """Raise if any agent exceeds its per-step speed limit."""
+        if self.length == 0:
+            return
+        start_row = np.tile(self.start, (self.n_agents, 1))[None, :, :]
+        full = np.concatenate([start_row, self.agent_paths], axis=0)
+        seg = np.diff(full, axis=0)
+        lengths = np.sqrt(np.einsum("tkd,tkd->tk", seg, seg))
+        tol = self.m_agent * (1.0 + 1e-9) + EPS
+        if np.any(lengths > tol):
+            t, k = np.unravel_index(int(np.argmax(lengths)), lengths.shape)
+            raise ValueError(
+                f"agent {k} moves {lengths[t, k]:.6g} > m_agent={self.m_agent} at step {t}"
+            )
+
+    def as_msp(self) -> MSPInstance:
+        """Lower to a fixed-``r = k`` MSP instance (move-first model)."""
+        seq = RequestSequence.from_packed(self.agent_paths)
+        return MSPInstance(
+            requests=seq,
+            start=self.start,
+            D=self.D,
+            m=self.m_server,
+            name=self.name or f"multi-agent[k={self.n_agents}]",
+        )
+
+
+class MultiAgentMtC(MoveToCenter):
+    """Move-to-Center over the agents' geometric median.
+
+    Identical to :class:`~repro.algorithms.mtc.MoveToCenter` — the class
+    exists for clear labelling in multi-agent experiments and to assert
+    the fixed-``k`` batch shape early.
+    """
+
+    def __init__(self, n_agents: int | None = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n_agents = n_agents
+        self.name = "mtc-multi-agent"
+
+    def decide(self, t, batch):  # type: ignore[override]
+        if self.n_agents is not None and batch.count not in (0, self.n_agents):
+            raise ValueError(
+                f"expected {self.n_agents} agents per step, got {batch.count}"
+            )
+        return super().decide(t, batch)

@@ -1,0 +1,15 @@
+"""k-server baselines on the line (related-work substrate)."""
+
+from .double_coverage import (
+    KServerResult,
+    double_coverage_line,
+    greedy_kserver_line,
+    offline_kserver_line,
+)
+
+__all__ = [
+    "KServerResult",
+    "double_coverage_line",
+    "greedy_kserver_line",
+    "offline_kserver_line",
+]

@@ -1,0 +1,37 @@
+"""Geometric-median (Fermat–Weber) solvers.
+
+Public API:
+
+* :func:`repro.median.request_center` — the paper's tie-broken center.
+* :func:`repro.median.weiszfeld` — safeguarded Weiszfeld iteration.
+* :func:`repro.median.weber_cost` — the objective being minimized.
+* :class:`repro.median.MedianSet` — explicit minimizing sets for the
+  degenerate cases.
+"""
+
+from .exact import (
+    MedianSet,
+    collinearity_frame,
+    fermat_point_triangle,
+    median_collinear,
+    median_pair,
+    median_single,
+    weber_cost,
+)
+from .tie_breaking import median_set, request_center
+from .weiszfeld import WeiszfeldResult, weber_gradient_norm, weiszfeld
+
+__all__ = [
+    "MedianSet",
+    "WeiszfeldResult",
+    "collinearity_frame",
+    "fermat_point_triangle",
+    "median_collinear",
+    "median_pair",
+    "median_single",
+    "median_set",
+    "request_center",
+    "weber_cost",
+    "weber_gradient_norm",
+    "weiszfeld",
+]

@@ -1,0 +1,161 @@
+"""Safeguarded Weiszfeld iteration for the geometric median.
+
+For three or more non-collinear points the Weber objective
+:math:`f(y) = \\sum_i d(y, v_i)` is strictly convex and has a unique
+minimizer.  The classical Weiszfeld map
+
+.. math:: T(y) = \\Big(\\sum_i v_i / d_i\\Big) \\Big/ \\Big(\\sum_i 1/d_i\\Big),
+          \\qquad d_i = d(y, v_i)
+
+converges to it from almost every start but is undefined *at* the data
+points.  We use the Vardi–Zhang (2000) modification, which evaluates the
+"pull" of the remaining points when the iterate sits on a data point and
+either certifies optimality (the data point absorbs the pull) or steps off
+in the pull direction.  This makes the iteration globally well-defined.
+
+The solver intentionally knows nothing about degenerate inputs — callers
+route ``r <= 2`` and collinear batches through :mod:`repro.median.exact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import as_points
+
+__all__ = ["WeiszfeldResult", "weiszfeld", "weber_gradient_norm"]
+
+
+@dataclass(frozen=True)
+class WeiszfeldResult:
+    """Outcome of a Weiszfeld solve.
+
+    Attributes
+    ----------
+    point:
+        The computed geometric median.
+    iterations:
+        Number of fixed-point iterations performed.
+    converged:
+        Whether the movement tolerance was met before ``max_iter``.
+    on_vertex:
+        True when the optimum is one of the input points (certified by the
+        Vardi–Zhang criterion).
+    """
+
+    point: np.ndarray
+    iterations: int
+    converged: bool
+    on_vertex: bool
+
+
+def weber_gradient_norm(y: np.ndarray, points: np.ndarray, atol: float = 1e-12) -> float:
+    """Norm of the (sub)gradient of the Weber objective at ``y``.
+
+    At a data point the subgradient contains 0 iff the pull of the other
+    points is at most the multiplicity of the coinciding points; the value
+    returned there is ``max(0, ||pull|| - multiplicity)``, which is 0 exactly
+    when ``y`` is optimal.
+    """
+    points = as_points(points)
+    diff = points - y
+    dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    on = dists <= atol
+    if not np.any(on):
+        grad = -(diff / dists[:, None]).sum(axis=0)
+        return float(np.linalg.norm(grad))
+    multiplicity = float(on.sum())
+    rest = ~on
+    if not np.any(rest):
+        return 0.0
+    pull = (diff[rest] / dists[rest, None]).sum(axis=0)
+    return max(0.0, float(np.linalg.norm(pull)) - multiplicity)
+
+
+def weiszfeld(
+    points: np.ndarray,
+    start: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> WeiszfeldResult:
+    """Compute the geometric median of ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(r, d)`` batch, ``r >= 1``.
+    start:
+        Initial iterate; defaults to the centroid (which is never a data
+        point for non-degenerate batches and gives monotone descent).
+    tol:
+        Relative movement tolerance for convergence.
+    max_iter:
+        Iteration budget; the fixed point is linear-rate so 1000 is ample
+        for ``float64`` resolution on well-scaled inputs.
+    """
+    points = as_points(points)
+    r = points.shape[0]
+    if r == 0:
+        raise ValueError("geometric median of an empty batch is undefined")
+    if r == 1:
+        return WeiszfeldResult(points[0].copy(), 0, True, True)
+
+    y = points.mean(axis=0) if start is None else np.array(start, dtype=np.float64, copy=True)
+    scale = float(np.max(np.abs(points))) + 1.0
+    atol_vertex = 1e-14 * scale
+
+    iterations = 0
+    on_vertex = False
+    converged = False
+    tol2 = (tol * scale) ** 2
+    for iterations in range(1, max_iter + 1):
+        diff = points - y
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        if float(dists.min()) <= atol_vertex:
+            on = dists <= atol_vertex
+            # Vardi-Zhang step at a data point.
+            eta = float(on.sum())
+            rest = ~on
+            if not np.any(rest):
+                on_vertex = True
+                converged = True
+                break
+            inv = 1.0 / dists[rest]
+            pull = (diff[rest] * inv[:, None]).sum(axis=0)  # -gradient of the rest
+            pull_norm = float(np.linalg.norm(pull))
+            if pull_norm <= eta + 1e-15:
+                on_vertex = True
+                converged = True
+                break
+            # Standard Weiszfeld map of the non-coinciding points.
+            t_y = (points[rest] * inv[:, None]).sum(axis=0) / inv.sum()
+            d_vec = t_y - y
+            step = max(0.0, 1.0 - eta / pull_norm)
+            y_new = y + step * d_vec
+        else:
+            inv = 1.0 / dists
+            y_new = (points * inv[:, None]).sum(axis=0) / inv.sum()
+        step_vec = y_new - y
+        y = y_new
+        if float(np.dot(step_vec, step_vec)) <= tol2:
+            converged = True
+            break
+    if not on_vertex:
+        # Vertex optima are only approached asymptotically by the fixed
+        # point; snap when the nearest data point is at least as good.
+        diff = points - y
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        nearest = int(np.argmin(dists))
+        # Generous radius: convergence is sublinear at vertex optima, so the
+        # iterate can stall noticeably far out; the cost comparison below
+        # makes the snap safe regardless.
+        if dists[nearest] <= 1e-4 * scale:
+            y_cost = float(np.sqrt(np.einsum("ij,ij->i", diff, diff)).sum())
+            vdiff = points - points[nearest]
+            v_cost = float(np.sqrt(np.einsum("ij,ij->i", vdiff, vdiff)).sum())
+            if v_cost <= y_cost + 1e-12 * (1.0 + y_cost):
+                y = points[nearest].copy()
+                on_vertex = True
+    return WeiszfeldResult(y, iterations, converged, on_vertex)

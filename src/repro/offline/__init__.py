@@ -1,0 +1,27 @@
+"""Offline-optimum solvers and brackets.
+
+* :func:`solve_line` — exact 1-D grid DP (with certified error bracket);
+* :func:`solve_grid` — exact small 2-D grid DP;
+* :func:`convex_bracket` — relaxation lower bound + repaired feasible upper
+  bound, any dimension;
+* :func:`bracket_optimum` — method dispatch returning an
+  :class:`OptBracket`.
+"""
+
+from .bounds import OptBracket, bracket_optimum
+from .convex import ConvexBound, convex_bracket, project_to_cap, relaxed_lower_bound
+from .dp_grid import GridDPResult, solve_grid
+from .dp_line import LineDPResult, solve_line
+
+__all__ = [
+    "ConvexBound",
+    "GridDPResult",
+    "LineDPResult",
+    "OptBracket",
+    "bracket_optimum",
+    "convex_bracket",
+    "project_to_cap",
+    "relaxed_lower_bound",
+    "solve_grid",
+    "solve_line",
+]

@@ -1,0 +1,90 @@
+"""Unified offline-optimum brackets.
+
+Experiments need a number for :math:`C_{Opt}`; this module picks the best
+available method per instance:
+
+* dimension 1 → exact grid DP (:mod:`repro.offline.dp_line`), tight;
+* dimension 2, tiny arena → exact grid DP (:mod:`repro.offline.dp_grid`);
+* otherwise → convex relaxation bracket (:mod:`repro.offline.convex`).
+
+The returned :class:`OptBracket` carries ``(lower, upper)`` with
+``lower <= OPT <= upper`` so ratio computations can quote certified
+ranges: ``C_Alg / upper <= ratio <= C_Alg / lower``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from .convex import convex_bracket
+from .dp_grid import solve_grid
+from .dp_line import solve_line
+
+__all__ = ["OptBracket", "bracket_optimum"]
+
+
+@dataclass(frozen=True)
+class OptBracket:
+    """A certified sandwich of the offline optimum.
+
+    Attributes
+    ----------
+    lower, upper:
+        ``lower <= OPT <= upper``.
+    method:
+        Which solver produced the bracket (``"dp-line"``, ``"dp-grid"``,
+        ``"convex"``).
+    positions:
+        A feasible trajectory achieving ``upper`` (``(T + 1, d)``).
+    """
+
+    lower: float
+    upper: float
+    method: str
+    positions: np.ndarray
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def relative_gap(self) -> float:
+        """``(upper - lower) / upper`` (0 for exact methods on-grid)."""
+        if self.upper <= 0:
+            return 0.0
+        return (self.upper - self.lower) / self.upper
+
+
+def bracket_optimum(
+    instance: MSPInstance,
+    grid_size: int | None = None,
+    grid_shape: tuple[int, int] = (32, 32),
+    prefer: str | None = None,
+) -> OptBracket:
+    """Bracket the offline optimum of ``instance``.
+
+    Parameters
+    ----------
+    prefer:
+        Force a method: ``"dp-line"``, ``"dp-grid"`` or ``"convex"``.
+        Defaults to the best method for the dimension (DP for 1-D, convex
+        otherwise; ``"dp-grid"`` is opt-in because of its :math:`O(S^2)`
+        transition).
+    """
+    method = prefer
+    if method is None:
+        method = "dp-line" if instance.dim == 1 else "convex"
+
+    if method == "dp-line":
+        res = solve_line(instance, grid_size=grid_size)
+        return OptBracket(res.lower_bound, res.cost, "dp-line", res.positions)
+    if method == "dp-grid":
+        res2 = solve_grid(instance, grid_shape=grid_shape)
+        return OptBracket(res2.lower_bound, res2.cost, "dp-grid", res2.positions)
+    if method == "convex":
+        cb = convex_bracket(instance)
+        return OptBracket(cb.lower, cb.upper, "convex", cb.feasible_positions)
+    raise ValueError(f"unknown method {method!r}")

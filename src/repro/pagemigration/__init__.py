@@ -1,0 +1,49 @@
+"""Classical Page Migration substrate (graphs, classical algorithms, DP)."""
+
+from .algorithms import (
+    CoinFlipGraph,
+    CountMoveTo,
+    GreedyFollow,
+    MoveToMinGraph,
+    PageMigrationAlgorithm,
+    StaticPage,
+)
+from .dynamic import (
+    DynamicNetwork,
+    offline_dynamic_page_migration,
+    simulate_dynamic_page_migration,
+)
+from .graph import (
+    MigrationNetwork,
+    complete_uniform,
+    grid_graph,
+    path_graph,
+    random_geometric,
+    random_tree,
+)
+from .simulator import (
+    PageMigrationResult,
+    offline_page_migration,
+    simulate_page_migration,
+)
+
+__all__ = [
+    "CoinFlipGraph",
+    "CountMoveTo",
+    "DynamicNetwork",
+    "GreedyFollow",
+    "MigrationNetwork",
+    "MoveToMinGraph",
+    "PageMigrationAlgorithm",
+    "PageMigrationResult",
+    "StaticPage",
+    "complete_uniform",
+    "grid_graph",
+    "offline_dynamic_page_migration",
+    "offline_page_migration",
+    "path_graph",
+    "random_geometric",
+    "random_tree",
+    "simulate_dynamic_page_migration",
+    "simulate_page_migration",
+]

@@ -1,0 +1,158 @@
+"""Classical page-migration algorithms on graphs.
+
+The strategies the related-work section cites, implemented on
+:class:`~repro.pagemigration.graph.MigrationNetwork`:
+
+* :class:`StaticPage` — never migrate (baseline);
+* :class:`GreedyFollow` — migrate to every requester (the other extreme);
+* :class:`MoveToMinGraph` — Westbrook's deterministic 7-competitive
+  strategy: every :math:`D` requests migrate to the node minimizing the
+  distance sum to the last :math:`D` requesters;
+* :class:`CoinFlipGraph` — Westbrook's randomized 3-competitive strategy:
+  after each request migrate to the requester with probability
+  :math:`1/(2D)`;
+* :class:`CountMoveTo` (Black–Sleator flavour) — keep per-node deficit
+  counters and migrate when a node has accumulated :math:`D` more requests
+  than the current holder since the last migration.
+
+These run in the *uncapped* classical model; the mobile-server experiments
+use their Euclidean adaptations from :mod:`repro.algorithms` instead.  The
+substrate exists so that E13 can compare against the lineage the paper
+builds on, and to validate our adaptations against known behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .graph import MigrationNetwork
+
+__all__ = [
+    "PageMigrationAlgorithm",
+    "StaticPage",
+    "GreedyFollow",
+    "MoveToMinGraph",
+    "CoinFlipGraph",
+    "CountMoveTo",
+]
+
+
+class PageMigrationAlgorithm(abc.ABC):
+    """Base class: sees one requesting node per step, returns the new page node."""
+
+    name: str = "page-migration"
+
+    def __init__(self) -> None:
+        self.network: MigrationNetwork | None = None
+        self.page: int = 0
+        self.D: float = 1.0
+
+    def reset(self, network: MigrationNetwork, start: int, D: float) -> None:
+        self.network = network
+        self.page = int(start)
+        self.D = float(D)
+
+    @abc.abstractmethod
+    def decide(self, t: int, request: int) -> int:
+        """Return the node to hold the page after serving ``request``."""
+
+    def is_randomized(self) -> bool:
+        return False
+
+
+class StaticPage(PageMigrationAlgorithm):
+    """Never migrates."""
+
+    name = "pm-static"
+
+    def decide(self, t: int, request: int) -> int:
+        return self.page
+
+
+class GreedyFollow(PageMigrationAlgorithm):
+    """Migrates to every requester."""
+
+    name = "pm-greedy"
+
+    def decide(self, t: int, request: int) -> int:
+        return int(request)
+
+
+class MoveToMinGraph(PageMigrationAlgorithm):
+    """Westbrook's Move-To-Min: phases of ``ceil(D)`` requests.
+
+    At the end of each phase the page moves to the node minimizing the sum
+    of distances to the phase's requesters.
+    """
+
+    name = "pm-move-to-min"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._phase: list[int] = []
+
+    def reset(self, network: MigrationNetwork, start: int, D: float) -> None:
+        super().reset(network, start, D)
+        self._phase = []
+
+    def decide(self, t: int, request: int) -> int:
+        assert self.network is not None
+        self._phase.append(int(request))
+        if len(self._phase) >= max(1, int(np.ceil(self.D))):
+            target = self.network.weber_node(np.asarray(self._phase))
+            self._phase = []
+            return target
+        return self.page
+
+
+class CoinFlipGraph(PageMigrationAlgorithm):
+    """Westbrook's Coin-Flip: migrate to the requester w.p. ``1/(2D)``.
+
+    3-competitive against adaptive online adversaries in the classical
+    model.
+    """
+
+    name = "pm-coin-flip"
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def is_randomized(self) -> bool:
+        return True
+
+    def decide(self, t: int, request: int) -> int:
+        if self.rng.random() < 1.0 / (2.0 * self.D):
+            return int(request)
+        return self.page
+
+
+class CountMoveTo(PageMigrationAlgorithm):
+    """Counter-based migration in the Black–Sleator spirit.
+
+    Each node accumulates a counter per request it issues; when some node's
+    counter exceeds the page holder's by :math:`D`, the page migrates there
+    and counters reset.  (On two-node uniform networks this reproduces the
+    3-competitive ski-rental behaviour.)
+    """
+
+    name = "pm-count"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counters: np.ndarray | None = None
+
+    def reset(self, network: MigrationNetwork, start: int, D: float) -> None:
+        super().reset(network, start, D)
+        self._counters = np.zeros(network.n)
+
+    def decide(self, t: int, request: int) -> int:
+        assert self._counters is not None
+        self._counters[request] += 1.0
+        leader = int(np.argmax(self._counters))
+        if leader != self.page and self._counters[leader] - self._counters[self.page] >= self.D:
+            self._counters[:] = 0.0
+            return leader
+        return self.page

@@ -1,0 +1,142 @@
+"""Network model for the classical Page Migration Problem.
+
+The classical problem (Black–Sleator 1989; Westbrook 1994) lives on a
+weighted graph of processors: requests name *nodes*, serving costs the
+shortest-path distance, migrating the page costs :math:`D` times that
+distance.  :class:`MigrationNetwork` wraps a :mod:`networkx` graph with a
+precomputed all-pairs distance matrix so the simulator and algorithms pay
+O(1) per lookup.
+
+Factory helpers build the topologies the classical results talk about:
+complete uniform graphs, trees, paths and 2-D grids — plus random geometric
+graphs that mimic ad-hoc device networks (the paper's motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "MigrationNetwork",
+    "complete_uniform",
+    "random_tree",
+    "path_graph",
+    "grid_graph",
+    "random_geometric",
+]
+
+
+@dataclass
+class MigrationNetwork:
+    """A processor network with metric distances.
+
+    Attributes
+    ----------
+    graph:
+        The underlying weighted graph (edge attribute ``weight``).
+    nodes:
+        Stable node ordering; indices into :attr:`distances`.
+    distances:
+        ``(n, n)`` shortest-path distance matrix.
+    """
+
+    graph: nx.Graph
+    nodes: list
+    distances: np.ndarray
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "MigrationNetwork":
+        if graph.number_of_nodes() == 0:
+            raise ValueError("network must have at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("network must be connected")
+        nodes = list(graph.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        n = len(nodes)
+        dist = np.zeros((n, n))
+        for src, lengths in nx.all_pairs_dijkstra_path_length(graph, weight="weight"):
+            i = index[src]
+            for dst, d in lengths.items():
+                dist[i, index[dst]] = d
+        return cls(graph=graph, nodes=nodes, distances=dist)
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    def distance(self, i: int, j: int) -> float:
+        """Shortest-path distance between node indices ``i`` and ``j``."""
+        return float(self.distances[i, j])
+
+    def weber_node(self, request_indices: np.ndarray, weights: np.ndarray | None = None) -> int:
+        """Node minimizing the (weighted) sum of distances to the requests.
+
+        The graph analogue of the geometric median — the "min" of
+        Move-To-Min.
+        """
+        request_indices = np.asarray(request_indices, dtype=np.int64)
+        if request_indices.size == 0:
+            raise ValueError("need at least one request")
+        cols = self.distances[:, request_indices]
+        if weights is not None:
+            cols = cols * np.asarray(weights, dtype=np.float64)[None, :]
+        return int(np.argmin(cols.sum(axis=1)))
+
+
+def complete_uniform(n: int, weight: float = 1.0) -> MigrationNetwork:
+    """Complete graph with uniform edge weights (the Black–Sleator setting)."""
+    g = nx.complete_graph(n)
+    nx.set_edge_attributes(g, weight, "weight")
+    return MigrationNetwork.from_graph(g)
+
+
+def random_tree(n: int, rng: np.random.Generator, max_weight: float = 4.0) -> MigrationNetwork:
+    """Uniform random labelled tree with random edge weights."""
+    if n < 2:
+        raise ValueError("tree needs at least 2 nodes")
+    # Random Prüfer sequence -> uniform random tree.
+    if n == 2:
+        g = nx.Graph()
+        g.add_edge(0, 1)
+    else:
+        seq = rng.integers(0, n, size=n - 2).tolist()
+        g = nx.from_prufer_sequence(seq)
+    for u, v in g.edges():
+        g[u][v]["weight"] = float(rng.uniform(1.0, max_weight))
+    return MigrationNetwork.from_graph(g)
+
+
+def path_graph(n: int, weight: float = 1.0) -> MigrationNetwork:
+    """Path graph — the network analogue of the line."""
+    g = nx.path_graph(n)
+    nx.set_edge_attributes(g, weight, "weight")
+    return MigrationNetwork.from_graph(g)
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> MigrationNetwork:
+    """2-D grid network."""
+    g = nx.grid_2d_graph(rows, cols)
+    nx.set_edge_attributes(g, weight, "weight")
+    return MigrationNetwork.from_graph(g)
+
+
+def random_geometric(n: int, rng: np.random.Generator, radius: float = 0.4) -> MigrationNetwork:
+    """Random geometric graph over the unit square (ad-hoc device network).
+
+    Edge weights are Euclidean distances; the radius is grown until the
+    graph connects.
+    """
+    pos = {i: (float(x), float(y)) for i, (x, y) in enumerate(rng.uniform(0, 1, size=(n, 2)))}
+    r = radius
+    while True:
+        g = nx.random_geometric_graph(n, r, pos=pos)
+        if nx.is_connected(g):
+            break
+        r *= 1.25
+    for u, v in g.edges():
+        (x1, y1), (x2, y2) = pos[u], pos[v]
+        g[u][v]["weight"] = float(np.hypot(x1 - x2, y1 - y2))
+    return MigrationNetwork.from_graph(g)

@@ -1,0 +1,5 @@
+"""Terminal rendering of traces, workloads and ratio curves."""
+
+from .ascii import render_line_chart, render_plane, sparkline
+
+__all__ = ["render_line_chart", "render_plane", "sparkline"]

@@ -1,0 +1,155 @@
+"""Terminal visualisation of traces and workloads.
+
+matplotlib is not a dependency of this library, so the examples and the
+CLI render directly to text:
+
+* :func:`render_plane` — a character raster of a 2-D scene (server path,
+  request cloud, optional reference path);
+* :func:`render_line_chart` — a time/value chart for 1-D trajectories or
+  ratio curves;
+* :func:`sparkline` — a one-line unicode summary of a series (used inside
+  tables).
+
+These renderers are pure functions from arrays to strings so they are unit
+testable like everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_plane", "render_line_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 32) -> str:
+    """One-line unicode sparkline of a series (resampled to ``width``)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        idx = np.linspace(0, values.size - 1, width).astype(np.int64)
+        values = values[idx]
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo <= 0:
+        return _SPARK_LEVELS[0] * values.size
+    levels = ((values - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).astype(np.int64)
+    return "".join(_SPARK_LEVELS[i] for i in levels)
+
+
+def _raster(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def render_plane(
+    server_path: np.ndarray,
+    requests: np.ndarray | None = None,
+    reference_path: np.ndarray | None = None,
+    width: int = 72,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Raster a 2-D scene.
+
+    Glyphs: ``.`` request, ``*`` server path, ``o`` reference (e.g. OPT)
+    path, ``S``/``E`` server start/end.  Later glyphs overwrite earlier
+    ones, so the server path stays visible over dense request clouds.
+
+    Parameters
+    ----------
+    server_path:
+        ``(n, 2)`` polyline.
+    requests:
+        Optional ``(m, 2)`` request cloud.
+    reference_path:
+        Optional second polyline (rendered beneath the server's).
+    """
+    server_path = np.asarray(server_path, dtype=np.float64)
+    if server_path.ndim != 2 or server_path.shape[1] != 2:
+        raise ValueError("server_path must be (n, 2)")
+    clouds = [server_path]
+    if requests is not None and len(requests):
+        clouds.append(np.asarray(requests, dtype=np.float64))
+    if reference_path is not None and len(reference_path):
+        clouds.append(np.asarray(reference_path, dtype=np.float64))
+    allpts = np.concatenate(clouds, axis=0)
+    lo = allpts.min(axis=0)
+    hi = allpts.max(axis=0)
+    span = np.maximum(hi - lo, 1e-9)
+
+    def to_cell(p: np.ndarray) -> tuple[int, int]:
+        x = int((p[0] - lo[0]) / span[0] * (width - 1))
+        y = int((p[1] - lo[1]) / span[1] * (height - 1))
+        return min(width - 1, max(0, x)), height - 1 - min(height - 1, max(0, y))
+
+    grid = _raster(width, height)
+    if requests is not None:
+        for p in np.asarray(requests, dtype=np.float64):
+            cx, cy = to_cell(p)
+            grid[cy][cx] = "."
+    if reference_path is not None:
+        for p in np.asarray(reference_path, dtype=np.float64):
+            cx, cy = to_cell(p)
+            grid[cy][cx] = "o"
+    for p in server_path:
+        cx, cy = to_cell(p)
+        grid[cy][cx] = "*"
+    sx, sy = to_cell(server_path[0])
+    ex, ey = to_cell(server_path[-1])
+    grid[sy][sx] = "S"
+    grid[ey][ex] = "E"
+
+    border = "+" + "-" * width + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append(
+        f"x:[{lo[0]:.3g}, {hi[0]:.3g}]  y:[{lo[1]:.3g}, {hi[1]:.3g}]  "
+        "glyphs: S/E server start/end, * server, o reference, . requests"
+    )
+    return "\n".join(lines)
+
+
+def render_line_chart(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot one or more equally-spaced series as a character chart.
+
+    Each series gets a distinct glyph (``*``, ``o``, ``+``, ``x``, ...);
+    a legend and the value range are appended.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    glyphs = "*o+x#@%&"
+    arrays = {k: np.asarray(v, dtype=np.float64).ravel() for k, v in series.items()}
+    if any(a.size == 0 for a in arrays.values()):
+        raise ValueError("series must be non-empty")
+    lo = min(float(a.min()) for a in arrays.values())
+    hi = max(float(a.max()) for a in arrays.values())
+    span = max(hi - lo, 1e-9)
+
+    grid = _raster(width, height)
+    for gi, (name, a) in enumerate(arrays.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        xs = np.linspace(0, width - 1, a.size).astype(np.int64) if a.size > 1 else [0]
+        for x, v in zip(xs, a):
+            y = height - 1 - int((v - lo) / span * (height - 1))
+            grid[y][int(x)] = glyph
+
+    border = "+" + "-" * width + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(arrays))
+    lines.append(f"range [{lo:.4g}, {hi:.4g}]   {legend}")
+    return "\n".join(lines)

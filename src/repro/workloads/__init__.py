@@ -1,0 +1,30 @@
+"""Synthetic workload generators.
+
+Includes the paper's two motivating scenarios (autonomous-vehicle platoons
+and disaster-response agents) plus generic stochastic workloads used by the
+comparison experiments.
+"""
+
+from .base import WorkloadGenerator, make_instance
+from .bursty import BurstyWorkload
+from .clustered import ClusteredWorkload
+from .disaster import PatrolAgentWorkload, random_waypoint_path
+from .drift import DriftWorkload
+from .mixtures import SpliceWorkload, splice, standard_suite
+from .random_walk import RandomWalkWorkload
+from .vehicles import VehiclePlatoonWorkload
+
+__all__ = [
+    "BurstyWorkload",
+    "ClusteredWorkload",
+    "DriftWorkload",
+    "PatrolAgentWorkload",
+    "RandomWalkWorkload",
+    "SpliceWorkload",
+    "VehiclePlatoonWorkload",
+    "WorkloadGenerator",
+    "make_instance",
+    "random_waypoint_path",
+    "splice",
+    "standard_suite",
+]

@@ -1,0 +1,73 @@
+"""Workload-generator scaffolding.
+
+A workload generator produces :class:`~repro.core.instance.MSPInstance`
+objects from a seeded :class:`numpy.random.Generator`.  Generators are
+small dataclass-like objects with a ``generate(rng)`` method so experiment
+configs can describe them declaratively and sweep their parameters.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costs import CostModel
+from ..core.instance import MSPInstance
+from ..core.requests import RequestSequence
+
+__all__ = ["WorkloadGenerator", "make_instance"]
+
+
+def make_instance(
+    points_per_step: np.ndarray | list[np.ndarray],
+    start: np.ndarray,
+    D: float,
+    m: float,
+    cost_model: CostModel = CostModel.MOVE_FIRST,
+    name: str = "",
+) -> MSPInstance:
+    """Assemble an instance from raw per-step request arrays."""
+    if isinstance(points_per_step, np.ndarray):
+        seq = RequestSequence.from_packed(points_per_step)
+    else:
+        seq = RequestSequence(points_per_step, dim=int(np.asarray(start).shape[0]))
+    return MSPInstance(seq, start=start, D=D, m=m, cost_model=cost_model, name=name)
+
+
+class WorkloadGenerator(abc.ABC):
+    """Base class for synthetic workload generators.
+
+    Attributes
+    ----------
+    T:
+        Number of time steps to generate.
+    dim:
+        Ambient dimension.
+    D, m:
+        Instance parameters baked into the generated instances.
+    """
+
+    name: str = "workload"
+
+    def __init__(self, T: int, dim: int = 2, D: float = 1.0, m: float = 1.0) -> None:
+        if T < 1:
+            raise ValueError("T must be positive")
+        if dim < 1:
+            raise ValueError("dim must be positive")
+        self.T = T
+        self.dim = dim
+        self.D = D
+        self.m = m
+
+    @abc.abstractmethod
+    def generate(self, rng: np.random.Generator) -> MSPInstance:
+        """Produce one instance draw."""
+
+    def generate_many(self, seeds: list[int]) -> list[MSPInstance]:
+        """One instance per seed (independent draws)."""
+        return [self.generate(np.random.default_rng(s)) for s in seeds]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(T={self.T}, dim={self.dim}, D={self.D}, m={self.m})"

@@ -1,0 +1,93 @@
+"""Bursty workloads.
+
+Requests arrive in *bursts*: quiet stretches with zero or few requests,
+then a burst of many requests at a freshly chosen location.  Bursts probe
+the ``min{1, r/D}`` damping of MtC — during a burst :math:`r \\gg D` and
+the algorithm sprints, between bursts it must resist drifting after noise.
+The per-step request count varies, exercising the general
+:math:`R_{min}/R_{max}` analysis of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from .base import WorkloadGenerator, make_instance
+
+__all__ = ["BurstyWorkload"]
+
+
+class BurstyWorkload(WorkloadGenerator):
+    """Quiet background traffic punctuated by located bursts.
+
+    Parameters
+    ----------
+    burst_probability:
+        Per-step probability of starting a burst.
+    burst_length:
+        Duration of a burst in steps.
+    burst_requests:
+        Requests per step during a burst.
+    quiet_requests:
+        Requests per step outside bursts (may be 0).
+    arena:
+        Burst locations are drawn uniformly from ``[-arena, arena]^d``.
+    spread:
+        Request scatter around the active location.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        T: int,
+        dim: int = 2,
+        D: float = 4.0,
+        m: float = 1.0,
+        burst_probability: float = 0.05,
+        burst_length: int = 10,
+        burst_requests: int = 16,
+        quiet_requests: int = 1,
+        arena: float = 20.0,
+        spread: float = 0.5,
+    ) -> None:
+        super().__init__(T, dim, D, m)
+        if not (0.0 <= burst_probability <= 1.0):
+            raise ValueError("burst_probability must lie in [0, 1]")
+        if burst_length < 1 or burst_requests < 1 or quiet_requests < 0:
+            raise ValueError("burst_length/burst_requests must be >= 1, quiet_requests >= 0")
+        self.burst_probability = burst_probability
+        self.burst_length = burst_length
+        self.burst_requests = burst_requests
+        self.quiet_requests = quiet_requests
+        self.arena = arena
+        self.spread = spread
+
+    def generate(self, rng: np.random.Generator) -> MSPInstance:
+        batches: list[np.ndarray] = []
+        burst_remaining = 0
+        burst_loc = np.zeros(self.dim)
+        quiet_loc = np.zeros(self.dim)
+        for _ in range(self.T):
+            if burst_remaining == 0 and rng.random() < self.burst_probability:
+                burst_remaining = self.burst_length
+                burst_loc = rng.uniform(-self.arena, self.arena, size=self.dim)
+            if burst_remaining > 0:
+                n = self.burst_requests
+                loc = burst_loc
+                burst_remaining -= 1
+            else:
+                n = self.quiet_requests
+                loc = quiet_loc
+            if n == 0:
+                batches.append(np.empty((0, self.dim)))
+            else:
+                batches.append(loc + rng.normal(scale=self.spread, size=(n, self.dim)))
+        return make_instance(
+            batches,
+            start=np.zeros(self.dim),
+            D=self.D,
+            m=self.m,
+            name=f"bursty[p={self.burst_probability:g},R={self.burst_requests}]",
+        )

@@ -1,0 +1,89 @@
+"""Clustered multi-population workloads.
+
+Several client clusters coexist, each contributing requests in proportion
+to a slowly changing popularity; clusters themselves drift slowly.  This
+is the "many devices near several aggregation points" picture from the
+paper's edge-computing motivation: the right server position is near the
+*weighted 1-median* of the clusters, which shifts as popularity shifts —
+precisely what Move-to-Center tracks and what mean-based baselines
+(GreedyCentroid) mis-estimate when cluster sizes are skewed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from .base import WorkloadGenerator, make_instance
+
+__all__ = ["ClusteredWorkload"]
+
+
+class ClusteredWorkload(WorkloadGenerator):
+    """Drifting clusters with evolving popularity.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of client clusters.
+    cluster_sigma:
+        Per-step drift sd of each cluster center.
+    popularity_sigma:
+        Per-step sd of the popularity logits (softmax-weighted sampling).
+    requests_per_step:
+        Total :math:`r` per step, multinomially split across clusters.
+    spread:
+        Scatter of requests around their cluster center.
+    arena:
+        Initial cluster centers drawn uniformly from ``[-arena, arena]^d``.
+    """
+
+    name = "clustered"
+
+    def __init__(
+        self,
+        T: int,
+        dim: int = 2,
+        D: float = 8.0,
+        m: float = 1.0,
+        n_clusters: int = 4,
+        cluster_sigma: float = 0.1,
+        popularity_sigma: float = 0.1,
+        requests_per_step: int = 8,
+        spread: float = 0.4,
+        arena: float = 10.0,
+    ) -> None:
+        super().__init__(T, dim, D, m)
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        if requests_per_step < 1:
+            raise ValueError("requests_per_step must be positive")
+        self.n_clusters = n_clusters
+        self.cluster_sigma = cluster_sigma
+        self.popularity_sigma = popularity_sigma
+        self.r = requests_per_step
+        self.spread = spread
+        self.arena = arena
+
+    def generate(self, rng: np.random.Generator) -> MSPInstance:
+        centers = rng.uniform(-self.arena, self.arena, size=(self.n_clusters, self.dim))
+        logits = np.zeros(self.n_clusters)
+        pts = np.empty((self.T, self.r, self.dim))
+        for t in range(self.T):
+            centers += rng.normal(scale=self.cluster_sigma, size=centers.shape)
+            logits += rng.normal(scale=self.popularity_sigma, size=logits.shape)
+            w = np.exp(logits - logits.max())
+            w /= w.sum()
+            counts = rng.multinomial(self.r, w)
+            row = []
+            for c, k in enumerate(counts):
+                if k:
+                    row.append(centers[c] + rng.normal(scale=self.spread, size=(k, self.dim)))
+            pts[t] = np.concatenate(row, axis=0)
+        return make_instance(
+            pts,
+            start=np.zeros(self.dim),
+            D=self.D,
+            m=self.m,
+            name=f"clustered[k={self.n_clusters},r={self.r}]",
+        )

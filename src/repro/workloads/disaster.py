@@ -1,0 +1,115 @@
+"""Disaster-response agent workloads (Section 5's motivating scenario).
+
+Helpers move through a disaster area — waypoint patrols with pauses — and
+the mobile signal station (the server) should follow them.  The generator
+produces :class:`~repro.core.instance.MovingClientInstance` objects whose
+agent trajectories respect the speed limit ``m_agent`` exactly, for the
+Moving Client experiments (E7/E8): with ``m_server >= m_agent`` Theorem 10
+predicts O(1) ratios, with a faster agent Theorem 8 predicts divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MovingClientInstance
+
+__all__ = ["PatrolAgentWorkload", "random_waypoint_path"]
+
+
+def random_waypoint_path(
+    T: int,
+    dim: int,
+    speed: float,
+    rng: np.random.Generator,
+    arena: float = 25.0,
+    pause_probability: float = 0.1,
+    pause_length: int = 5,
+) -> np.ndarray:
+    """Random-waypoint mobility model, speed-exact.
+
+    The agent picks a uniform waypoint in ``[-arena, arena]^d``, walks
+    towards it at exactly ``speed`` per step (final approach may be
+    shorter), optionally pauses, then repeats.  Returns ``(T, d)``
+    positions starting from the origin.
+    """
+    pos = np.zeros(dim)
+    path = np.empty((T, dim))
+    target = rng.uniform(-arena, arena, size=dim)
+    pause = 0
+    for t in range(T):
+        if pause > 0:
+            pause -= 1
+        else:
+            to = target - pos
+            d = float(np.linalg.norm(to))
+            if d <= speed:
+                pos = target.copy()
+                target = rng.uniform(-arena, arena, size=dim)
+                if rng.random() < pause_probability:
+                    pause = pause_length
+            else:
+                pos = pos + (speed / d) * to
+        path[t] = pos
+    return path
+
+
+class PatrolAgentWorkload:
+    """Moving-client instances driven by a random-waypoint agent.
+
+    Parameters
+    ----------
+    T, dim, D:
+        As usual.
+    m_server, m_agent:
+        Speed limits; Theorem 10 needs ``m_server >= m_agent``, Theorem 8
+        is about the opposite regime.
+    arena, pause_probability, pause_length:
+        Mobility-model parameters (see :func:`random_waypoint_path`).
+    """
+
+    name = "patrol-agent"
+
+    def __init__(
+        self,
+        T: int,
+        dim: int = 2,
+        D: float = 4.0,
+        m_server: float = 1.0,
+        m_agent: float = 1.0,
+        arena: float = 25.0,
+        pause_probability: float = 0.1,
+        pause_length: int = 5,
+    ) -> None:
+        if T < 1:
+            raise ValueError("T must be positive")
+        self.T = T
+        self.dim = dim
+        self.D = D
+        self.m_server = m_server
+        self.m_agent = m_agent
+        self.arena = arena
+        self.pause_probability = pause_probability
+        self.pause_length = pause_length
+
+    def generate(self, rng: np.random.Generator) -> MovingClientInstance:
+        path = random_waypoint_path(
+            self.T,
+            self.dim,
+            self.m_agent,
+            rng,
+            arena=self.arena,
+            pause_probability=self.pause_probability,
+            pause_length=self.pause_length,
+        )
+        return MovingClientInstance(
+            agent_path=path,
+            start=np.zeros(self.dim),
+            D=self.D,
+            m_server=self.m_server,
+            m_agent=self.m_agent,
+            name=f"patrol[ms={self.m_server:g},ma={self.m_agent:g}]",
+        )
+
+    def generate_many(self, seeds: list[int]) -> list[MovingClientInstance]:
+        return [self.generate(np.random.default_rng(s)) for s in seeds]

@@ -1,0 +1,86 @@
+"""Drifting-hotspot workloads.
+
+A demand point moves with *constant velocity* ``speed`` in a fixed (or
+slowly rotating) direction — the workload underlying the lower-bound
+constructions.  With ``speed`` close to ``m`` the offline server can track
+the hotspot but an online server that falls behind pays for a long time;
+this is the stress regime for un-augmented algorithms and the natural
+habitat of experiments E1/E2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from .base import WorkloadGenerator, make_instance
+
+__all__ = ["DriftWorkload"]
+
+
+class DriftWorkload(WorkloadGenerator):
+    """Constant-velocity hotspot with optional direction rotation.
+
+    Parameters
+    ----------
+    speed:
+        Hotspot displacement per step (should be <= ``m`` for the offline
+        server to track it; the generator does not enforce this so that
+        super-speed drifts can be studied too).
+    rotate:
+        Radians of direction rotation per step (2-D only); 0 keeps a
+        straight line.
+    spread:
+        Request scatter around the hotspot.
+    requests_per_step:
+        Fixed :math:`r`.
+    """
+
+    name = "drift"
+
+    def __init__(
+        self,
+        T: int,
+        dim: int = 2,
+        D: float = 1.0,
+        m: float = 1.0,
+        speed: float = 0.9,
+        rotate: float = 0.0,
+        spread: float = 0.2,
+        requests_per_step: int = 1,
+    ) -> None:
+        super().__init__(T, dim, D, m)
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        if rotate != 0.0 and dim != 2:
+            raise ValueError("rotation requires dim == 2")
+        self.speed = speed
+        self.rotate = rotate
+        self.spread = spread
+        self.r = requests_per_step
+
+    def generate(self, rng: np.random.Generator) -> MSPInstance:
+        # Random initial direction.
+        u = rng.normal(size=self.dim)
+        u /= np.linalg.norm(u)
+        pos = np.zeros(self.dim)
+        demand = np.empty((self.T, self.dim))
+        if self.dim == 2 and self.rotate != 0.0:
+            c, s = np.cos(self.rotate), np.sin(self.rotate)
+            rot = np.array([[c, -s], [s, c]])
+        else:
+            rot = None
+        for t in range(self.T):
+            pos = pos + self.speed * u
+            demand[t] = pos
+            if rot is not None:
+                u = rot @ u
+        scatter = rng.normal(scale=self.spread, size=(self.T, self.r, self.dim))
+        pts = demand[:, None, :] + scatter
+        return make_instance(
+            pts,
+            start=np.zeros(self.dim),
+            D=self.D,
+            m=self.m,
+            name=f"drift[speed={self.speed:g},rot={self.rotate:g},r={self.r}]",
+        )

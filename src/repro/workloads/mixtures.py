@@ -1,0 +1,77 @@
+"""Composite workloads.
+
+Utilities to splice workloads together — e.g. a benign random walk that
+suddenly turns adversarial — and the standard suite used by the
+baseline-comparison experiment (E13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from ..core.requests import RequestSequence
+from .base import WorkloadGenerator
+from .bursty import BurstyWorkload
+from .clustered import ClusteredWorkload
+from .drift import DriftWorkload
+from .random_walk import RandomWalkWorkload
+from .vehicles import VehiclePlatoonWorkload
+
+__all__ = ["splice", "SpliceWorkload", "standard_suite"]
+
+
+def splice(first: MSPInstance, second: MSPInstance, name: str = "") -> MSPInstance:
+    """Concatenate two instances (same dim/D/m/cost model).
+
+    The second instance's start position is ignored — its requests simply
+    continue the timeline.
+    """
+    if first.dim != second.dim:
+        raise ValueError("dimension mismatch")
+    if first.D != second.D or first.m != second.m or first.cost_model != second.cost_model:
+        raise ValueError("instances must agree on D, m and cost model to splice")
+    seq = first.requests.concat(second.requests)
+    return MSPInstance(
+        seq,
+        start=first.start,
+        D=first.D,
+        m=first.m,
+        cost_model=first.cost_model,
+        name=name or f"splice({first.name}+{second.name})",
+    )
+
+
+class SpliceWorkload(WorkloadGenerator):
+    """Generator that concatenates draws from two sub-generators."""
+
+    name = "splice"
+
+    def __init__(self, first: WorkloadGenerator, second: WorkloadGenerator) -> None:
+        if first.dim != second.dim or first.D != second.D or first.m != second.m:
+            raise ValueError("sub-generators must agree on dim, D and m")
+        super().__init__(first.T + second.T, first.dim, first.D, first.m)
+        self.first = first
+        self.second = second
+
+    def generate(self, rng: np.random.Generator) -> MSPInstance:
+        a = self.first.generate(rng)
+        b = self.second.generate(rng)
+        return splice(a, b)
+
+
+def standard_suite(T: int = 400, dim: int = 2, D: float = 4.0, m: float = 1.0) -> dict[str, WorkloadGenerator]:
+    """The named workload suite used by the comparison experiments."""
+    return {
+        "random-walk": RandomWalkWorkload(T, dim=dim, D=D, m=m, sigma=0.3, spread=0.5,
+                                          requests_per_step=4),
+        "drift": DriftWorkload(T, dim=dim, D=D, m=m, speed=0.8, spread=0.2,
+                               requests_per_step=4),
+        "drift-rotating": DriftWorkload(T, dim=dim, D=D, m=m, speed=0.8, rotate=0.03,
+                                        spread=0.2, requests_per_step=4)
+        if dim == 2
+        else DriftWorkload(T, dim=dim, D=D, m=m, speed=0.8, spread=0.2, requests_per_step=4),
+        "bursty": BurstyWorkload(T, dim=dim, D=D, m=m),
+        "clustered": ClusteredWorkload(T, dim=dim, D=D, m=m),
+        "vehicles": VehiclePlatoonWorkload(T, dim=dim, D=D, m=m),
+    }

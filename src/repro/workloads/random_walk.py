@@ -1,0 +1,65 @@
+"""Random-walk request workloads.
+
+The gentlest realistic workload: a latent *demand point* performs a random
+walk with per-step standard deviation ``sigma``, and each step's requests
+scatter around it with noise ``spread``.  When ``sigma <= m`` a good online
+server can track the demand point closely, so competitive ratios should be
+small — the regime where Theorem 4's guarantee is very loose and MtC is
+near-optimal in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MSPInstance
+from .base import WorkloadGenerator, make_instance
+
+__all__ = ["RandomWalkWorkload"]
+
+
+class RandomWalkWorkload(WorkloadGenerator):
+    """Gaussian random-walk demand with scattered requests.
+
+    Parameters
+    ----------
+    sigma:
+        Per-step standard deviation of the latent demand walk (per axis).
+    spread:
+        Standard deviation of request scatter around the demand point.
+    requests_per_step:
+        Fixed :math:`r` (the Section-4 setting).
+    """
+
+    name = "random-walk"
+
+    def __init__(
+        self,
+        T: int,
+        dim: int = 2,
+        D: float = 1.0,
+        m: float = 1.0,
+        sigma: float = 0.3,
+        spread: float = 0.5,
+        requests_per_step: int = 1,
+    ) -> None:
+        super().__init__(T, dim, D, m)
+        if sigma < 0 or spread < 0:
+            raise ValueError("sigma and spread must be non-negative")
+        if requests_per_step < 1:
+            raise ValueError("requests_per_step must be positive")
+        self.sigma = sigma
+        self.spread = spread
+        self.r = requests_per_step
+
+    def generate(self, rng: np.random.Generator) -> MSPInstance:
+        demand = np.cumsum(rng.normal(scale=self.sigma, size=(self.T, self.dim)), axis=0)
+        scatter = rng.normal(scale=self.spread, size=(self.T, self.r, self.dim))
+        pts = demand[:, None, :] + scatter
+        return make_instance(
+            pts,
+            start=np.zeros(self.dim),
+            D=self.D,
+            m=self.m,
+            name=f"random-walk[sigma={self.sigma:g},r={self.r}]",
+        )

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+from repro.core import CostModel, MSPInstance, RequestSequence
+
+# Keep property-based tests fast and deterministic in CI.
+settings.register_profile("repro", max_examples=50, deadline=None, derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def line_instance(rng: np.random.Generator) -> MSPInstance:
+    """A small 1-D random-walk instance."""
+    pts = np.cumsum(rng.normal(scale=0.4, size=(60, 1)), axis=0)
+    return MSPInstance(RequestSequence.single_requests(pts), start=np.zeros(1), D=2.0, m=1.0)
+
+
+@pytest.fixture
+def plane_instance(rng: np.random.Generator) -> MSPInstance:
+    """A small 2-D random-walk instance with 3 requests per step."""
+    demand = np.cumsum(rng.normal(scale=0.3, size=(40, 2)), axis=0)
+    pts = demand[:, None, :] + rng.normal(scale=0.3, size=(40, 3, 2))
+    return MSPInstance(RequestSequence.from_packed(pts), start=np.zeros(2), D=3.0, m=1.0)
+
+
+@pytest.fixture
+def answer_first_instance(line_instance: MSPInstance) -> MSPInstance:
+    return line_instance.with_cost_model(CostModel.ANSWER_FIRST)

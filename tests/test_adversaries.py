@@ -1,0 +1,230 @@
+"""Tests for the lower-bound constructions (Theorems 1, 2, 3, 8) and adaptive play."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    GreedyEscapeAdversary,
+    build_thm1,
+    build_thm2,
+    build_thm3,
+    build_thm8,
+    thm2_phase_lengths,
+)
+from repro.algorithms import AnswerFirstMoveToCenter, MoveToCenter, MovingClientMtC, StaticServer
+from repro.core import CostModel, simulate
+
+
+class TestThm1:
+    def test_structure(self):
+        adv = build_thm1(100, sign=1.0)
+        assert adv.instance.length == 100
+        assert adv.params["x"] == 10  # floor(sqrt(100))
+        assert adv.adversary_positions.shape == (101, 1)
+
+    def test_adversary_respects_cap(self):
+        adv = build_thm1(64, sign=-1.0)
+        adv.adversary_cost()  # validates against cap internally
+
+    def test_phase1_requests_at_start(self):
+        adv = build_thm1(64, sign=1.0)
+        x = adv.params["x"]
+        for t in range(x):
+            np.testing.assert_allclose(adv.instance.requests[t].points, 0.0)
+
+    def test_phase2_requests_on_adversary(self):
+        adv = build_thm1(64, sign=1.0, m=2.0)
+        x = adv.params["x"]
+        for t in range(x, 64):
+            np.testing.assert_allclose(
+                adv.instance.requests[t].points[0], adv.adversary_positions[t + 1]
+            )
+
+    def test_adversary_cost_matches_paper_bound(self):
+        """Adversary pays at most x*D*m + m*x^2/2ish + (T-x)*D*m."""
+        T, D, m = 256, 2.0, 1.0
+        adv = build_thm1(T, D=D, m=m, sign=1.0)
+        x = adv.params["x"]
+        bound = x * D * m + m * x * (x + 1) / 2 + (T - x) * D * m
+        assert adv.adversary_cost() <= bound + 1e-6
+
+    def test_ratio_grows_with_T(self):
+        ratios = []
+        for T in (64, 1024):
+            r = []
+            for s in range(4):
+                adv = build_thm1(T, rng=np.random.default_rng(s))
+                tr = simulate(adv.instance, MoveToCenter(), delta=0.0)
+                r.append(adv.ratio_of(tr.total_cost))
+            ratios.append(np.mean(r))
+        assert ratios[1] > 2.0 * ratios[0]
+
+    def test_multi_dim_embedding(self):
+        adv = build_thm1(32, dim=3, sign=1.0)
+        assert adv.instance.dim == 3
+        # Motion confined to the first axis.
+        assert np.all(adv.adversary_positions[:, 1:] == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_thm1(2)
+        with pytest.raises(ValueError):
+            build_thm1(100, x=100)
+
+    def test_fixed_sign_reproducible(self):
+        a = build_thm1(64, sign=1.0)
+        b = build_thm1(64, sign=1.0)
+        np.testing.assert_array_equal(a.adversary_positions, b.adversary_positions)
+
+
+class TestThm2:
+    def test_phase_lengths(self):
+        x, punish = thm2_phase_lengths(0.5)
+        assert x == 4 and punish == 8
+
+    def test_phase_lengths_validation(self):
+        with pytest.raises(ValueError):
+            thm2_phase_lengths(0.0)
+
+    def test_structure(self):
+        adv = build_thm2(0.5, cycles=2, signs=np.array([1.0, -1.0]))
+        x, punish = adv.params["x"], adv.params["punish"]
+        assert adv.instance.length == 2 * (x + punish)
+
+    def test_request_counts(self):
+        adv = build_thm2(0.5, cycles=1, r_min=2, r_max=6, signs=np.array([1.0]))
+        x = adv.params["x"]
+        counts = adv.instance.requests.counts
+        assert np.all(counts[:x] == 2)
+        assert np.all(counts[x:] == 6)
+
+    def test_adversary_respects_cap(self):
+        adv = build_thm2(0.25, cycles=3, rng=np.random.default_rng(0))
+        adv.adversary_cost()
+
+    def test_ratio_scales_with_inverse_delta(self):
+        means = []
+        for delta in (1.0, 0.25):
+            r = []
+            for s in range(4):
+                adv = build_thm2(delta, cycles=3, rng=np.random.default_rng(s))
+                tr = simulate(adv.instance, MoveToCenter(), delta=delta)
+                r.append(adv.ratio_of(tr.total_cost))
+            means.append(np.mean(r))
+        assert means[1] > 2.0 * means[0]
+
+    def test_skew_increases_ratio(self):
+        base, skew = [], []
+        for s in range(4):
+            a = build_thm2(0.25, cycles=3, rng=np.random.default_rng(s))
+            b = build_thm2(0.25, cycles=3, r_max=4, rng=np.random.default_rng(s))
+            tr_a = simulate(a.instance, MoveToCenter(), delta=0.25)
+            tr_b = simulate(b.instance, MoveToCenter(), delta=0.25)
+            base.append(a.ratio_of(tr_a.total_cost))
+            skew.append(b.ratio_of(tr_b.total_cost))
+        assert np.mean(skew) > np.mean(base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_thm2(0.5, r_min=0)
+        with pytest.raises(ValueError):
+            build_thm2(0.5, r_min=4, r_max=2)
+        with pytest.raises(ValueError):
+            build_thm2(0.5, cycles=2, signs=np.array([1.0]))
+
+
+class TestThm3:
+    def test_structure(self):
+        adv = build_thm3(cycles=5, r=3, signs=np.ones(5))
+        assert adv.instance.length == 10
+        assert adv.instance.cost_model is CostModel.ANSWER_FIRST
+        assert np.all(adv.instance.requests.counts == 3)
+
+    def test_adversary_serves_at_zero_distance(self):
+        """The adversary's own cost is pure movement: D*m per cycle."""
+        cycles, D, m = 6, 2.0, 1.5
+        adv = build_thm3(cycles=cycles, D=D, m=m, rng=np.random.default_rng(0))
+        assert adv.adversary_cost() == pytest.approx(cycles * D * m)
+
+    def test_ratio_scales_with_r(self):
+        means = []
+        for r in (1, 16):
+            vals = []
+            for s in range(4):
+                adv = build_thm3(cycles=20, r=r, rng=np.random.default_rng(s))
+                tr = simulate(adv.instance, AnswerFirstMoveToCenter(), delta=0.5)
+                vals.append(adv.ratio_of(tr.total_cost))
+            means.append(np.mean(vals))
+        assert means[1] > 4.0 * means[0]
+
+    def test_move_first_variant_harmless(self):
+        adv = build_thm3(cycles=20, r=16, cost_model=CostModel.MOVE_FIRST,
+                         rng=np.random.default_rng(0))
+        tr = simulate(adv.instance, MoveToCenter(), delta=0.5)
+        assert adv.ratio_of(tr.total_cost) < 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_thm3(cycles=0)
+        with pytest.raises(ValueError):
+            build_thm3(cycles=2, r=0)
+
+
+class TestThm8:
+    def test_agent_speed_constraint_holds(self):
+        for eps in (0.25, 1.0, 3.0):
+            adv = build_thm8(256, epsilon=eps, rng=np.random.default_rng(1))
+            assert adv.moving_client is not None
+            adv.moving_client.validate_agent_speed()  # raises on violation
+
+    def test_adversary_respects_server_cap(self):
+        adv = build_thm8(128, epsilon=1.0, sign=1.0)
+        adv.adversary_cost()
+
+    def test_phase2_agent_rides_with_adversary(self):
+        adv = build_thm8(128, epsilon=1.0, sign=1.0)
+        k = adv.params["k"]
+        agent = adv.moving_client.agent_path
+        np.testing.assert_allclose(agent[k:], adv.adversary_positions[k + 1:], atol=1e-9)
+
+    def test_ratio_grows_with_T(self):
+        means = []
+        for T in (128, 2048):
+            vals = []
+            for s in range(4):
+                adv = build_thm8(T, epsilon=1.0, rng=np.random.default_rng(s))
+                tr = simulate(adv.instance, MovingClientMtC(), delta=0.0)
+                vals.append(adv.ratio_of(tr.total_cost))
+            means.append(np.mean(vals))
+        assert means[1] > 2.0 * means[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_thm8(2)
+        with pytest.raises(ValueError):
+            build_thm8(100, epsilon=0.0)
+
+
+class TestAdaptiveAdversary:
+    def test_produces_replayable_instance(self):
+        res = GreedyEscapeAdversary().run(MoveToCenter(), T=50, delta=0.0)
+        assert res.instance.length == 50
+        assert res.ratio == pytest.approx(res.algorithm_cost / res.adversary_cost)
+
+    def test_static_server_punished(self):
+        res_static = GreedyEscapeAdversary().run(StaticServer(), T=100, delta=0.0)
+        res_mtc = GreedyEscapeAdversary().run(MoveToCenter(), T=100, delta=0.0)
+        assert res_static.ratio > res_mtc.ratio
+
+    def test_requests_per_step_validation(self):
+        with pytest.raises(ValueError):
+            GreedyEscapeAdversary(requests_per_step=0)
+
+    def test_replay_matches_recorded_cost(self):
+        from repro.core import replay_cost
+
+        res = GreedyEscapeAdversary().run(MoveToCenter(), T=30, delta=0.5)
+        # Replaying the materialised instance with the same algorithm gives
+        # the same cost (the adversary was oblivious *given* the trace).
+        tr = simulate(res.instance, MoveToCenter(), delta=0.5)
+        assert tr.total_cost == pytest.approx(res.algorithm_cost, rel=1e-9)

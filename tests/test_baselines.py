@@ -1,0 +1,215 @@
+"""Tests for the baseline algorithms (greedy, lazy, follow, MtM, coin-flip, WFA)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    CoinFlip,
+    FollowLastRequest,
+    GreedyCenter,
+    GreedyCentroid,
+    LazyThreshold,
+    MoveToMin,
+    NearestRequestChaser,
+    RetrospectiveCenter,
+    StaticServer,
+    WorkFunctionLine,
+)
+from repro.core import MSPInstance, RequestBatch, RequestSequence, simulate
+
+
+def _instance(pts, D=2.0, m=1.0):
+    return MSPInstance(RequestSequence.from_packed(np.asarray(pts, dtype=float)),
+                       start=np.zeros(np.asarray(pts).shape[-1]), D=D, m=m)
+
+
+def _drift_instance(T=50, dim=1, step=0.8, D=2.0):
+    pts = np.cumsum(np.full((T, 1, dim), step / np.sqrt(dim)), axis=0)
+    return _instance(pts, D=D)
+
+
+class TestStaticServer:
+    def test_never_moves(self):
+        tr = simulate(_drift_instance(), StaticServer())
+        assert tr.total_distance_moved == 0.0
+
+    def test_cost_is_pure_service(self):
+        tr = simulate(_drift_instance(T=10), StaticServer())
+        assert tr.total_movement_cost == 0.0
+        assert tr.total_service_cost > 0.0
+
+
+class TestGreedyFamily:
+    def test_greedy_center_full_speed_when_far(self):
+        inst = _instance(np.full((5, 1, 1), 100.0))
+        tr = simulate(inst, GreedyCenter(), delta=0.0)
+        np.testing.assert_allclose(tr.distances_moved, 1.0)
+
+    def test_greedy_center_stops_at_center(self):
+        inst = _instance(np.full((5, 1, 1), 0.5))
+        tr = simulate(inst, GreedyCenter(), delta=0.0)
+        np.testing.assert_allclose(tr.positions[1:], 0.5)
+
+    def test_centroid_differs_from_median_on_outliers(self):
+        # 3 requests at 0, one far outlier: median stays near 0, mean drifts.
+        pts = np.array([[[0.0], [0.0], [0.0], [8.0]]] * 3)
+        c_med = simulate(_instance(pts, m=10.0), GreedyCenter(), delta=0.0)
+        c_cen = simulate(_instance(pts, m=10.0), GreedyCentroid(), delta=0.0)
+        assert abs(float(c_cen.positions[-1, 0])) > abs(float(c_med.positions[-1, 0]))
+
+    def test_nearest_chaser_picks_closest(self):
+        inst = _instance(np.array([[[-1.0], [5.0]]]), m=10.0)
+        tr = simulate(inst, NearestRequestChaser(), delta=0.0)
+        np.testing.assert_allclose(tr.positions[1], [-1.0])
+
+    def test_empty_batches_stay(self):
+        seq = RequestSequence([np.empty((0, 1))] * 3, dim=1)
+        inst = MSPInstance(seq, start=np.zeros(1))
+        for alg in (GreedyCenter(), GreedyCentroid(), NearestRequestChaser()):
+            tr = simulate(inst, alg)
+            assert tr.total_distance_moved == 0.0
+
+
+class TestLazyThreshold:
+    def test_stays_until_threshold(self):
+        # Requests at distance 0.1: service accumulates slowly.
+        inst = _instance(np.full((3, 1, 1), 0.1), D=4.0)
+        tr = simulate(inst, LazyThreshold(threshold_factor=10.0))
+        assert tr.total_distance_moved == 0.0
+
+    def test_moves_after_threshold(self):
+        inst = _instance(np.full((30, 1, 1), 5.0), D=1.0)
+        tr = simulate(inst, LazyThreshold(threshold_factor=1.0))
+        assert tr.total_distance_moved > 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LazyThreshold(threshold_factor=0.0)
+        with pytest.raises(ValueError):
+            LazyThreshold(window=0)
+
+    def test_reset_clears_state(self):
+        alg = LazyThreshold(threshold_factor=0.1)
+        inst = _instance(np.full((10, 1, 1), 5.0))
+        simulate(inst, alg)
+        tr2 = simulate(inst, alg)  # second run must behave identically
+        tr3 = simulate(inst, LazyThreshold(threshold_factor=0.1))
+        np.testing.assert_allclose(tr2.positions, tr3.positions)
+
+
+class TestFollowFamily:
+    def test_follow_last_chases_center(self):
+        inst = _instance(np.full((10, 1, 1), 3.0), m=1.0)
+        tr = simulate(inst, FollowLastRequest(), delta=0.0)
+        assert float(tr.positions[-1, 0]) == pytest.approx(3.0)
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            FollowLastRequest(smoothing=0.0)
+
+    def test_smoothed_target_lags(self):
+        # First batch initialises the target directly; the lag appears when
+        # the center jumps on the second batch.
+        pts = np.array([[[0.0]], [[10.0]]])
+        inst = _instance(pts, m=100.0)
+        fast = simulate(inst, FollowLastRequest(smoothing=1.0), delta=0.0)
+        slow = simulate(inst, FollowLastRequest(smoothing=0.1), delta=0.0)
+        assert float(slow.positions[2, 0]) < float(fast.positions[2, 0])
+
+    def test_retrospective_tracks_history_median(self):
+        pts = np.concatenate([np.zeros((20, 1, 1)), np.full((2, 1, 1), 9.0)])
+        inst = _instance(pts, m=5.0)
+        tr = simulate(inst, RetrospectiveCenter(), delta=0.0)
+        # History median stays at 0 despite the late requests at 9.
+        assert abs(float(tr.positions[-1, 0])) < 1.0
+
+    def test_retrospective_history_capping(self):
+        alg = RetrospectiveCenter(max_history=16)
+        pts = np.cumsum(np.full((100, 1, 1), 0.1), axis=0)
+        simulate(_instance(pts), alg)
+        assert alg._count <= 2 * 16 + 1
+
+    def test_retrospective_validation(self):
+        with pytest.raises(ValueError):
+            RetrospectiveCenter(max_history=1)
+
+
+class TestMoveToMin:
+    def test_waits_for_phase(self):
+        inst = _instance(np.full((2, 1, 1), 5.0), D=4.0)  # phase size 4
+        tr = simulate(inst, MoveToMin())
+        assert tr.distances_moved[0] == 0.0  # still collecting
+
+    def test_moves_to_phase_median(self):
+        inst = _instance(np.full((10, 1, 1), 3.0), D=2.0, m=10.0)
+        tr = simulate(inst, MoveToMin())
+        assert float(tr.positions[-1, 0]) == pytest.approx(3.0)
+
+    def test_phase_override(self):
+        alg = MoveToMin(phase_requests=1)
+        inst = _instance(np.full((3, 1, 1), 2.0), D=8.0, m=10.0)
+        tr = simulate(inst, alg)
+        assert tr.distances_moved[0] > 0.0  # reacts immediately
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            MoveToMin(phase_requests=0)
+
+
+class TestCoinFlip:
+    def test_reproducible_with_seed(self):
+        inst = _drift_instance(T=40)
+        t1 = simulate(inst, CoinFlip(rng=np.random.default_rng(5)))
+        t2 = simulate(inst, CoinFlip(rng=np.random.default_rng(5)))
+        np.testing.assert_allclose(t1.positions, t2.positions)
+
+    def test_probability_default_half_per_2d(self):
+        inst = _drift_instance(D=4.0)
+        alg = CoinFlip(rng=np.random.default_rng(0))
+        simulate(inst, alg)
+        assert alg._p == pytest.approx(1.0 / 8.0)
+
+    def test_probability_override(self):
+        inst = _drift_instance()
+        alg = CoinFlip(rng=np.random.default_rng(0), probability=1.0)
+        tr = simulate(inst, alg)
+        assert tr.total_distance_moved > 0.0
+
+    def test_is_randomized(self):
+        assert CoinFlip().is_randomized()
+        assert not StaticServer().is_randomized()
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            CoinFlip(probability=0.0)
+
+
+class TestWorkFunctionLine:
+    def test_requires_dim_one(self):
+        pts = np.zeros((3, 1, 2))
+        inst = MSPInstance(RequestSequence.from_packed(pts), start=np.zeros(2))
+        with pytest.raises(ValueError, match="dimension 1"):
+            simulate(inst, WorkFunctionLine())
+
+    def test_tracks_stationary_requests(self):
+        inst = _instance(np.full((30, 1, 1), 2.0), D=1.0)
+        tr = simulate(inst, WorkFunctionLine(), delta=0.0)
+        assert float(tr.positions[-1, 0]) == pytest.approx(2.0, abs=0.1)
+
+    def test_respects_cap(self):
+        inst = _drift_instance(T=40)
+        tr = simulate(inst, WorkFunctionLine(), delta=0.5)
+        tr.validate_against_cap(1.5)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            WorkFunctionLine(grid_size=2)
+
+    def test_near_optimal_on_stationary(self):
+        """WFA should approach the DP optimum on an easy instance."""
+        from repro.offline import solve_line
+
+        inst = _instance(np.full((40, 1, 1), 3.0), D=2.0)
+        tr = simulate(inst, WorkFunctionLine(), delta=0.0)
+        dp = solve_line(inst)
+        assert tr.total_cost <= 2.0 * dp.cost + 1.0

@@ -1,0 +1,32 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mtc" in out and "E1" in out and "drift" in out
+
+    def test_experiments_subset(self, capsys, tmp_path):
+        code = main(["experiments", "--ids", "E9", "--scale", "0.05",
+                     "--csv", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "[E9]" in out
+        assert (tmp_path / "e9.csv").exists()
+        assert code == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--workload", "drift", "--T", "60", "--dim", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mtc" in out and "ratio" in out
+
+    def test_compare_unknown_workload(self, capsys):
+        assert main(["compare", "--workload", "nope"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

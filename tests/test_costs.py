@@ -1,0 +1,70 @@
+"""Tests for cost models and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, RequestBatch, step_cost
+from repro.core.costs import CostAccumulator
+
+
+class TestCostModel:
+    def test_move_first_serves_after_move(self):
+        assert CostModel.MOVE_FIRST.serves_after_move
+
+    def test_answer_first_serves_before_move(self):
+        assert not CostModel.ANSWER_FIRST.serves_after_move
+
+    def test_values(self):
+        assert CostModel.MOVE_FIRST.value == "move-first"
+        assert CostModel.ANSWER_FIRST.value == "answer-first"
+
+
+class TestStepCost:
+    def setup_method(self):
+        self.old = np.zeros(1)
+        self.new = np.array([1.0])
+        self.batch = RequestBatch(np.array([[1.0]]))
+
+    def test_move_first_serves_from_new_position(self):
+        c = step_cost(self.old, self.new, self.batch, D=2.0, model=CostModel.MOVE_FIRST)
+        assert c.movement == pytest.approx(2.0)
+        assert c.service == pytest.approx(0.0)  # request is at the new position
+        assert c.total == pytest.approx(2.0)
+
+    def test_answer_first_serves_from_old_position(self):
+        c = step_cost(self.old, self.new, self.batch, D=2.0, model=CostModel.ANSWER_FIRST)
+        assert c.movement == pytest.approx(2.0)
+        assert c.service == pytest.approx(1.0)  # served from the old position
+        assert c.total == pytest.approx(3.0)
+
+    def test_distance_moved_unweighted(self):
+        c = step_cost(self.old, self.new, self.batch, D=5.0)
+        assert c.distance_moved == pytest.approx(1.0)
+
+    def test_no_requests(self):
+        empty = RequestBatch(np.empty((0, 1)))
+        c = step_cost(self.old, self.new, empty, D=3.0)
+        assert c.service == 0.0 and c.movement == pytest.approx(3.0)
+
+    def test_multiple_requests_sum(self):
+        batch = RequestBatch(np.array([[2.0], [-1.0]]))
+        c = step_cost(self.old, self.old, batch, D=1.0)
+        assert c.service == pytest.approx(3.0)
+
+
+class TestCostAccumulator:
+    def test_accumulates(self):
+        acc = CostAccumulator()
+        batch = RequestBatch(np.array([[1.0]]))
+        for _ in range(3):
+            acc.add(step_cost(np.zeros(1), np.zeros(1), batch, D=1.0))
+        assert acc.steps == 3
+        assert acc.service == pytest.approx(3.0)
+        assert acc.movement == 0.0
+        assert acc.total == pytest.approx(3.0)
+
+    def test_as_dict(self):
+        acc = CostAccumulator()
+        d = acc.as_dict()
+        assert d["total"] == 0.0 and d["steps"] == 0.0
+        assert set(d) == {"total", "movement", "service", "distance_moved", "steps"}

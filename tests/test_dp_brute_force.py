@@ -1,0 +1,134 @@
+"""Brute-force cross-validation of the offline solvers on tiny instances.
+
+The banded DP and the product-grid 2-server DP are the certification
+backbone of every experiment; here their values are checked against
+exhaustive enumeration of *all* grid trajectories on instances small
+enough to enumerate.  This pins down the exact semantics (movement cap per
+step, move-then-serve accounting, start snapping) far more rigidly than
+sampled comparisons.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, MSPInstance, RequestSequence
+from repro.extensions import solve_two_servers_line
+from repro.offline.dp_line import _run_dp
+
+
+def brute_force_line(
+    grid: np.ndarray,
+    start_idx: int,
+    batches: list[np.ndarray],
+    band: int,
+    D: float,
+    serve_after_move: bool,
+) -> float:
+    """Enumerate every band-feasible grid trajectory."""
+    S = grid.shape[0]
+    h = float(grid[1] - grid[0])
+    best = np.inf
+    T = len(batches)
+    for traj in itertools.product(range(S), repeat=T):
+        prev = start_idx
+        cost = 0.0
+        ok = True
+        for t, idx in enumerate(traj):
+            if abs(idx - prev) > band:
+                ok = False
+                break
+            cost += D * h * abs(idx - prev)
+            serving = grid[idx] if serve_after_move else grid[prev]
+            pts = batches[t]
+            if pts.size:
+                cost += float(np.abs(serving - pts).sum())
+            prev = idx
+        if ok and cost < best:
+            best = cost
+    return best
+
+
+@pytest.mark.parametrize("serve_after_move", [True, False])
+@pytest.mark.parametrize("band", [1, 2])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_run_dp_matches_brute_force(serve_after_move, band, seed):
+    rng = np.random.default_rng(seed)
+    S, T = 7, 4
+    grid = np.linspace(-1.5, 1.5, S)
+    h = float(grid[1] - grid[0])
+    batches = [rng.uniform(-1.5, 1.5, size=rng.integers(0, 3)) for _ in range(T)]
+    D = 2.0
+    start_idx = 3
+    model = CostModel.MOVE_FIRST if serve_after_move else CostModel.ANSWER_FIRST
+    seq = RequestSequence([b.reshape(-1, 1) for b in batches], dim=1)
+    inst = MSPInstance(seq, start=np.array([grid[start_idx]]), D=D,
+                       m=band * h + 1e-9, cost_model=model)
+    dp_cost, _ = _run_dp(inst, grid, band, keep_tables=False)
+    bf_cost = brute_force_line(grid, start_idx, batches, band, D, serve_after_move)
+    assert dp_cost == pytest.approx(bf_cost, rel=1e-12)
+
+
+def brute_force_two_servers(
+    grid: np.ndarray,
+    start: tuple[int, int],
+    batches: list[np.ndarray],
+    band: int,
+    D: float,
+) -> float:
+    """Enumerate every band-feasible pair trajectory (tiny sizes only)."""
+    S = grid.shape[0]
+    h = float(grid[1] - grid[0])
+    best = np.inf
+    T = len(batches)
+    states = list(itertools.product(range(S), repeat=2))
+    for traj in itertools.product(states, repeat=T):
+        prev = start
+        cost = 0.0
+        ok = True
+        for t, (i, j) in enumerate(traj):
+            if abs(i - prev[0]) > band or abs(j - prev[1]) > band:
+                ok = False
+                break
+            cost += D * h * (abs(i - prev[0]) + abs(j - prev[1]))
+            pts = batches[t]
+            if pts.size:
+                d = np.minimum(np.abs(grid[i] - pts), np.abs(grid[j] - pts))
+                cost += float(d.sum())
+            prev = (i, j)
+        if ok and cost < best:
+            best = cost
+    return best
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_two_server_dp_matches_brute_force(seed):
+    """The product-grid DP's feasible value equals exhaustive enumeration.
+
+    We call the internal machinery through solve_two_servers_line with a
+    grid matched to the brute-force one; the padding shifts the grid, so we
+    instead compare against a brute force run on the *same* auto-built grid
+    by reconstructing it exactly as the solver does.
+    """
+    rng = np.random.default_rng(seed)
+    T = 3
+    batches = [rng.uniform(-1.0, 1.0, size=(rng.integers(1, 3), 1)) for _ in range(T)]
+    starts = np.array([[-0.5], [0.5]])
+    m, D = 0.8, 2.0
+    grid_size = 9
+    res = solve_two_servers_line(starts, batches, m=m, D=D, grid_size=grid_size,
+                                 padding=0.5)
+    # Rebuild the solver's grid.
+    pts = np.concatenate([b.reshape(-1) for b in batches])
+    lo = min(float(starts.min()), float(pts.min())) - (0.5 * m + 1e-9)
+    hi = max(float(starts.max()), float(pts.max())) + (0.5 * m + 1e-9)
+    grid = np.linspace(lo, hi, grid_size)
+    h = float(grid[1] - grid[0])
+    band = max(1, int(np.floor(m / h + 1e-12)))
+    i0 = int(np.argmin(np.abs(grid - starts[0, 0])))
+    i1 = int(np.argmin(np.abs(grid - starts[1, 0])))
+    bf = brute_force_two_servers(grid, (i0, i1), [b.reshape(-1) for b in batches],
+                                 band, D)
+    assert res.cost == pytest.approx(bf, rel=1e-12)
+    assert res.lower_bound <= res.cost + 1e-12

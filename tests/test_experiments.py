@@ -1,0 +1,77 @@
+"""Tests for the experiment harness.
+
+Each experiment must run end-to-end at tiny scale and return a well-formed
+result; the fast, deterministic ones additionally assert ``passed`` (the
+full-scale criteria are exercised by the benchmark suite).
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all
+from repro.experiments.runner import ExperimentResult, scaled
+
+
+class TestRunnerHelpers:
+    def test_scaled_floor(self):
+        assert scaled(10, 0.01) == 1
+        assert scaled(10, 0.01, minimum=3) == 3
+
+    def test_scaled_up(self):
+        assert scaled(10, 2.0) == 20
+
+    def test_render_includes_notes_and_verdict(self):
+        res = ExperimentResult("EX", "title", ["a"], [[1.0]], notes=["hello"], passed=True)
+        out = res.render()
+        assert "EX" in out and "hello" in out and "YES" in out
+
+    def test_render_failure_verdict(self):
+        res = ExperimentResult("EX", "t", ["a"], [[1]], passed=False)
+        assert "NO" in res.render()
+
+    def test_csv_roundtrip(self):
+        res = ExperimentResult("EX", "t", ["a", "b"], [[1, 2]])
+        assert res.csv().splitlines()[1] == "1,2"
+
+
+class TestExperimentRegistry:
+    def test_all_seventeen_registered(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 18)}
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(["E99"], scale=0.01)
+
+
+# Scale used for per-experiment smoke tests: small but meaningful.
+SMOKE = 0.15
+
+
+@pytest.mark.parametrize("eid", sorted(EXPERIMENTS, key=lambda e: int(e[1:])))
+def test_experiment_smoke(eid):
+    """Every experiment runs at tiny scale and yields a coherent table."""
+    res = EXPERIMENTS[eid](scale=SMOKE, seed=1)
+    assert res.experiment_id == eid
+    assert res.rows, "experiment produced no rows"
+    for row in res.rows:
+        assert len(row) == len(res.headers)
+    assert res.notes, "experiment must state its reproduction criterion"
+
+
+class TestDeterministicCriteria:
+    """Fast experiments whose pass criteria hold even at small scale."""
+
+    def test_e3_answer_first_shape(self):
+        res = EXPERIMENTS["E3"](scale=0.2, seed=0)
+        assert res.passed, res.render()
+
+    def test_e9_lemma6(self):
+        res = EXPERIMENTS["E9"](scale=0.1, seed=0)
+        assert res.passed, res.render()
+
+    def test_e10_lemma5(self):
+        res = EXPERIMENTS["E10"](scale=0.2, seed=0)
+        assert res.passed, res.render()
+
+    def test_e11_potential(self):
+        res = EXPERIMENTS["E11"](scale=0.2, seed=0)
+        assert res.passed, res.render()

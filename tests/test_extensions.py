@@ -1,0 +1,226 @@
+"""Tests for the extension modules (multi-agent, multi-server, facility)."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate
+from repro.extensions import (
+    CappedDoubleCoverage,
+    KGreedyCenters,
+    KMoveToCenter,
+    MeyersonStatic,
+    MobileMeyerson,
+    MultiAgentInstance,
+    MultiAgentMtC,
+    simulate_facilities,
+    simulate_k_servers,
+    solve_two_servers_line,
+)
+
+
+def _agents(T=20, k=3, step=0.4):
+    rng = np.random.default_rng(0)
+    dirs = rng.normal(size=(k, 1))
+    dirs /= np.abs(dirs)
+    paths = np.cumsum(np.full((T, k, 1), step), axis=0) * dirs.T[None, 0, :, None][0]
+    return paths
+
+
+class TestMultiAgentInstance:
+    def _paths(self, T=10, k=2, step=0.5, dim=1):
+        return np.cumsum(np.full((T, k, dim), step), axis=0)
+
+    def test_valid(self):
+        ma = MultiAgentInstance(self._paths(), start=np.zeros(1), m_agent=0.8)
+        assert ma.n_agents == 2 and ma.length == 10
+
+    def test_speed_violation_detected(self):
+        with pytest.raises(ValueError, match="m_agent"):
+            MultiAgentInstance(self._paths(step=2.0), start=np.zeros(1), m_agent=1.0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError, match="T, k, d"):
+            MultiAgentInstance(np.zeros((5, 2)), start=np.zeros(1))
+
+    def test_as_msp_fixed_r(self):
+        ma = MultiAgentInstance(self._paths(k=3), start=np.zeros(1), m_agent=0.6,
+                                m_server=2.0, D=2.0)
+        inst = ma.as_msp()
+        assert inst.requests.r_min == inst.requests.r_max == 3
+        assert inst.m == 2.0
+
+    def test_d_validation(self):
+        with pytest.raises(ValueError):
+            MultiAgentInstance(self._paths(), start=np.zeros(1), D=0.5, m_agent=0.6)
+
+
+class TestMultiAgentMtC:
+    def test_k1_matches_moving_client_rule(self):
+        """With one agent the generalised rule equals MovingClientMtC's cost
+        up to the damping formulation (min(1, 1/D)·d vs min(cap, d/D))."""
+        from repro.algorithms import MovingClientMtC
+
+        path = np.cumsum(np.full((30, 1, 1), 0.5), axis=0)
+        ma = MultiAgentInstance(path, start=np.zeros(1), D=4.0, m_server=1.0,
+                                m_agent=0.5)
+        inst = ma.as_msp()
+        tr_multi = simulate(inst, MultiAgentMtC(n_agents=1), delta=0.0)
+        tr_mc = simulate(inst, MovingClientMtC(), delta=0.0)
+        # min(1, 1/D)*d == d/D for d <= cap*D; identical when neither caps.
+        np.testing.assert_allclose(tr_multi.positions, tr_mc.positions, atol=1e-9)
+
+    def test_agent_count_enforced(self):
+        path = np.zeros((5, 2, 1))
+        ma = MultiAgentInstance(path, start=np.zeros(1), m_agent=1.0)
+        inst = ma.as_msp()
+        with pytest.raises(ValueError, match="agents"):
+            simulate(inst, MultiAgentMtC(n_agents=3), delta=0.0)
+
+    def test_tracks_cohesive_agents(self):
+        # Two agents both start at the origin; the second spreads to a +1
+        # offset over the first 10 steps (total speed stays within 0.7).
+        T = 60
+        base = np.cumsum(np.full((T, 1), 0.5), axis=0)
+        offset = np.minimum(np.arange(1, T + 1), 10)[:, None] * 0.1
+        paths = np.stack([base, base + offset], axis=1)
+        ma = MultiAgentInstance(paths, start=np.zeros(1), D=1.0, m_server=1.0,
+                                m_agent=0.7)
+        tr = simulate(ma.as_msp(), MultiAgentMtC(n_agents=2), delta=0.0)
+        # Server ends between the two agents.
+        final = float(tr.positions[-1, 0])
+        lo, hi = paths[-1, :, 0].min(), paths[-1, :, 0].max()
+        assert lo - 0.5 <= final <= hi + 0.5
+
+
+class TestMultiServer:
+    def _batches(self, T=20):
+        rng = np.random.default_rng(2)
+        return [np.array([[-3.0 + rng.normal(scale=0.1)],
+                          [3.0 + rng.normal(scale=0.1)]]) for _ in range(T)]
+
+    def test_simulation_shapes(self):
+        starts = np.array([[-1.0], [1.0]])
+        tr = simulate_k_servers(starts, self._batches(), KMoveToCenter(2), cap=1.0, D=2.0)
+        assert tr.positions.shape == (21, 2, 1)
+        assert tr.total_cost > 0
+
+    def test_cap_enforced(self):
+        class Teleport(KMoveToCenter):
+            def decide(self, t, batch):
+                return self.positions + 100.0
+
+        starts = np.array([[0.0], [1.0]])
+        with pytest.raises(ValueError, match="cap"):
+            simulate_k_servers(starts, self._batches(5), Teleport(2), cap=1.0, D=1.0)
+
+    def test_two_servers_split_hotspots(self):
+        starts = np.array([[0.0], [0.5]])
+        tr = simulate_k_servers(starts, self._batches(40), KMoveToCenter(2),
+                                cap=1.0, D=1.0)
+        finals = np.sort(tr.positions[-1, :, 0])
+        assert finals[0] == pytest.approx(-3.0, abs=0.5)
+        assert finals[1] == pytest.approx(3.0, abs=0.5)
+
+    def test_greedy_also_splits(self):
+        starts = np.array([[0.0], [0.5]])
+        tr = simulate_k_servers(starts, self._batches(40), KGreedyCenters(2),
+                                cap=1.0, D=1.0)
+        finals = np.sort(tr.positions[-1, :, 0])
+        assert finals[0] < 0 < finals[1]
+
+    def test_capped_dc_requires_1d(self):
+        starts = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="dimension 1"):
+            simulate_k_servers(starts, [np.zeros((1, 2))], CappedDoubleCoverage(2),
+                               cap=1.0, D=1.0)
+
+    def test_capped_dc_runs(self):
+        starts = np.array([[-1.0], [1.0]])
+        tr = simulate_k_servers(starts, self._batches(20), CappedDoubleCoverage(2),
+                                cap=1.0, D=1.0)
+        tr.validate_against_cap(1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KMoveToCenter(0)
+
+    def test_two_server_dp_bracket(self):
+        starts = np.array([[-3.0], [3.0]])
+        batches = self._batches(15)
+        res = solve_two_servers_line(starts, batches, m=1.0, D=2.0, grid_size=80)
+        assert 0.0 <= res.lower_bound <= res.cost
+        # Stationary hotspots at the start positions: near-zero optimum.
+        assert res.cost < 10.0
+
+    def test_two_server_dp_beats_online(self):
+        starts = np.array([[-3.0], [3.0]])
+        batches = self._batches(15)
+        res = solve_two_servers_line(starts, batches, m=1.0, D=2.0, grid_size=80)
+        tr = simulate_k_servers(starts, batches, KMoveToCenter(2), cap=1.0, D=2.0)
+        assert res.lower_bound <= tr.total_cost + 1e-6
+
+    def test_dp_rejects_coarse_grid(self):
+        starts = np.array([[-50.0], [50.0]])
+        batches = [np.array([[0.0]])]
+        with pytest.raises(ValueError, match="coarse"):
+            solve_two_servers_line(starts, batches, m=0.1, D=1.0, grid_size=16)
+
+
+class TestFacility:
+    def _stationary(self, T=40):
+        rng = np.random.default_rng(3)
+        return [np.array([[5.0, 0.0]]) + rng.normal(scale=0.2, size=(2, 2))
+                for _ in range(T)]
+
+    def test_static_never_pays_movement(self):
+        tr = simulate_facilities(self._stationary(), MeyersonStatic(np.random.default_rng(0)),
+                                 f=5.0)
+        assert tr.movement_costs.sum() == 0.0
+
+    def test_mobile_trace_consistency(self):
+        tr = simulate_facilities(self._stationary(), MobileMeyerson(np.random.default_rng(0)),
+                                 f=5.0, D=1.0, m=1.0)
+        assert tr.total_cost == pytest.approx(
+            tr.opening_costs.sum() + tr.movement_costs.sum() + tr.service_costs.sum()
+        )
+        assert tr.n_facilities >= 1
+
+    def test_opening_rule_eventually_opens_far_cluster(self):
+        tr = simulate_facilities(self._stationary(80), MeyersonStatic(np.random.default_rng(1)),
+                                 f=5.0)
+        assert tr.n_facilities >= 2  # initial + at least one near the cluster
+
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            simulate_facilities(self._stationary(), MeyersonStatic(), f=0.0)
+
+    def test_empty_batches_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_facilities([], MeyersonStatic(), f=1.0)
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            MobileMeyerson(smoothing=0.0)
+
+    def test_smoothing_reduces_stationary_movement(self):
+        """The EMA target must waste less movement on noise than raw chasing."""
+        raw = simulate_facilities(self._stationary(80),
+                                  MobileMeyerson(np.random.default_rng(2), smoothing=1.0),
+                                  f=5.0, D=1.0, m=1.0)
+        ema = simulate_facilities(self._stationary(80),
+                                  MobileMeyerson(np.random.default_rng(2), smoothing=0.3),
+                                  f=5.0, D=1.0, m=1.0)
+        assert ema.movement_costs[40:].sum() < raw.movement_costs[40:].sum()
+
+    def test_mobile_follows_drift(self):
+        rng = np.random.default_rng(4)
+        batches = []
+        pos = np.zeros(2)
+        for _ in range(60):
+            pos = pos + np.array([0.5, 0.0])
+            batches.append(pos[None, :] + rng.normal(scale=0.1, size=(2, 2)))
+        st = simulate_facilities(batches, MeyersonStatic(np.random.default_rng(5)),
+                                 f=30.0, D=1.0)
+        mo = simulate_facilities(batches, MobileMeyerson(np.random.default_rng(5)),
+                                 f=30.0, D=1.0, m=1.0)
+        assert mo.total_cost < st.total_cost

@@ -1,0 +1,98 @@
+"""Tests for MSPInstance and MovingClientInstance."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, MovingClientInstance, MSPInstance, RequestSequence
+
+
+def _seq(T=5, dim=2):
+    return RequestSequence.from_packed(np.zeros((T, 1, dim)))
+
+
+class TestMSPInstance:
+    def test_basic_properties(self):
+        inst = MSPInstance(_seq(), start=np.zeros(2), D=2.0, m=0.5)
+        assert inst.dim == 2 and inst.length == 5
+        assert inst.D == 2.0 and inst.m == 0.5
+
+    def test_start_dim_checked(self):
+        with pytest.raises(ValueError):
+            MSPInstance(_seq(dim=2), start=np.zeros(3))
+
+    def test_d_below_one_rejected(self):
+        with pytest.raises(ValueError, match="D >= 1"):
+            MSPInstance(_seq(), start=np.zeros(2), D=0.5)
+
+    def test_nonpositive_m_rejected(self):
+        with pytest.raises(ValueError, match="m must be positive"):
+            MSPInstance(_seq(), start=np.zeros(2), m=0.0)
+
+    def test_online_cap(self):
+        inst = MSPInstance(_seq(), start=np.zeros(2), m=2.0)
+        assert inst.online_cap(0.5) == pytest.approx(3.0)
+        assert inst.online_cap(0.0) == pytest.approx(2.0)
+
+    def test_online_cap_negative_delta(self):
+        inst = MSPInstance(_seq(), start=np.zeros(2))
+        with pytest.raises(ValueError):
+            inst.online_cap(-0.1)
+
+    def test_with_cost_model(self):
+        inst = MSPInstance(_seq(), start=np.zeros(2))
+        af = inst.with_cost_model(CostModel.ANSWER_FIRST)
+        assert af.cost_model is CostModel.ANSWER_FIRST
+        assert inst.cost_model is CostModel.MOVE_FIRST  # original untouched
+
+    def test_with_requests(self):
+        inst = MSPInstance(_seq(T=5), start=np.zeros(2))
+        inst2 = inst.with_requests(_seq(T=9))
+        assert inst2.length == 9 and inst.length == 5
+
+    def test_default_cost_model_is_move_first(self):
+        inst = MSPInstance(_seq(), start=np.zeros(2))
+        assert inst.cost_model is CostModel.MOVE_FIRST
+
+
+class TestMovingClientInstance:
+    def _path(self, T=10, step=0.5):
+        return np.cumsum(np.full((T, 1), step), axis=0)
+
+    def test_valid_path(self):
+        mc = MovingClientInstance(self._path(), start=np.zeros(1), m_agent=0.5)
+        assert mc.length == 10 and mc.dim == 1
+
+    def test_speed_violation_rejected(self):
+        with pytest.raises(ValueError, match="m_agent"):
+            MovingClientInstance(self._path(step=2.0), start=np.zeros(1), m_agent=1.0)
+
+    def test_first_step_checked_against_start(self):
+        path = np.array([[5.0]])  # jump of 5 from start 0
+        with pytest.raises(ValueError):
+            MovingClientInstance(path, start=np.zeros(1), m_agent=1.0)
+
+    def test_epsilon(self):
+        mc = MovingClientInstance(self._path(step=0.5), start=np.zeros(1),
+                                  m_server=1.0, m_agent=1.5)
+        assert mc.epsilon == pytest.approx(0.5)
+
+    def test_as_msp_single_requests(self):
+        mc = MovingClientInstance(self._path(), start=np.zeros(1), m_agent=0.5,
+                                  m_server=2.0, D=3.0)
+        inst = mc.as_msp()
+        assert inst.length == 10
+        assert inst.requests.r_max == 1
+        assert inst.m == 2.0 and inst.D == 3.0
+        np.testing.assert_allclose(inst.requests[3].points[0], mc.agent_path[3])
+
+    def test_d_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            MovingClientInstance(self._path(), start=np.zeros(1), D=0.5, m_agent=0.5)
+
+    def test_bad_path_shape(self):
+        with pytest.raises(ValueError, match="T, d"):
+            MovingClientInstance(np.zeros(5), start=np.zeros(1))
+
+    def test_empty_path_ok(self):
+        mc = MovingClientInstance(np.zeros((0, 2)), start=np.zeros(2))
+        assert mc.length == 0

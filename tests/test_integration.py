@@ -1,0 +1,150 @@
+"""End-to-end integration tests: the paper's claims at miniature scale.
+
+Each test is a tiny version of one experiment — the full-scale versions
+live in benchmarks/ — asserting the *direction* of every headline result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversaries import build_thm1, build_thm2, build_thm3, build_thm8
+from repro.algorithms import (
+    AnswerFirstMoveToCenter,
+    MoveToCenter,
+    MovingClientMtC,
+    make_algorithm,
+)
+from repro.analysis import collapse_to_centers, measure_ratio, verify_potential_argument
+from repro.core import CostModel, simulate
+from repro.offline import solve_line
+from repro.workloads import DriftWorkload, PatrolAgentWorkload, standard_suite
+
+
+class TestTheorem1Shape:
+    def test_ratio_quadruples_as_T_16x(self):
+        """sqrt growth: T x16 => ratio roughly x4."""
+        means = []
+        for T in (256, 4096):
+            vals = []
+            for s in range(6):
+                adv = build_thm1(T, rng=np.random.default_rng(s))
+                tr = simulate(adv.instance, MoveToCenter(), delta=0.0)
+                vals.append(adv.ratio_of(tr.total_cost))
+            means.append(np.mean(vals))
+        growth = means[1] / means[0]
+        assert 2.5 <= growth <= 6.5  # predicted 4
+
+    def test_augmentation_kills_the_bound(self):
+        """The same construction is harmless once delta > 0."""
+        vals = []
+        for s in range(6):
+            adv = build_thm1(4096, rng=np.random.default_rng(s))
+            tr = simulate(adv.instance, MoveToCenter(), delta=0.5)
+            vals.append(adv.ratio_of(tr.total_cost))
+        assert np.mean(vals) < 5.0
+
+
+class TestTheorem2Shape:
+    def test_ratio_doubles_as_delta_halves(self):
+        means = []
+        for delta in (0.5, 0.25):
+            vals = []
+            for s in range(6):
+                adv = build_thm2(delta, cycles=3, rng=np.random.default_rng(s))
+                tr = simulate(adv.instance, MoveToCenter(), delta=delta)
+                vals.append(adv.ratio_of(tr.total_cost))
+            means.append(np.mean(vals))
+        assert 1.5 <= means[1] / means[0] <= 2.6
+
+
+class TestTheorem3Shape:
+    def test_answer_first_vs_move_first_separation(self):
+        r = 16
+        af_vals, mf_vals = [], []
+        for s in range(5):
+            adv_af = build_thm3(cycles=30, r=r, rng=np.random.default_rng(s))
+            af_vals.append(adv_af.ratio_of(
+                simulate(adv_af.instance, AnswerFirstMoveToCenter(), delta=0.5).total_cost))
+            adv_mf = build_thm3(cycles=30, r=r, cost_model=CostModel.MOVE_FIRST,
+                                rng=np.random.default_rng(s))
+            mf_vals.append(adv_mf.ratio_of(
+                simulate(adv_mf.instance, MoveToCenter(), delta=0.5).total_cost))
+        assert np.mean(af_vals) > 5.0 * np.mean(mf_vals)
+
+
+class TestTheorem4Shape:
+    def test_mtc_certified_constant_on_line(self):
+        wl = DriftWorkload(120, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2,
+                           requests_per_step=4)
+        ratios = []
+        for s in range(3):
+            inst = wl.generate(np.random.default_rng(s))
+            ratios.append(measure_ratio(inst, MoveToCenter(), delta=0.5).ratio_upper)
+        assert max(ratios) < 4.0
+
+    def test_mtc_beats_unaugmented_self_on_adversarial(self):
+        adv = build_thm2(0.25, cycles=3, rng=np.random.default_rng(0))
+        aug = simulate(adv.instance, MoveToCenter(), delta=0.25).total_cost
+        no_aug = simulate(adv.instance, MoveToCenter(cap_fraction=1 / 1.25),
+                          delta=0.25).total_cost
+        assert aug <= no_aug
+
+
+class TestTheorem7Shape:
+    def test_inflation_bounded(self):
+        r, D = 8, 2.0
+        wl = DriftWorkload(100, dim=1, D=D, m=1.0, speed=0.7, spread=0.2,
+                           requests_per_step=r)
+        inst = wl.generate(np.random.default_rng(2))
+        mf = simulate(inst, MoveToCenter(), delta=0.5).total_cost
+        af = simulate(inst.with_cost_model(CostModel.ANSWER_FIRST),
+                      MoveToCenter(), delta=0.5).total_cost
+        assert af / mf <= 2.0 * max(1.0, r / D) + 0.25
+
+
+class TestTheorem8And10Shape:
+    def test_fast_agent_diverges_slow_agent_flat(self):
+        div = []
+        for T in (256, 4096):
+            adv = build_thm8(T, epsilon=1.0, sign=1.0)
+            tr = simulate(adv.instance, MovingClientMtC(), delta=0.0)
+            div.append(adv.ratio_of(tr.total_cost))
+        assert div[1] > 2.0 * div[0]
+
+        flat = []
+        for T in (100, 400):
+            wl = PatrolAgentWorkload(T=T, dim=1, D=4.0, m_server=1.0, m_agent=1.0)
+            mc = wl.generate(np.random.default_rng(3))
+            inst = mc.as_msp()
+            tr = simulate(inst, MovingClientMtC(), delta=0.0)
+            dp = solve_line(inst)
+            flat.append(tr.total_cost / max(dp.lower_bound, 1e-12))
+        assert flat[1] <= flat[0] * 1.6 + 0.3
+
+
+class TestPotentialIntegration:
+    def test_telescoped_bound_holds(self):
+        wl = DriftWorkload(100, dim=1, D=2.0, m=1.0, speed=0.7, spread=0.3,
+                           requests_per_step=4)
+        inst = collapse_to_centers(wl.generate(np.random.default_rng(1)))
+        delta = 0.5
+        tr = simulate(inst, MoveToCenter(), delta=delta)
+        dp = solve_line(inst)
+        rep = verify_potential_argument(inst, tr, dp.positions, delta)
+        # Telescoping: C_Alg <= amortised_ratio * C_Opt + phi_0 (= 0 here).
+        assert rep.amortised_ratio * rep.total_opt >= rep.total_alg - 1e-6
+
+
+class TestWholeRegistryOnSuite:
+    def test_every_algorithm_completes_standard_suite(self):
+        suite = standard_suite(T=60, dim=1, D=4.0, m=1.0)
+        from repro.algorithms import available_algorithms
+
+        for wl_name, wl in suite.items():
+            inst = wl.generate(np.random.default_rng(0))
+            for name in available_algorithms():
+                if name == "mtc-moving-client":
+                    continue
+                tr = simulate(inst, make_algorithm(name), delta=0.5)
+                assert np.isfinite(tr.total_cost)
+                tr.validate_against_cap(inst.online_cap(0.5))

@@ -1,0 +1,218 @@
+"""Tests for the geometric-median subpackage (exact, Weiszfeld, tie-break)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.median import (
+    MedianSet,
+    collinearity_frame,
+    fermat_point_triangle,
+    median_collinear,
+    median_pair,
+    median_single,
+    median_set,
+    request_center,
+    weber_cost,
+    weber_gradient_norm,
+    weiszfeld,
+)
+
+coords = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def batch(n, d):
+    return arrays(np.float64, (n, d), elements=coords)
+
+
+class TestMedianSet:
+    def test_unique(self):
+        ms = MedianSet(np.zeros(2), np.zeros(2))
+        assert ms.is_unique
+
+    def test_segment_projection_interior(self):
+        ms = MedianSet(np.array([0.0, 0.0]), np.array([2.0, 0.0]))
+        np.testing.assert_allclose(ms.closest_point_to(np.array([1.0, 5.0])), [1.0, 0.0])
+
+    def test_segment_projection_clamps(self):
+        ms = MedianSet(np.array([0.0]), np.array([2.0]))
+        np.testing.assert_allclose(ms.closest_point_to(np.array([-3.0])), [0.0])
+        np.testing.assert_allclose(ms.closest_point_to(np.array([9.0])), [2.0])
+
+
+class TestExactCases:
+    def test_single(self):
+        ms = median_single(np.array([[3.0, 4.0]]))
+        assert ms.is_unique
+        np.testing.assert_allclose(ms.a, [3.0, 4.0])
+
+    def test_pair_is_segment(self):
+        ms = median_pair(np.array([[0.0, 0.0], [2.0, 2.0]]))
+        assert not ms.is_unique
+
+    def test_collinear_odd(self):
+        pts = np.array([[0.0], [1.0], [5.0]])
+        ms = median_collinear(pts)
+        assert ms.is_unique
+        np.testing.assert_allclose(ms.a, [1.0])
+
+    def test_collinear_even_segment(self):
+        pts = np.array([[0.0], [1.0], [2.0], [10.0]])
+        ms = median_collinear(pts)
+        np.testing.assert_allclose(sorted([ms.a[0], ms.b[0]]), [1.0, 2.0])
+
+    def test_collinear_embedded_in_2d(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, 3.0]])
+        ms = median_collinear(pts)
+        np.testing.assert_allclose(ms.a, [1.0, 1.0])
+
+    def test_collinear_rejects_triangle(self):
+        with pytest.raises(ValueError, match="collinear"):
+            median_collinear(np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]))
+
+    def test_coincident_points(self):
+        pts = np.ones((4, 2))
+        ms = median_collinear(pts)
+        np.testing.assert_allclose(ms.a, [1.0, 1.0])
+
+    def test_collinearity_frame_detects(self):
+        pts = np.array([[0.0, 0.0], [2.0, 2.0], [5.0, 5.0]])
+        frame = collinearity_frame(pts)
+        assert frame is not None
+
+    def test_collinearity_frame_rejects(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert collinearity_frame(pts) is None
+
+
+class TestFermatPoint:
+    def test_equilateral_center(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        f = fermat_point_triangle(pts)
+        np.testing.assert_allclose(f, pts.mean(axis=0), atol=1e-9)
+
+    def test_obtuse_vertex_wins(self):
+        # 150-degree angle at the origin: the vertex is the Fermat point.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0],
+                        [np.cos(np.deg2rad(150)), np.sin(np.deg2rad(150))]])
+        f = fermat_point_triangle(pts)
+        np.testing.assert_allclose(f, [0.0, 0.0], atol=1e-9)
+
+    def test_120_degree_sight_lines(self):
+        """At an interior Fermat point all sides subtend 120 degrees."""
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [1.0, 3.0]])
+        f = fermat_point_triangle(pts)
+        angles = []
+        for i in range(3):
+            u = pts[i] - f
+            v = pts[(i + 1) % 3] - f
+            cosang = np.dot(u, v) / (np.linalg.norm(u) * np.linalg.norm(v))
+            angles.append(np.degrees(np.arccos(np.clip(cosang, -1, 1))))
+        np.testing.assert_allclose(angles, 120.0, atol=1e-5)
+
+    def test_matches_weiszfeld(self):
+        pts = np.array([[0.0, 0.0], [3.0, 1.0], [1.0, 4.0]])
+        f = fermat_point_triangle(pts)
+        w = weiszfeld(pts).point
+        assert weber_cost(f, pts) == pytest.approx(weber_cost(w, pts), abs=1e-8)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            fermat_point_triangle(np.zeros((2, 2)))
+
+
+class TestWeiszfeld:
+    def test_single_point(self):
+        res = weiszfeld(np.array([[2.0, 3.0]]))
+        np.testing.assert_allclose(res.point, [2.0, 3.0])
+        assert res.on_vertex and res.converged
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weiszfeld(np.empty((0, 2)))
+
+    def test_square_center(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        res = weiszfeld(pts)
+        np.testing.assert_allclose(res.point, [0.5, 0.5], atol=1e-9)
+
+    def test_dominant_vertex(self):
+        """A vertex with enough multiplicity absorbs the median."""
+        pts = np.vstack([np.zeros((5, 2)), np.array([[1.0, 0.0], [0.0, 1.0]])])
+        res = weiszfeld(pts)
+        np.testing.assert_allclose(res.point, [0.0, 0.0], atol=1e-9)
+        assert res.on_vertex
+
+    def test_gradient_small_at_optimum(self, rng):
+        pts = rng.normal(size=(12, 3))
+        res = weiszfeld(pts)
+        assert weber_gradient_norm(res.point, pts) < 1e-6
+
+    @given(batch(5, 2))
+    def test_beats_random_probes(self, pts):
+        """Property: no sampled point does better than the Weiszfeld output."""
+        res = weiszfeld(pts)
+        base = weber_cost(res.point, pts)
+        probe_rng = np.random.default_rng(0)
+        for _ in range(10):
+            probe = res.point + probe_rng.normal(scale=0.1 + 0.1 * np.abs(pts).max(), size=2)
+            assert weber_cost(probe, pts) >= base - 1e-6 * (1 + base)
+
+    def test_beats_centroid_or_ties(self, rng):
+        pts = rng.normal(size=(9, 2)) ** 3  # skewed
+        res = weiszfeld(pts)
+        assert weber_cost(res.point, pts) <= weber_cost(pts.mean(axis=0), pts) + 1e-9
+
+    def test_high_dimension(self, rng):
+        pts = rng.normal(size=(20, 7))
+        res = weiszfeld(pts)
+        assert weber_gradient_norm(res.point, pts) < 1e-5
+
+
+class TestRequestCenter:
+    def test_single_request(self):
+        c = request_center(np.array([[2.0, 2.0]]), server=np.zeros(2))
+        np.testing.assert_allclose(c, [2.0, 2.0])
+
+    def test_pair_tie_break_projects_server(self):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        c = request_center(pts, server=np.array([1.0, 7.0]))
+        np.testing.assert_allclose(c, [1.0, 0.0])
+
+    def test_pair_tie_break_clamps_to_segment(self):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        c = request_center(pts, server=np.array([-3.0, 0.0]))
+        np.testing.assert_allclose(c, [0.0, 0.0])
+
+    def test_even_collinear_tie_break(self):
+        pts = np.array([[0.0], [1.0], [3.0], [10.0]])
+        c = request_center(pts, server=np.array([2.5]))
+        np.testing.assert_allclose(c, [2.5])  # inside the median interval
+
+    def test_unique_median_ignores_server(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        c1 = request_center(pts, server=np.zeros(2))
+        c2 = request_center(pts, server=np.array([100.0, -50.0]))
+        np.testing.assert_allclose(c1, c2, atol=1e-9)
+
+    def test_center_minimizes_weber(self, rng):
+        pts = rng.normal(size=(7, 2))
+        c = request_center(pts, server=np.zeros(2))
+        for _ in range(20):
+            probe = c + rng.normal(scale=0.05, size=2)
+            assert weber_cost(c, pts) <= weber_cost(probe, pts) + 1e-7
+
+    def test_median_set_none_for_generic_triangle(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert median_set(pts) is None
+
+    def test_median_set_for_1d(self):
+        pts = np.array([[0.0], [2.0], [4.0]])
+        ms = median_set(pts)
+        assert ms is not None and ms.is_unique
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            request_center(np.empty((0, 2)), server=np.zeros(2))

@@ -1,0 +1,182 @@
+"""Tests for Move-to-Center and its variants — the paper's algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AnswerFirstMoveToCenter,
+    MoveToCenter,
+    MovingClientMtC,
+)
+from repro.core import (
+    CostModel,
+    MovingClientInstance,
+    MSPInstance,
+    RequestBatch,
+    RequestSequence,
+    simulate,
+)
+
+
+def _instance(D=4.0, m=1.0, dim=1, T=1, model=CostModel.MOVE_FIRST):
+    seq = RequestSequence.from_packed(np.zeros((T, 1, dim)))
+    return MSPInstance(seq, start=np.zeros(dim), D=D, m=m, cost_model=model)
+
+
+def _prepared(alg, D=4.0, m=1.0, dim=1, delta=0.0):
+    inst = _instance(D=D, m=m, dim=dim)
+    alg.reset(inst, inst.online_cap(delta))
+    return alg
+
+
+class TestMtCDecisionRule:
+    def test_step_length_is_min_one_r_over_d(self):
+        """The paper's rule: move min{1, r/D} * d(P, c) towards c."""
+        alg = _prepared(MoveToCenter(), D=4.0, m=10.0)
+        batch = RequestBatch(np.array([[2.0]]))  # r=1, c=2.0, d(P,c)=2
+        new = alg.decide(0, batch)
+        # min(1, 1/4) * 2.0 = 0.5
+        np.testing.assert_allclose(new, [0.5])
+
+    def test_full_jump_when_r_exceeds_d(self):
+        alg = _prepared(MoveToCenter(), D=2.0, m=10.0)
+        batch = RequestBatch(np.tile([[2.0]], (3, 1)))  # r=3 > D=2
+        new = alg.decide(0, batch)
+        np.testing.assert_allclose(new, [2.0])  # min(1, 3/2)=1 -> all the way
+
+    def test_cap_clamps_step(self):
+        alg = _prepared(MoveToCenter(), D=1.0, m=1.0, delta=0.5)
+        batch = RequestBatch(np.array([[100.0]]))
+        new = alg.decide(0, batch)
+        np.testing.assert_allclose(new, [1.5])  # (1+delta)*m
+
+    def test_empty_batch_stays(self):
+        alg = _prepared(MoveToCenter())
+        new = alg.decide(0, RequestBatch(np.empty((0, 1))))
+        np.testing.assert_allclose(new, [0.0])
+
+    def test_requests_at_server_stays(self):
+        alg = _prepared(MoveToCenter())
+        new = alg.decide(0, RequestBatch(np.zeros((3, 1))))
+        np.testing.assert_allclose(new, [0.0])
+
+    def test_moves_along_segment_towards_center(self):
+        alg = _prepared(MoveToCenter(), D=2.0, m=0.25, dim=2)
+        batch = RequestBatch(np.array([[3.0, 4.0]]))
+        new = alg.decide(0, batch)
+        # Direction (0.6, 0.8), step = min(min(1,1/2)*5, 0.25) = 0.25.
+        np.testing.assert_allclose(new, [0.15, 0.2])
+
+    def test_tie_break_uses_server_position(self):
+        """Even collinear batch: c is the median-interval point closest to P."""
+        alg = _prepared(MoveToCenter(), D=1.0, m=100.0)
+        alg.position = np.array([1.5])
+        batch = RequestBatch(np.array([[0.0], [1.0], [2.0], [3.0]]))
+        new = alg.decide(0, batch)
+        np.testing.assert_allclose(new, [1.5])  # already in the median set
+
+    def test_never_violates_cap_on_random_runs(self, rng):
+        pts = np.cumsum(rng.normal(size=(100, 1)) * 2.0, axis=0)
+        inst = MSPInstance(RequestSequence.single_requests(pts), start=np.zeros(1),
+                           D=2.0, m=0.5)
+        tr = simulate(inst, MoveToCenter(), delta=0.25)
+        tr.validate_against_cap(0.625)
+
+
+class TestMtCAblations:
+    def test_invalid_step_scale(self):
+        with pytest.raises(ValueError):
+            MoveToCenter(step_scale=0.0)
+        with pytest.raises(ValueError):
+            MoveToCenter(step_scale=1.5)
+
+    def test_invalid_cap_fraction(self):
+        with pytest.raises(ValueError):
+            MoveToCenter(cap_fraction=0.0)
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            MoveToCenter(tie_break="bogus")
+
+    def test_fixed_scale_overrides_damping(self):
+        alg = _prepared(MoveToCenter(step_scale=1.0), D=4.0, m=10.0)
+        batch = RequestBatch(np.array([[2.0]]))
+        np.testing.assert_allclose(alg.decide(0, batch), [2.0])
+
+    def test_cap_fraction_limits_speed(self):
+        alg = _prepared(MoveToCenter(cap_fraction=0.5), D=1.0, m=1.0, delta=1.0)
+        batch = RequestBatch(np.array([[100.0]]))
+        np.testing.assert_allclose(alg.decide(0, batch), [1.0])  # 0.5 * 2.0
+
+    def test_midpoint_tie_break(self):
+        alg = _prepared(MoveToCenter(tie_break="midpoint"), D=1.0, m=100.0)
+        batch = RequestBatch(np.array([[0.0], [4.0]]))
+        np.testing.assert_allclose(alg.decide(0, batch), [2.0])
+
+    def test_names_reflect_ablations(self):
+        assert MoveToCenter().name == "mtc"
+        assert "scale" in MoveToCenter(step_scale=0.5).name
+        assert "tie" in MoveToCenter(tie_break="midpoint").name
+
+
+class TestAnswerFirstMtC:
+    def test_requires_answer_first_instance(self):
+        inst = _instance(model=CostModel.MOVE_FIRST)
+        with pytest.raises(ValueError, match="ANSWER_FIRST"):
+            simulate(inst, AnswerFirstMoveToCenter())
+
+    def test_runs_on_answer_first(self):
+        inst = _instance(model=CostModel.ANSWER_FIRST, T=5)
+        tr = simulate(inst, AnswerFirstMoveToCenter())
+        assert tr.length == 5
+
+    def test_same_decisions_as_plain_mtc(self):
+        """Theorem 7 analyses the *same* rule; only accounting differs."""
+        pts = np.linspace(0, 3, 8).reshape(8, 1, 1)
+        seq = RequestSequence.from_packed(pts)
+        inst_mf = MSPInstance(seq, start=np.zeros(1), D=2.0, m=1.0)
+        inst_af = inst_mf.with_cost_model(CostModel.ANSWER_FIRST)
+        tr_mf = simulate(inst_mf, MoveToCenter(), delta=0.5)
+        tr_af = simulate(inst_af, AnswerFirstMoveToCenter(), delta=0.5)
+        np.testing.assert_allclose(tr_mf.positions, tr_af.positions)
+
+
+class TestMovingClientMtC:
+    def test_rule_min_cap_dist_over_d(self):
+        inst = _instance(D=4.0, m=1.0)
+        alg = MovingClientMtC()
+        alg.reset(inst, 1.0)
+        batch = RequestBatch(np.array([[2.0]]))
+        # min(1.0, 2.0/4.0) = 0.5 towards the agent.
+        np.testing.assert_allclose(alg.decide(0, batch), [0.5])
+
+    def test_cap_binds_when_agent_far(self):
+        inst = _instance(D=1.0, m=1.0)
+        alg = MovingClientMtC()
+        alg.reset(inst, 1.0)
+        batch = RequestBatch(np.array([[50.0]]))
+        np.testing.assert_allclose(alg.decide(0, batch), [1.0])
+
+    def test_rejects_multi_request_batch(self):
+        inst = _instance()
+        alg = MovingClientMtC()
+        alg.reset(inst, 1.0)
+        with pytest.raises(ValueError, match="one request"):
+            alg.decide(0, RequestBatch(np.zeros((2, 1))))
+
+    def test_empty_batch_stays(self):
+        inst = _instance()
+        alg = MovingClientMtC()
+        alg.reset(inst, 1.0)
+        np.testing.assert_allclose(alg.decide(0, RequestBatch(np.empty((0, 1)))), [0.0])
+
+    def test_trails_agent_within_dm(self, rng):
+        """Theorem 10's proof: MtC keeps d(P, A) <= D*m + agent step."""
+        from repro.workloads import PatrolAgentWorkload
+
+        wl = PatrolAgentWorkload(T=150, dim=2, D=3.0, m_server=1.0, m_agent=1.0)
+        mc = wl.generate(rng)
+        inst = mc.as_msp()
+        tr = simulate(inst, MovingClientMtC(), delta=0.0)
+        gaps = np.linalg.norm(tr.positions[1:] - mc.agent_path, axis=1)
+        assert gaps.max() <= mc.D * inst.m + mc.m_agent + 1e-6

@@ -1,0 +1,57 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.algorithms import OnlineAlgorithm, available_algorithms, make_algorithm, register
+from repro.algorithms.registry import ALGORITHMS
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in available_algorithms():
+            alg = make_algorithm(name)
+            assert isinstance(alg, OnlineAlgorithm)
+
+    def test_expected_core_entries(self):
+        names = available_algorithms()
+        for expected in ("mtc", "static", "greedy-center", "move-to-min", "coin-flip",
+                         "work-function", "lazy", "follow-last", "retrospective"):
+            assert expected in names
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            make_algorithm("definitely-not-registered")
+
+    def test_register_and_use(self):
+        from repro.algorithms import StaticServer
+
+        register("test-static", StaticServer)
+        try:
+            assert isinstance(make_algorithm("test-static"), StaticServer)
+        finally:
+            del ALGORITHMS["test-static"]
+
+    def test_register_duplicate_rejected(self):
+        from repro.algorithms import StaticServer
+
+        with pytest.raises(KeyError, match="already"):
+            register("mtc", StaticServer)
+
+    def test_register_overwrite_allowed(self):
+        from repro.algorithms import StaticServer
+
+        original = ALGORITHMS["mtc"]
+        try:
+            register("mtc", StaticServer, overwrite=True)
+            assert isinstance(make_algorithm("mtc"), StaticServer)
+        finally:
+            ALGORITHMS["mtc"] = original
+
+    def test_factories_give_fresh_instances(self):
+        a = make_algorithm("lazy")
+        b = make_algorithm("lazy")
+        assert a is not b
+
+    def test_sorted_output(self):
+        names = available_algorithms()
+        assert names == sorted(names)

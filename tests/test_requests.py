@@ -1,0 +1,110 @@
+"""Tests for RequestBatch / RequestSequence."""
+
+import numpy as np
+import pytest
+
+from repro.core import RequestBatch, RequestSequence
+
+
+class TestRequestBatch:
+    def test_count_and_dim(self):
+        b = RequestBatch(np.zeros((3, 2)))
+        assert b.count == 3 and b.dim == 2
+
+    def test_empty_batch(self):
+        b = RequestBatch(np.empty((0, 2)))
+        assert b.count == 0
+        assert b.service_cost(np.zeros(2)) == 0.0
+
+    def test_service_cost(self):
+        b = RequestBatch(np.array([[3.0, 4.0], [0.0, 0.0]]))
+        assert b.service_cost(np.zeros(2)) == pytest.approx(5.0)
+
+    def test_iteration(self):
+        b = RequestBatch(np.array([[1.0], [2.0]]))
+        assert [float(p[0]) for p in b] == [1.0, 2.0]
+
+    def test_len(self):
+        assert len(RequestBatch(np.zeros((4, 1)))) == 4
+
+    def test_single_point_promotion(self):
+        b = RequestBatch(np.array([1.0, 2.0]))
+        assert b.count == 1 and b.dim == 2
+
+
+class TestRequestSequence:
+    def test_from_packed(self):
+        seq = RequestSequence.from_packed(np.zeros((5, 2, 3)))
+        assert seq.length == 5 and seq.dim == 3
+        assert seq.is_uniform
+        assert seq.packed.shape == (5, 2, 3)
+
+    def test_single_requests(self):
+        seq = RequestSequence.single_requests(np.zeros((4, 2)))
+        assert seq.length == 4 and seq.r_min == seq.r_max == 1
+
+    def test_ragged(self):
+        seq = RequestSequence([np.zeros((1, 2)), np.zeros((3, 2))])
+        assert seq.r_min == 1 and seq.r_max == 3
+        assert not seq.is_uniform
+        assert seq.packed is None
+
+    def test_empty_steps_allowed(self):
+        seq = RequestSequence([np.empty((0, 2)), np.zeros((2, 2))])
+        assert seq.r_min == 0 and seq.r_max == 2
+        assert seq[0].count == 0 and seq[0].dim == 2
+
+    def test_all_empty_needs_dim(self):
+        with pytest.raises(ValueError, match="dim"):
+            RequestSequence([np.empty((0, 0))])
+
+    def test_all_empty_with_dim(self):
+        seq = RequestSequence([np.empty((0, 2))], dim=2)
+        assert seq.dim == 2 and seq.total_requests() == 0
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension"):
+            RequestSequence([np.zeros((1, 2)), np.zeros((1, 3))])
+
+    def test_counts_array(self):
+        seq = RequestSequence([np.zeros((2, 1)), np.zeros((5, 1))])
+        np.testing.assert_array_equal(seq.counts, [2, 5])
+        assert seq.total_requests() == 7
+
+    def test_all_points_concat(self):
+        seq = RequestSequence([np.ones((2, 1)), 2 * np.ones((1, 1))])
+        np.testing.assert_allclose(seq.all_points().ravel(), [1, 1, 2])
+
+    def test_getitem_and_iter(self):
+        seq = RequestSequence.from_packed(np.arange(6, dtype=float).reshape(3, 1, 2))
+        assert seq[1].points[0, 0] == 2.0
+        assert len(list(seq)) == 3
+
+    def test_slice(self):
+        seq = RequestSequence.from_packed(np.zeros((6, 1, 2)))
+        sl = seq.slice(1, 4)
+        assert sl.length == 3 and sl.dim == 2
+
+    def test_concat(self):
+        a = RequestSequence.from_packed(np.zeros((2, 1, 2)))
+        b = RequestSequence.from_packed(np.ones((3, 1, 2)))
+        c = a.concat(b)
+        assert c.length == 5
+        assert c[4].points[0, 0] == 1.0
+
+    def test_concat_dim_mismatch(self):
+        a = RequestSequence.from_packed(np.zeros((2, 1, 2)))
+        b = RequestSequence.from_packed(np.zeros((2, 1, 3)))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_from_packed_2d_promotes(self):
+        seq = RequestSequence.from_packed(np.zeros((4, 2)))
+        assert seq.length == 4 and seq.r_max == 1 and seq.dim == 2
+
+    def test_from_packed_bad_ndim(self):
+        with pytest.raises(ValueError):
+            RequestSequence.from_packed(np.zeros((2, 2, 2, 2)))
+
+    def test_len_builtin(self):
+        assert len(RequestSequence.from_packed(np.zeros((7, 1, 1)))) == 7

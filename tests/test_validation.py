@@ -1,0 +1,38 @@
+"""Tests for movement-cap validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import MovementCapViolation, cap_tolerance, check_move
+
+
+class TestCheckMove:
+    def test_within_cap_returns_distance(self):
+        d = check_move(0, np.zeros(2), np.array([0.3, 0.4]), cap=1.0)
+        assert d == pytest.approx(0.5)
+
+    def test_exactly_at_cap_ok(self):
+        check_move(0, np.zeros(1), np.array([1.0]), cap=1.0)
+
+    def test_tiny_overshoot_tolerated(self):
+        # Floating-point slop from direction arithmetic must not raise.
+        check_move(0, np.zeros(1), np.array([1.0 + 1e-12]), cap=1.0)
+
+    def test_violation_raises_with_details(self):
+        with pytest.raises(MovementCapViolation) as exc:
+            check_move(7, np.zeros(1), np.array([2.0]), cap=1.0, algorithm="alg")
+        err = exc.value
+        assert err.step == 7 and err.cap == 1.0
+        assert err.moved == pytest.approx(2.0)
+        assert "alg" in str(err)
+
+    def test_zero_move_always_ok(self):
+        assert check_move(0, np.ones(3), np.ones(3), cap=0.0) == 0.0
+
+
+class TestCapTolerance:
+    def test_scales_with_cap(self):
+        assert cap_tolerance(1000.0) > cap_tolerance(1.0)
+
+    def test_positive_for_zero_cap(self):
+        assert cap_tolerance(0.0) > 0.0

@@ -1,0 +1,191 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import MSPInstance, MovingClientInstance
+from repro.workloads import (
+    BurstyWorkload,
+    ClusteredWorkload,
+    DriftWorkload,
+    PatrolAgentWorkload,
+    RandomWalkWorkload,
+    SpliceWorkload,
+    VehiclePlatoonWorkload,
+    make_instance,
+    random_waypoint_path,
+    splice,
+    standard_suite,
+)
+
+
+class TestBase:
+    def test_make_instance_packed(self):
+        inst = make_instance(np.zeros((4, 2, 3)), start=np.zeros(3), D=2.0, m=1.0)
+        assert inst.length == 4 and inst.dim == 3
+
+    def test_make_instance_ragged(self):
+        inst = make_instance([np.zeros((1, 2)), np.zeros((3, 2))],
+                             start=np.zeros(2), D=1.0, m=1.0)
+        assert inst.requests.r_max == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkWorkload(T=0)
+        with pytest.raises(ValueError):
+            RandomWalkWorkload(T=5, dim=0)
+
+    def test_generate_many_independent(self):
+        wl = RandomWalkWorkload(T=10, dim=1)
+        a, b = wl.generate_many([1, 2])
+        assert not np.allclose(a.requests.all_points(), b.requests.all_points())
+
+
+class TestRandomWalk:
+    def test_shape_and_determinism(self):
+        wl = RandomWalkWorkload(T=30, dim=2, requests_per_step=3)
+        a = wl.generate(np.random.default_rng(7))
+        b = wl.generate(np.random.default_rng(7))
+        assert a.length == 30 and a.requests.r_max == 3
+        np.testing.assert_array_equal(a.requests.all_points(), b.requests.all_points())
+
+    def test_zero_sigma_keeps_demand_at_origin(self):
+        wl = RandomWalkWorkload(T=20, dim=2, sigma=0.0, spread=0.0)
+        inst = wl.generate(np.random.default_rng(0))
+        np.testing.assert_allclose(inst.requests.all_points(), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkWorkload(T=5, sigma=-1.0)
+        with pytest.raises(ValueError):
+            RandomWalkWorkload(T=5, requests_per_step=0)
+
+
+class TestDrift:
+    def test_constant_speed(self):
+        wl = DriftWorkload(T=20, dim=2, speed=0.7, spread=0.0)
+        inst = wl.generate(np.random.default_rng(3))
+        pts = inst.requests.all_points()
+        steps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        np.testing.assert_allclose(steps, 0.7, atol=1e-9)
+
+    def test_rotation_requires_2d(self):
+        with pytest.raises(ValueError, match="dim == 2"):
+            DriftWorkload(T=5, dim=1, rotate=0.1)
+
+    def test_rotating_drift_curves(self):
+        wl = DriftWorkload(T=50, dim=2, speed=0.5, rotate=0.2, spread=0.0)
+        inst = wl.generate(np.random.default_rng(1))
+        pts = inst.requests.all_points()
+        # A rotating drift stays bounded, a straight one escapes.
+        straight = DriftWorkload(T=50, dim=2, speed=0.5, rotate=0.0, spread=0.0)
+        pts_s = straight.generate(np.random.default_rng(1)).requests.all_points()
+        assert np.linalg.norm(pts[-1]) < np.linalg.norm(pts_s[-1])
+
+
+class TestBursty:
+    def test_counts_vary(self):
+        wl = BurstyWorkload(T=120, burst_probability=0.2, burst_requests=8,
+                            quiet_requests=1)
+        inst = wl.generate(np.random.default_rng(5))
+        counts = inst.requests.counts
+        assert counts.min() == 1 and counts.max() == 8
+
+    def test_zero_quiet_allows_empty_steps(self):
+        wl = BurstyWorkload(T=60, burst_probability=0.05, quiet_requests=0)
+        inst = wl.generate(np.random.default_rng(2))
+        assert inst.requests.r_min == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyWorkload(T=5, burst_probability=1.5)
+        with pytest.raises(ValueError):
+            BurstyWorkload(T=5, burst_length=0)
+
+
+class TestClustered:
+    def test_total_requests_per_step(self):
+        wl = ClusteredWorkload(T=15, requests_per_step=6, n_clusters=3)
+        inst = wl.generate(np.random.default_rng(4))
+        assert np.all(inst.requests.counts == 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteredWorkload(T=5, n_clusters=0)
+
+
+class TestVehicles:
+    def test_formation_is_cohesive(self):
+        wl = VehiclePlatoonWorkload(T=40, n_vehicles=5, formation_radius=2.0,
+                                    jitter=0.01)
+        inst = wl.generate(np.random.default_rng(6))
+        for t in range(inst.length):
+            pts = inst.requests[t].points
+            spread = np.linalg.norm(pts - pts.mean(axis=0), axis=1).max()
+            assert spread <= 2.0 * np.sqrt(2) + 0.5
+
+    def test_platoon_travels(self):
+        wl = VehiclePlatoonWorkload(T=100, road_speed=0.8, jitter=0.0)
+        inst = wl.generate(np.random.default_rng(0))
+        first = inst.requests[0].points.mean(axis=0)
+        last = inst.requests[-1].points.mean(axis=0)
+        assert np.linalg.norm(last - first) > 30.0
+
+    def test_one_dimensional_road(self):
+        wl = VehiclePlatoonWorkload(T=20, dim=1)
+        inst = wl.generate(np.random.default_rng(0))
+        assert inst.dim == 1
+
+
+class TestDisaster:
+    def test_waypoint_path_speed_exact(self):
+        rng = np.random.default_rng(8)
+        path = random_waypoint_path(200, dim=2, speed=0.7, rng=rng)
+        full = np.vstack([np.zeros((1, 2)), path])
+        steps = np.linalg.norm(np.diff(full, axis=0), axis=1)
+        assert steps.max() <= 0.7 + 1e-9
+
+    def test_patrol_generates_valid_instance(self):
+        wl = PatrolAgentWorkload(T=50, dim=2, m_server=1.0, m_agent=0.8)
+        mc = wl.generate(np.random.default_rng(1))
+        assert isinstance(mc, MovingClientInstance)
+        mc.validate_agent_speed()
+        assert mc.epsilon == pytest.approx(-0.2)
+
+    def test_patrol_faster_agent_regime(self):
+        wl = PatrolAgentWorkload(T=50, dim=1, m_server=1.0, m_agent=2.0)
+        mc = wl.generate(np.random.default_rng(1))
+        assert mc.epsilon == pytest.approx(1.0)
+
+    def test_generate_many(self):
+        wl = PatrolAgentWorkload(T=20)
+        insts = wl.generate_many([1, 2, 3])
+        assert len(insts) == 3
+
+
+class TestSpliceAndSuite:
+    def test_splice_lengths_add(self):
+        a = DriftWorkload(T=10, dim=1).generate(np.random.default_rng(0))
+        b = DriftWorkload(T=15, dim=1).generate(np.random.default_rng(1))
+        c = splice(a, b)
+        assert c.length == 25
+
+    def test_splice_parameter_mismatch(self):
+        a = DriftWorkload(T=10, dim=1, D=2.0).generate(np.random.default_rng(0))
+        b = DriftWorkload(T=10, dim=1, D=4.0).generate(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            splice(a, b)
+
+    def test_splice_workload_generator(self):
+        gen = SpliceWorkload(RandomWalkWorkload(T=10, dim=1),
+                             DriftWorkload(T=10, dim=1))
+        inst = gen.generate(np.random.default_rng(0))
+        assert inst.length == 20
+
+    def test_standard_suite_contents(self):
+        suite = standard_suite(T=50, dim=1)
+        assert {"random-walk", "drift", "bursty", "clustered", "vehicles"} <= set(suite)
+        for wl in suite.values():
+            inst = wl.generate(np.random.default_rng(0))
+            assert isinstance(inst, MSPInstance)
+            assert inst.dim == 1
