@@ -1,0 +1,107 @@
+"""Batched vs scalar engine throughput.
+
+Measures end-to-end simulation throughput in (instance, step) pairs per
+second — "steps/sec" — for the scalar per-instance loop
+(:func:`repro.core.simulator.simulate`) against the lock-step batched
+engine (:func:`repro.core.engine.simulate_batch`) at batch sizes
+B ∈ {1, 32, 256} on a 2-D random-walk workload.
+
+Two algorithms bracket the engine's win:
+
+* ``greedy-centroid`` — fully vectorized decision rule; the per-step cost
+  is a handful of whole-batch NumPy calls, so the speedup tracks the
+  amortized Python overhead directly (the acceptance bar: ≥ 5× at B=256);
+* ``mtc`` — the paper's algorithm; its geometric median stays a per-lane
+  exact solve, so the speedup shows what vectorized accounting alone buys.
+
+The totals of both paths are asserted equal, so the comparison can never
+silently drift into measuring different work.
+
+Run directly (``python benchmarks/bench_engine_batched.py``) for the
+table, or via pytest where the ≥ 5× acceptance criterion is enforced.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms import make_algorithm
+from repro.core import simulate, simulate_batch
+from repro.workloads import RandomWalkWorkload
+
+T = 150
+BATCH_SIZES = (1, 32, 256)
+DELTA = 0.5
+
+
+def _instances(B: int) -> list:
+    wl = RandomWalkWorkload(T, dim=2, D=2.0, m=1.0, sigma=0.3, spread=0.4,
+                            requests_per_step=4)
+    return [wl.generate(np.random.default_rng(s)) for s in range(B)]
+
+
+def _scalar_run(instances, name: str) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    totals = np.array([
+        simulate(inst, make_algorithm(name), delta=DELTA).total_cost
+        for inst in instances
+    ])
+    elapsed = time.perf_counter() - start
+    return len(instances) * T / elapsed, totals
+
+
+def _batched_run(instances, name: str) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    totals = simulate_batch(instances, name, delta=DELTA).total_costs
+    elapsed = time.perf_counter() - start
+    return len(instances) * T / elapsed, totals
+
+
+def measure(name: str) -> list[tuple[int, float, float, float]]:
+    """``(B, scalar steps/s, batched steps/s, speedup)`` rows for one algorithm."""
+    rows = []
+    for B in BATCH_SIZES:
+        instances = _instances(B)
+        # Warm-up pass so one-time costs (imports, allocator) don't skew B=1.
+        simulate_batch(instances[:1], name, delta=DELTA)
+        scalar_sps, scalar_totals = _scalar_run(instances, name)
+        batched_sps, batched_totals = _batched_run(instances, name)
+        np.testing.assert_array_equal(batched_totals, scalar_totals)
+        rows.append((B, scalar_sps, batched_sps, batched_sps / scalar_sps))
+    return rows
+
+
+def _render(name: str, rows) -> str:
+    lines = [f"{name}: batched vs scalar throughput (T={T}, 2-D, 4 req/step)",
+             f"{'B':>5} | {'scalar steps/s':>14} | {'batched steps/s':>15} | {'speedup':>7}"]
+    for B, s, b, x in rows:
+        lines.append(f"{B:>5} | {s:>14,.0f} | {b:>15,.0f} | {x:>6.1f}x")
+    return "\n".join(lines)
+
+
+def test_batched_engine_speedup(capsys):
+    """Acceptance: ≥ 5× steps/sec over scalar at B=256 for a vectorized algorithm."""
+    rows = measure("greedy-centroid")
+    with capsys.disabled():
+        print()
+        print(_render("greedy-centroid", rows))
+    by_B = {B: x for B, _, _, x in rows}
+    assert by_B[256] >= 5.0, f"batched speedup at B=256 is only {by_B[256]:.1f}x"
+
+
+def test_batched_engine_mtc_tracks_scalar(capsys):
+    """MtC (per-lane median) must not regress under the batched engine."""
+    rows = measure("mtc")
+    with capsys.disabled():
+        print()
+        print(_render("mtc", rows))
+    by_B = {B: x for B, _, _, x in rows}
+    assert by_B[256] >= 0.9, f"batched MtC slower than scalar: {by_B[256]:.2f}x"
+
+
+if __name__ == "__main__":
+    for name in ("greedy-centroid", "mtc"):
+        print(_render(name, measure(name)))
+        print()

@@ -14,11 +14,36 @@ from .move_to_min import MoveToMin
 from .mtc import MoveToCenter
 from .mtc_variants import AnswerFirstMoveToCenter, MovingClientMtC
 from .registry import ALGORITHMS, available_algorithms, make_algorithm, register
+from .vectorized import (
+    VECTORIZED,
+    BatchedCoinFlip,
+    BatchedFollowLast,
+    BatchedGreedyCenter,
+    BatchedGreedyCentroid,
+    BatchedLazyThreshold,
+    BatchedMoveToCenter,
+    BatchedMoveToMin,
+    BatchedNearestChaser,
+    BatchedStatic,
+    ScalarBatchAdapter,
+    as_vectorized,
+    make_vectorized,
+)
 from .work_function import WorkFunctionLine
 
 __all__ = [
     "ALGORITHMS",
+    "VECTORIZED",
     "AnswerFirstMoveToCenter",
+    "BatchedCoinFlip",
+    "BatchedFollowLast",
+    "BatchedGreedyCenter",
+    "BatchedGreedyCentroid",
+    "BatchedLazyThreshold",
+    "BatchedMoveToCenter",
+    "BatchedMoveToMin",
+    "BatchedNearestChaser",
+    "BatchedStatic",
     "CoinFlip",
     "FollowLastRequest",
     "GreedyCenter",
@@ -30,9 +55,12 @@ __all__ = [
     "NearestRequestChaser",
     "OnlineAlgorithm",
     "RetrospectiveCenter",
+    "ScalarBatchAdapter",
     "StaticServer",
     "WorkFunctionLine",
+    "as_vectorized",
     "available_algorithms",
     "make_algorithm",
+    "make_vectorized",
     "register",
 ]

@@ -14,7 +14,6 @@ subclasses only implement the decision rule.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

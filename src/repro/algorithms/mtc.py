@@ -19,11 +19,11 @@ tie-break so the role of each design choice can be measured.
 
 from __future__ import annotations
 
-from typing import Callable, Literal
+from typing import Literal
 
 import numpy as np
 
-from ..core.geometry import move_towards
+from ..core.geometry import move_towards, norm
 from ..core.requests import RequestBatch
 from ..median import request_center, weiszfeld
 from .base import OnlineAlgorithm
@@ -103,7 +103,7 @@ class MoveToCenter(OnlineAlgorithm):
         if batch.count == 0:
             return self.position
         c = self.center(batch)
-        dist_to_c = float(np.linalg.norm(c - self.position))
+        dist_to_c = norm(c - self.position)
         if dist_to_c <= 0.0:
             return self.position
         scale = self.step_scale

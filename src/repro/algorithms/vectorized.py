@@ -1,0 +1,509 @@
+"""Vectorized (batched) implementations of the online algorithms.
+
+Each class here is the :class:`~repro.core.engine.VectorizedAlgorithm`
+counterpart of one scalar :class:`~repro.algorithms.base.OnlineAlgorithm`:
+it plays ``B`` independent instances in lock-step, holding its per-lane
+state (pursuit targets, phase buffers, RNG streams) in arrays and Python
+lists indexed by lane.  The decision arithmetic — clamped moves, damping,
+thresholds — runs as whole-batch NumPy operations; only the geometric
+median (:func:`repro.median.request_center`), whose tie-broken exact
+solver is inherently per-batch, is evaluated in a short per-lane loop.
+Because every lane performs bit-identical float64 operations to the scalar
+algorithm, batched runs reproduce scalar traces exactly (the equivalence
+suite asserts this for every registry entry).
+
+:class:`ScalarBatchAdapter` is the generic fallback: it instantiates one
+scalar algorithm per lane and forwards ``decide`` calls, so *every*
+registry algorithm — including scalar-only ones like ``work-function`` —
+works under :func:`repro.core.engine.simulate_batch` unchanged.
+
+:func:`as_vectorized` resolves a registry name (or scalar factory) to the
+best available batched implementation: a truly vectorized class when one
+is registered in :data:`VECTORIZED`, the adapter otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..core.engine import BatchStepRequests, VectorizedAlgorithm
+from ..core.geometry import batched_move_towards, row_norms
+from ..core.instance import MSPInstance
+from ..median import request_center, weiszfeld
+from .base import OnlineAlgorithm
+from .registry import ALGORITHMS
+
+__all__ = [
+    "VECTORIZED",
+    "BatchedCoinFlip",
+    "BatchedFollowLast",
+    "BatchedGreedyCenter",
+    "BatchedGreedyCentroid",
+    "BatchedLazyThreshold",
+    "BatchedMoveToCenter",
+    "BatchedMoveToMin",
+    "BatchedNearestChaser",
+    "BatchedStatic",
+    "ScalarBatchAdapter",
+    "as_vectorized",
+    "make_vectorized",
+]
+
+
+class ScalarBatchAdapter(VectorizedAlgorithm):
+    """Run any scalar algorithm under the batched engine, one copy per lane.
+
+    The adapter owns ``B`` independent algorithm objects built from
+    ``factory`` and forwards each lane's requests to its own copy, keeping
+    the scalar ``position`` attribute in sync with the engine's state.
+    Results are bit-identical to ``B`` separate scalar runs by
+    construction; the engine still amortizes trace allocation, move
+    validation and cost accounting across lanes.
+    """
+
+    def __init__(self, factory: Callable[[], OnlineAlgorithm], name: str | None = None) -> None:
+        super().__init__()
+        self._factory = factory
+        self._algorithms: list[OnlineAlgorithm] = []
+        if name is not None:
+            self.name = name
+
+    def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
+        super().reset_batch(instances, caps)
+        self._algorithms = [self._factory() for _ in self.instances]
+        for alg, inst, cap in zip(self._algorithms, self.instances, self.caps):
+            alg.reset(inst, float(cap))
+        if self._algorithms:
+            self.name = self._algorithms[0].name
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        out = np.empty_like(positions)
+        for i, alg in enumerate(self._algorithms):
+            out[i] = alg.decide(t, step.batch(i))
+            # The scalar simulator updates ``position`` after validating the
+            # move; the engine validates the whole batch afterwards, so sync
+            # here with a private copy the algorithm cannot alias.
+            alg.position = np.array(out[i], dtype=np.float64, copy=True)
+        return out
+
+
+class BatchedStatic(VectorizedAlgorithm):
+    """Vectorized :class:`~repro.algorithms.lazy.StaticServer`: never moves."""
+
+    name = "static"
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        return positions
+
+
+class BatchedGreedyCentroid(VectorizedAlgorithm):
+    """Vectorized :class:`~repro.algorithms.greedy.GreedyCentroid`.
+
+    The centroid is a plain mean, so with a packed ``(B, r, d)`` step the
+    whole decision is three NumPy calls — this is the engine's showcase
+    fully-vectorized algorithm (see ``benchmarks/bench_engine_batched.py``).
+    """
+
+    name = "greedy-centroid"
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        if step.points is not None:
+            targets = step.points.mean(axis=1)
+            return batched_move_towards(positions, targets, self.caps)
+        targets = positions.copy()
+        steps = np.zeros(len(step))
+        for i in np.nonzero(step.counts)[0]:
+            targets[i] = step.batch(int(i)).points.mean(axis=0)
+            steps[i] = self.caps[i]
+        return batched_move_towards(positions, targets, steps)
+
+
+class BatchedNearestChaser(VectorizedAlgorithm):
+    """Vectorized :class:`~repro.algorithms.greedy.NearestRequestChaser`."""
+
+    name = "nearest-chaser"
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        if step.points is not None:
+            diff = step.points - positions[:, None, :]
+            dists = np.sqrt(np.einsum("brd,brd->br", diff, diff))
+            nearest = step.points[np.arange(len(step)), np.argmin(dists, axis=1)]
+            return batched_move_towards(positions, nearest, self.caps)
+        targets = positions.copy()
+        steps = np.zeros(len(step))
+        for i in np.nonzero(step.counts)[0]:
+            pts = step.batch(int(i)).points
+            diff = pts - positions[i]
+            d = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            targets[i] = pts[int(np.argmin(d))]
+            steps[i] = self.caps[i]
+        return batched_move_towards(positions, targets, steps)
+
+
+class BatchedGreedyCenter(VectorizedAlgorithm):
+    """Vectorized :class:`~repro.algorithms.greedy.GreedyCenter`.
+
+    The tie-broken geometric median is computed per lane (it is an exact
+    solver, not an array expression); the full-speed clamped move is
+    batched.
+    """
+
+    name = "greedy-center"
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        targets = positions.copy()
+        steps = np.zeros(len(step))
+        for i in np.nonzero(step.counts)[0]:
+            targets[i] = request_center(step.batch(int(i)).points, positions[i])
+            steps[i] = self.caps[i]
+        return batched_move_towards(positions, targets, steps)
+
+
+class BatchedMoveToCenter(VectorizedAlgorithm):
+    """Vectorized :class:`~repro.algorithms.mtc.MoveToCenter` (the paper's MtC).
+
+    Mirrors the scalar constructor (``step_scale``, ``tie_break``,
+    ``cap_fraction`` ablation hooks) and the scalar decision rule: per-lane
+    tie-broken centers with warm-started Weiszfeld, then one batched
+    ``min{1, r/D}``-damped clamped move.
+    """
+
+    def __init__(
+        self,
+        step_scale: float | None = None,
+        tie_break: str = "closest",
+        cap_fraction: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if step_scale is not None and not (0.0 < step_scale <= 1.0):
+            raise ValueError(f"step_scale must lie in (0, 1], got {step_scale}")
+        if not (0.0 < cap_fraction <= 1.0):
+            raise ValueError(f"cap_fraction must lie in (0, 1], got {cap_fraction}")
+        if tie_break not in ("closest", "weiszfeld", "midpoint"):
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        self.step_scale = step_scale
+        self.tie_break = tie_break
+        self.cap_fraction = cap_fraction
+        suffix = []
+        if step_scale is not None:
+            suffix.append(f"scale={step_scale:g}")
+        if tie_break != "closest":
+            suffix.append(f"tie={tie_break}")
+        if cap_fraction != 1.0:
+            suffix.append(f"cap×{cap_fraction:g}")
+        self.name = "mtc" + (f"[{','.join(suffix)}]" if suffix else "")
+        self._last_centers: list[np.ndarray | None] = []
+
+    def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
+        super().reset_batch(instances, caps)
+        self._last_centers = [None] * self.batch_size
+
+    def _center(self, lane: int, points: np.ndarray, position: np.ndarray) -> np.ndarray:
+        if self.tie_break == "closest":
+            c = request_center(points, position, warm_start=self._last_centers[lane])
+            self._last_centers[lane] = c
+            return c
+        if self.tie_break == "weiszfeld":
+            return weiszfeld(points).point
+        from ..median.tie_breaking import median_set
+
+        mset = median_set(points)
+        if mset is None:
+            return weiszfeld(points).point
+        return 0.5 * (mset.a + mset.b)
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        B = len(step)
+        targets = positions.copy()
+        for i in np.nonzero(step.counts)[0]:
+            targets[int(i)] = self._center(int(i), step.batch(int(i)).points, positions[int(i)])
+        dist = row_norms(targets - positions)
+        if self.step_scale is not None:
+            scale = np.full(B, self.step_scale)
+        else:
+            scale = np.minimum(1.0, step.counts / self.D)
+        desired = scale * dist
+        steps = np.minimum(desired, self.caps * self.cap_fraction)
+        return batched_move_towards(positions, targets, steps)
+
+
+def _pursuit_move(
+    positions: np.ndarray,
+    targets: Sequence[np.ndarray | None],
+    caps: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Full-speed clamped move of each lane towards its pursuit target.
+
+    Lanes whose target is ``None`` stay put.  Returns the new positions,
+    the assembled target array, and the indices of pursuing lanes — the
+    single assembly shared by every pursuit-style algorithm so the scalar
+    semantics live in one place.
+    """
+    tgt = positions.copy()
+    steps = np.zeros(positions.shape[0])
+    active = []
+    for i, target in enumerate(targets):
+        if target is not None:
+            tgt[i] = target
+            steps[i] = caps[i]
+            active.append(i)
+    return batched_move_towards(positions, tgt, steps), tgt, active
+
+
+class _BatchedPursuit(VectorizedAlgorithm):
+    """Shared machinery for target-pursuit algorithms (lazy, MtM, coin-flip).
+
+    Subclasses update ``self._targets`` (per-lane pursuit target or
+    ``None``) in :meth:`_update_targets`; the base class performs the
+    batched full-speed clamped move and clears targets that were reached
+    this step (matching the scalar ``allclose(..., atol=1e-12)`` test).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._targets: list[np.ndarray | None] = []
+
+    def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
+        super().reset_batch(instances, caps)
+        self._targets = [None] * self.batch_size
+
+    def _update_targets(self, t: int, positions: np.ndarray, step: BatchStepRequests) -> None:
+        raise NotImplementedError
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        self._update_targets(t, positions, step)
+        out, tgt, active = _pursuit_move(positions, self._targets, self.caps)
+        if active:
+            reached = np.all(np.abs(out - tgt) <= 1e-12, axis=1)
+            for i in active:
+                if reached[i]:
+                    self._targets[i] = None
+        return out
+
+
+class BatchedFollowLast(VectorizedAlgorithm):
+    """Vectorized :class:`~repro.algorithms.follow.FollowLastRequest`."""
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        super().__init__()
+        if not (0.0 < smoothing <= 1.0):
+            raise ValueError("smoothing must lie in (0, 1]")
+        self.smoothing = smoothing
+        self.name = f"follow-last[{smoothing:g}]" if smoothing != 1.0 else "follow-last"
+        self._targets: list[np.ndarray | None] = []
+
+    def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
+        super().reset_batch(instances, caps)
+        self._targets = [None] * self.batch_size
+
+    def decide_batch(
+        self, t: int, positions: np.ndarray, step: BatchStepRequests
+    ) -> np.ndarray:
+        for i in np.nonzero(step.counts)[0]:
+            i = int(i)
+            c = request_center(step.batch(i).points, positions[i])
+            if self._targets[i] is None:
+                self._targets[i] = c
+            else:
+                self._targets[i] = (1.0 - self.smoothing) * self._targets[i] + self.smoothing * c
+        # Unlike the _BatchedPursuit family, the smoothed target persists
+        # after being reached, so no clearing step here.
+        out, _, _ = _pursuit_move(positions, self._targets, self.caps)
+        return out
+
+
+class BatchedLazyThreshold(_BatchedPursuit):
+    """Vectorized :class:`~repro.algorithms.lazy.LazyThreshold`."""
+
+    def __init__(self, threshold_factor: float = 1.0, window: int = 8) -> None:
+        super().__init__()
+        if threshold_factor <= 0:
+            raise ValueError("threshold_factor must be positive")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.threshold_factor = threshold_factor
+        self.window = window
+        self.name = f"lazy[{threshold_factor:g}]"
+        self._accumulated: np.ndarray = np.zeros(0)
+        self._recent: list[list[np.ndarray]] = []
+        self._thresholds: np.ndarray = np.zeros(0)
+
+    def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
+        super().reset_batch(instances, caps)
+        self._accumulated = np.zeros(self.batch_size)
+        self._recent = [[] for _ in range(self.batch_size)]
+        self._thresholds = self.threshold_factor * self.D * np.array(
+            [inst.m for inst in self.instances]
+        )
+
+    def _update_targets(self, t: int, positions: np.ndarray, step: BatchStepRequests) -> None:
+        for i in np.nonzero(step.counts)[0]:
+            i = int(i)
+            batch = step.batch(i)
+            recent = self._recent[i]
+            recent.append(batch.points)
+            if len(recent) > self.window:
+                recent.pop(0)
+            self._accumulated[i] += batch.service_cost(positions[i])
+        for i in range(self.batch_size):
+            if (
+                self._targets[i] is None
+                and self._accumulated[i] > self._thresholds[i]
+                and self._recent[i]
+            ):
+                pooled = np.concatenate(self._recent[i], axis=0)
+                self._targets[i] = request_center(pooled, positions[i])
+                self._accumulated[i] = 0.0
+
+
+class BatchedMoveToMin(_BatchedPursuit):
+    """Vectorized :class:`~repro.algorithms.move_to_min.MoveToMin`."""
+
+    def __init__(self, phase_requests: int | None = None) -> None:
+        super().__init__()
+        if phase_requests is not None and phase_requests < 1:
+            raise ValueError("phase_requests must be positive")
+        self.phase_requests = phase_requests
+        self.name = "move-to-min"
+        self._phase_points: list[list[np.ndarray]] = []
+        self._phase_counts: np.ndarray = np.zeros(0, dtype=np.int64)
+
+    def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
+        super().reset_batch(instances, caps)
+        self._phase_points = [[] for _ in range(self.batch_size)]
+        self._phase_counts = np.zeros(self.batch_size, dtype=np.int64)
+
+    def _phase_size(self, lane: int) -> int:
+        if self.phase_requests is not None:
+            return self.phase_requests
+        return max(1, int(np.ceil(self.D[lane])))
+
+    def _update_targets(self, t: int, positions: np.ndarray, step: BatchStepRequests) -> None:
+        for i in np.nonzero(step.counts)[0]:
+            i = int(i)
+            batch = step.batch(i)
+            self._phase_points[i].append(batch.points)
+            self._phase_counts[i] += batch.count
+        for i in range(self.batch_size):
+            if self._phase_counts[i] >= self._phase_size(i) and self._phase_points[i]:
+                pooled = np.concatenate(self._phase_points[i], axis=0)
+                self._targets[i] = request_center(pooled, positions[i])
+                self._phase_points[i] = []
+                self._phase_counts[i] = 0
+
+
+class BatchedCoinFlip(_BatchedPursuit):
+    """Vectorized :class:`~repro.algorithms.coinflip.CoinFlip`.
+
+    Each lane owns an independent RNG stream from ``rng_factory(lane)``
+    (default: a fresh ``default_rng(lane)``), consumed exactly as the
+    scalar algorithm consumes its generator — one draw per step with
+    requests — so a lane seeded like a scalar run reproduces it exactly.
+    """
+
+    def __init__(
+        self,
+        rng_factory: Callable[[int], np.random.Generator] | None = None,
+        probability: float | None = None,
+    ) -> None:
+        super().__init__()
+        if probability is not None and not (0.0 < probability <= 1.0):
+            raise ValueError("probability must lie in (0, 1]")
+        self.rng_factory = rng_factory if rng_factory is not None else (
+            lambda lane: np.random.default_rng(lane)
+        )
+        self.probability = probability
+        self.name = "coin-flip"
+        self._rngs: list[np.random.Generator] = []
+        self._p: np.ndarray = np.zeros(0)
+
+    def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
+        super().reset_batch(instances, caps)
+        self._rngs = [self.rng_factory(i) for i in range(self.batch_size)]
+        if self.probability is not None:
+            self._p = np.full(self.batch_size, self.probability)
+        else:
+            self._p = 1.0 / (2.0 * self.D)
+
+    def _update_targets(self, t: int, positions: np.ndarray, step: BatchStepRequests) -> None:
+        for i in np.nonzero(step.counts)[0]:
+            i = int(i)
+            if self._rngs[i].random() < self._p[i]:
+                self._targets[i] = request_center(step.batch(i).points, positions[i])
+
+
+#: Registry names with a truly vectorized implementation; everything else
+#: resolves to :class:`ScalarBatchAdapter`.  The ``coin-flip`` entry seeds
+#: every lane like the scalar registry factory (``default_rng(0)``) so
+#: batched sweeps reproduce per-seed scalar runs.
+VECTORIZED: Dict[str, Callable[[], VectorizedAlgorithm]] = {
+    "mtc": BatchedMoveToCenter,
+    "greedy-center": BatchedGreedyCenter,
+    "greedy-centroid": BatchedGreedyCentroid,
+    "nearest-chaser": BatchedNearestChaser,
+    "static": BatchedStatic,
+    "lazy": BatchedLazyThreshold,
+    "lazy-aggressive": lambda: BatchedLazyThreshold(threshold_factor=0.25),
+    "follow-last": BatchedFollowLast,
+    "follow-smooth": lambda: BatchedFollowLast(smoothing=0.25),
+    "move-to-min": BatchedMoveToMin,
+    "coin-flip": lambda: BatchedCoinFlip(rng_factory=lambda lane: np.random.default_rng(0)),
+}
+
+
+def make_vectorized(name: str) -> VectorizedAlgorithm:
+    """Best batched implementation of a registry algorithm.
+
+    Truly vectorized when ``name`` appears in :data:`VECTORIZED`, otherwise
+    the scalar algorithm wrapped in :class:`ScalarBatchAdapter`.
+    """
+    if name in VECTORIZED:
+        return VECTORIZED[name]()
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+    return ScalarBatchAdapter(factory, name=name)
+
+
+def as_vectorized(
+    algorithm: VectorizedAlgorithm | str | Callable[[], OnlineAlgorithm],
+) -> VectorizedAlgorithm:
+    """Coerce an algorithm spec to a :class:`VectorizedAlgorithm`.
+
+    Accepts an already-batched algorithm (returned as is), a registry name
+    (resolved via :func:`make_vectorized`), or a zero-arg factory of scalar
+    algorithms (wrapped in the adapter).  A scalar algorithm *instance* is
+    rejected: one stateful object cannot serve ``B`` lanes — pass its class
+    or a factory instead.
+    """
+    if isinstance(algorithm, VectorizedAlgorithm):
+        return algorithm
+    if isinstance(algorithm, str):
+        return make_vectorized(algorithm)
+    if isinstance(algorithm, OnlineAlgorithm):
+        raise TypeError(
+            f"cannot batch the scalar algorithm instance {algorithm!r}: one stateful "
+            "object cannot play several lanes — pass its class or a zero-arg factory"
+        )
+    if callable(algorithm):
+        return ScalarBatchAdapter(algorithm)
+    raise TypeError(f"cannot interpret {algorithm!r} as a batched algorithm")

@@ -12,7 +12,9 @@ from .ratio import (
     RatioMeasurement,
     collapse_to_centers,
     measure_adversarial_ratio,
+    measure_adversarial_ratio_batch,
     measure_ratio,
+    measure_ratio_batch,
 )
 from .regression import FitResult, fit_linear, fit_power_law
 from .stats import Summary, bootstrap_ci, summarize
@@ -32,7 +34,9 @@ __all__ = [
     "fit_linear",
     "fit_power_law",
     "measure_adversarial_ratio",
+    "measure_adversarial_ratio_batch",
     "measure_ratio",
+    "measure_ratio_batch",
     "potential_value",
     "ratio_curve",
     "render_table",
@@ -40,4 +44,5 @@ __all__ = [
     "separation_curve",
     "summarize",
     "to_csv",
+    "verify_potential_argument",
 ]

@@ -9,6 +9,13 @@ Two measurement modes:
   certified ratio *lower bound* — exactly what a lower-bound experiment
   needs.  Randomized constructions / algorithms are averaged over seeds.
 
+Both modes have batched counterparts (:func:`measure_ratio_batch`,
+:func:`measure_adversarial_ratio_batch`) that play all seeds/instances in
+lock-step through :func:`repro.core.engine.simulate_batch` — one engine
+pass instead of one Python simulation loop per seed — and return the same
+per-instance measurements, so experiment sweeps switch between the paths
+freely.
+
 Also here: the Lemma-5 pairing helper (:func:`collapse_to_centers`), which
 replaces each batch by ``r`` copies of its tie-broken center — the
 simplified instances on which the paper's per-step analysis operates.
@@ -23,17 +30,19 @@ import numpy as np
 
 from ..adversaries.base import AdversarialInstance
 from ..algorithms.base import OnlineAlgorithm
+from ..core.engine import AlgorithmSpec, simulate_batch
 from ..core.instance import MSPInstance
-from ..core.requests import RequestBatch, RequestSequence
+from ..core.requests import RequestSequence
 from ..core.simulator import simulate
-from ..core.trace import Trace
 from ..median import request_center
 from ..offline.bounds import OptBracket, bracket_optimum
 
 __all__ = [
     "RatioMeasurement",
     "measure_ratio",
+    "measure_ratio_batch",
     "measure_adversarial_ratio",
+    "measure_adversarial_ratio_batch",
     "collapse_to_centers",
 ]
 
@@ -91,6 +100,47 @@ def measure_ratio(
     )
 
 
+def measure_ratio_batch(
+    instances: Sequence[MSPInstance],
+    algorithm: AlgorithmSpec,
+    delta: float = 0.0,
+    brackets: Sequence[OptBracket] | None = None,
+    **bracket_kwargs,
+) -> list[RatioMeasurement]:
+    """Batched :func:`measure_ratio`: one engine pass over ``B`` instances.
+
+    All instances are simulated in lock-step through
+    :func:`repro.core.engine.simulate_batch`; the offline bracket is still
+    computed per instance (DP solves do not batch) unless precomputed
+    ``brackets`` are supplied — useful when several algorithms are measured
+    on the same instances.
+
+    Returns one :class:`RatioMeasurement` per instance, in order.
+    """
+    instances = list(instances)
+    if brackets is not None and len(brackets) != len(instances):
+        raise ValueError("need exactly one bracket per instance")
+    batch_trace = simulate_batch(instances, algorithm, delta=delta)
+    costs = batch_trace.total_costs
+    out = []
+    for i, inst in enumerate(instances):
+        bracket = brackets[i] if brackets is not None else bracket_optimum(inst, **bracket_kwargs)
+        lower = max(bracket.lower, 1e-300)
+        upper = max(bracket.upper, 1e-300)
+        cost = float(costs[i])
+        out.append(
+            RatioMeasurement(
+                cost=cost,
+                opt_lower=bracket.lower,
+                opt_upper=bracket.upper,
+                ratio_lower=cost / upper,
+                ratio_upper=cost / lower,
+                algorithm=batch_trace.algorithm,
+            )
+        )
+    return out
+
+
 def measure_adversarial_ratio(
     build: Callable[[np.random.Generator], AdversarialInstance],
     algorithm_factory: Callable[[], OnlineAlgorithm],
@@ -120,6 +170,27 @@ def measure_adversarial_ratio(
         adv = build(np.random.default_rng(seed))
         trace = simulate(adv.instance, algorithm_factory(), delta=delta)
         ratios[i] = adv.ratio_of(trace.total_cost)
+    return float(ratios.mean()), ratios
+
+
+def measure_adversarial_ratio_batch(
+    build: Callable[[np.random.Generator], AdversarialInstance],
+    algorithm: AlgorithmSpec,
+    delta: float,
+    seeds: Sequence[int],
+) -> tuple[float, np.ndarray]:
+    """Batched :func:`measure_adversarial_ratio`.
+
+    Draws one adversarial instance per seed (the construction parameters
+    must give every draw the same length ``T``) and plays all of them in
+    one lock-step engine pass.  ``algorithm`` is an engine spec — registry
+    name, scalar factory, or :class:`~repro.core.engine.VectorizedAlgorithm`
+    — instantiated fresh per lane, so stateful and randomized algorithms
+    behave exactly as in the scalar per-seed loop.
+    """
+    advs = [build(np.random.default_rng(seed)) for seed in seeds]
+    costs = simulate_batch([adv.instance for adv in advs], algorithm, delta=delta).total_costs
+    ratios = np.array([adv.ratio_of(float(c)) for adv, c in zip(advs, costs)])
     return float(ratios.mean()), ratios
 
 

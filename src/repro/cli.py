@@ -9,7 +9,10 @@ Subcommands
     ``--csv DIR`` to also dump CSVs).
 
 ``compare``
-    Quick algorithm comparison on a named workload.
+    Quick algorithm comparison on a named workload.  With ``--batch B``
+    each algorithm plays ``B`` seeded instances in one lock-step pass of
+    the batched engine and certified ratios are averaged (the offline
+    brackets are solved once per instance and shared across algorithms).
 
 ``list``
     Show registered algorithms and workloads.
@@ -43,29 +46,43 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from .algorithms import available_algorithms, make_algorithm
-    from .analysis import measure_ratio, render_table
+    from .algorithms import available_algorithms
+    from .analysis import measure_ratio_batch, render_table
+    from .offline import bracket_optimum
     from .workloads import standard_suite
 
+    if args.batch < 1:
+        print("--batch must be at least 1", file=sys.stderr)
+        return 2
     suite = standard_suite(T=args.T, dim=args.dim, D=args.D, m=1.0)
     if args.workload not in suite:
         print(f"unknown workload {args.workload!r}; available: {', '.join(suite)}", file=sys.stderr)
         return 2
-    inst = suite[args.workload].generate(np.random.default_rng(args.seed))
+    instances = [
+        suite[args.workload].generate(np.random.default_rng(args.seed + i))
+        for i in range(args.batch)
+    ]
+    brackets = [bracket_optimum(inst) for inst in instances]
     rows = []
     for name in available_algorithms():
         if name == "mtc-moving-client":
             continue
         if name == "work-function" and args.dim != 1:
             continue
-        kwargs = {"prefer": "dp-line"} if args.dim == 1 else {}
-        meas = measure_ratio(inst, make_algorithm(name), delta=args.delta)
-        rows.append([name, meas.cost, meas.ratio_lower, meas.ratio_upper])
+        measures = measure_ratio_batch(instances, name, delta=args.delta, brackets=brackets)
+        rows.append([
+            name,
+            float(np.mean([m.cost for m in measures])),
+            float(np.mean([m.ratio_lower for m in measures])),
+            float(np.mean([m.ratio_upper for m in measures])),
+        ])
     rows.sort(key=lambda r: r[3])
+    batch_tag = f", batch={args.batch}" if args.batch > 1 else ""
     print(render_table(
         ["algorithm", "cost", "ratio >=", "ratio <="],
         rows,
-        title=f"{args.workload} (T={args.T}, dim={args.dim}, D={args.D}, delta={args.delta})",
+        title=f"{args.workload} (T={args.T}, dim={args.dim}, D={args.D}, "
+              f"delta={args.delta}{batch_tag})",
     ))
     return 0
 
@@ -108,6 +125,9 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument("--D", type=float, default=4.0)
     p_cmp.add_argument("--delta", type=float, default=0.5)
     p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--batch", type=int, default=1, metavar="B",
+                       help="play B seeded instances per algorithm in one batched "
+                            "engine pass and average the certified ratios")
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_list = sub.add_parser("list", help="list algorithms, workloads, experiments")

@@ -2,11 +2,14 @@
 
 Exports the containers (:class:`RequestBatch`, :class:`RequestSequence`,
 :class:`MSPInstance`, :class:`MovingClientInstance`), the cost models, the
-simulation engine (:func:`simulate`, :func:`replay_cost`) and the trace
-type.
+scalar simulation engine (:func:`simulate`, :func:`replay_cost`), the
+batched engine (:func:`simulate_batch` with :class:`BatchTrace` /
+:class:`BatchState` and the :class:`VectorizedAlgorithm` protocol) and the
+trace type.
 """
 
 from .costs import CostAccumulator, CostModel, StepCost, step_cost
+from .engine import BatchState, BatchStepRequests, BatchTrace, VectorizedAlgorithm, simulate_batch
 from .instance import MovingClientInstance, MSPInstance
 from .io import load_instance, load_trace, save_instance, save_trace
 from .requests import RequestBatch, RequestSequence
@@ -15,6 +18,9 @@ from .trace import Trace
 from .validation import MovementCapViolation
 
 __all__ = [
+    "BatchState",
+    "BatchStepRequests",
+    "BatchTrace",
     "CostAccumulator",
     "CostModel",
     "MSPInstance",
@@ -24,6 +30,8 @@ __all__ = [
     "RequestSequence",
     "StepCost",
     "Trace",
+    "VectorizedAlgorithm",
+    "simulate_batch",
     "load_instance",
     "load_trace",
     "replay_cost",

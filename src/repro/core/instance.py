@@ -10,13 +10,12 @@ validators can check the agent trajectory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from .costs import CostModel
-from .geometry import EPS, as_point, distance
+from .geometry import EPS, as_point
 from .requests import RequestSequence
 
 __all__ = ["MSPInstance", "MovingClientInstance"]

@@ -9,15 +9,19 @@ cap, account costs under the instance's cost model.
 Resource augmentation is expressed through ``delta``: the algorithm's cap is
 :math:`(1+\\delta) m` while costs stay identical, matching Section 3 of the
 paper.  ``delta=0`` recovers the un-augmented problem.
+
+For sweeps over many instances, :mod:`repro.core.engine` provides
+:func:`~repro.core.engine.simulate_batch`, which plays ``B`` same-length
+instances in lock-step with vectorized accounting and reproduces this
+scalar loop bit-for-bit per lane.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from .costs import CostModel
 from .geometry import distances_to
 from .instance import MovingClientInstance, MSPInstance
 from .trace import Trace
@@ -67,7 +71,11 @@ def simulate(
     D = instance.D
     serve_after_move = instance.cost_model.serves_after_move
 
-    pos = algorithm.position
+    # ``pos`` is the simulator's private copy of the pre-move position.  It
+    # must never alias ``algorithm.position``: a decide() that mutates its
+    # position in place and returns it (legal-looking but against the API
+    # contract) would otherwise corrupt movement accounting and the trace.
+    pos = np.array(algorithm.position, dtype=np.float64, copy=True)
     for t in range(T):
         batch = requests[t]
         new_pos = np.asarray(algorithm.decide(t, batch), dtype=np.float64)
@@ -77,7 +85,7 @@ def simulate(
             service = float(distances_to(serving_pos, batch.points).sum())
         else:
             service = 0.0
-        trace.positions[t + 1] = new_pos
+        trace.positions[t + 1] = new_pos  # copies values out of new_pos
         trace.movement_costs[t] = D * moved
         trace.service_costs[t] = service
         trace.distances_moved[t] = moved
@@ -85,7 +93,7 @@ def simulate(
         if callback is not None:
             callback(t, pos, new_pos, batch.points)
         algorithm.position = new_pos
-        pos = new_pos
+        pos = np.array(new_pos, dtype=np.float64, copy=True)
     return trace
 
 

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..algorithms import MoveToCenter
 from ..analysis import collapse_to_centers, measure_ratio
-from ..workloads import BurstyWorkload, ClusteredWorkload, DriftWorkload, RandomWalkWorkload
+from ..workloads import ClusteredWorkload, DriftWorkload, RandomWalkWorkload
 from .runner import ExperimentResult, scaled
 
 __all__ = ["run"]

@@ -22,7 +22,7 @@ from ..algorithms import MoveToCenter
 from ..analysis import collapse_to_centers, verify_potential_argument
 from ..core.simulator import simulate
 from ..offline import solve_line
-from ..workloads import DriftWorkload, RandomWalkWorkload
+from ..workloads import DriftWorkload
 from .runner import ExperimentResult, scaled
 
 __all__ = ["run"]

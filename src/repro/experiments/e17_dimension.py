@@ -16,11 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..adversaries import build_thm1
-from ..algorithms import MoveToCenter
-from ..analysis import measure_ratio
-from ..core.simulator import simulate
+from ..analysis import measure_adversarial_ratio_batch, measure_ratio_batch
 from ..workloads import RandomWalkWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, seeded_instances
 
 __all__ = ["run"]
 
@@ -29,25 +27,21 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     dims = [1, 2, 3, 5, 8]
     T = scaled(200, scale, minimum=60)
     n_seeds = scaled(3, scale, minimum=2)
+    seeds = [seed * 100 + s for s in range(n_seeds)]
     delta = 0.5
     rows = []
     walk_ratios = {}
     thm1_ratios = {}
     for dim in dims:
-        ratios = []
-        for s in range(n_seeds):
-            wl = RandomWalkWorkload(T, dim=dim, D=2.0, m=1.0, sigma=0.3,
-                                    spread=0.4, requests_per_step=4)
-            inst = wl.generate(np.random.default_rng(seed * 100 + s))
-            ratios.append(measure_ratio(inst, MoveToCenter(), delta=delta).ratio_upper)
-        walk_ratios[dim] = float(np.mean(ratios))
+        wl = RandomWalkWorkload(T, dim=dim, D=2.0, m=1.0, sigma=0.3,
+                                spread=0.4, requests_per_step=4)
+        measures = measure_ratio_batch(seeded_instances(wl, n_seeds, seed), "mtc",
+                                       delta=delta)
+        walk_ratios[dim] = float(np.mean([m.ratio_upper for m in measures]))
 
-        lb = []
-        for s in range(n_seeds):
-            adv = build_thm1(1024, dim=dim, rng=np.random.default_rng(seed * 100 + s))
-            tr = simulate(adv.instance, MoveToCenter(), delta=0.0)
-            lb.append(adv.ratio_of(tr.total_cost))
-        thm1_ratios[dim] = float(np.mean(lb))
+        thm1_ratios[dim], _ = measure_adversarial_ratio_batch(
+            lambda rng: build_thm1(1024, dim=dim, rng=rng), "mtc", 0.0, seeds
+        )
         rows.append([dim, walk_ratios[dim], thm1_ratios[dim]])
 
     walk_spread = max(walk_ratios.values()) / min(walk_ratios.values())

@@ -16,11 +16,9 @@ import numpy as np
 
 from ..adversaries import build_thm2
 from ..algorithms import MoveToCenter
-from ..analysis import measure_ratio
-from ..core.simulator import simulate
-from ..offline import solve_line
+from ..analysis import measure_adversarial_ratio_batch, measure_ratio, measure_ratio_batch
 from ..workloads import DriftWorkload, RandomWalkWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, seeded_instances
 
 __all__ = ["run"]
 
@@ -29,29 +27,27 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     deltas = [1.0, 0.5, 0.25, 0.125]
     T = scaled(400, scale, minimum=100)
     n_seeds = scaled(4, scale, minimum=2)
+    seeds = [seed * 100 + s for s in range(n_seeds)]
     rows = []
     envelope = []
     for delta in deltas:
-        # Benign workloads, certified against the DP bracket.
+        # Benign workloads: all seeds in one lock-step engine pass, each
+        # certified against its DP bracket.
         for name, wl in (
             ("random-walk", RandomWalkWorkload(T, dim=1, D=2.0, m=1.0, sigma=0.3,
                                                spread=0.4, requests_per_step=4)),
             ("drift", DriftWorkload(T, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2,
                                     requests_per_step=4)),
         ):
-            ratios = []
-            for s in range(n_seeds):
-                inst = wl.generate(np.random.default_rng(seed * 100 + s))
-                meas = measure_ratio(inst, MoveToCenter(), delta=delta)
-                ratios.append(meas.ratio_upper)
+            measures = measure_ratio_batch(seeded_instances(wl, n_seeds, seed), "mtc",
+                                           delta=delta)
+            ratios = [m.ratio_upper for m in measures]
             rows.append([name, delta, float(np.mean(ratios)), float(np.mean(ratios)) * delta])
-        # Adversarial workload (Thm 2 construction at this delta).
-        adv_ratios = []
-        for s in range(n_seeds):
-            adv = build_thm2(delta, cycles=3, rng=np.random.default_rng(seed * 100 + s))
-            tr = simulate(adv.instance, MoveToCenter(), delta=delta)
-            adv_ratios.append(adv.ratio_of(tr.total_cost))
-        mean_adv = float(np.mean(adv_ratios))
+        # Adversarial workload (Thm 2 construction at this delta), batched
+        # over construction seeds.
+        mean_adv, _ = measure_adversarial_ratio_batch(
+            lambda rng: build_thm2(delta, cycles=3, rng=rng), "mtc", delta, seeds
+        )
         rows.append(["thm2-adversarial", delta, mean_adv, mean_adv * delta])
         envelope.append(mean_adv * delta)
 

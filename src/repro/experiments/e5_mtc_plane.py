@@ -11,12 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..adversaries import build_thm2
-from ..algorithms import MoveToCenter
-from ..analysis import measure_ratio
-from ..core.simulator import simulate
+from ..analysis import measure_adversarial_ratio_batch, measure_ratio_batch
 from ..offline import bracket_optimum
 from ..workloads import DriftWorkload, RandomWalkWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, seeded_instances
 
 __all__ = ["run"]
 
@@ -25,6 +23,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     deltas = [1.0, 0.5, 0.25, 0.125]
     T = scaled(250, scale, minimum=80)
     n_seeds = scaled(3, scale, minimum=2)
+    seeds = [seed * 100 + s for s in range(n_seeds)]
     rows = []
     envelope = []
     for delta in deltas:
@@ -34,19 +33,14 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             ("drift-2d", DriftWorkload(T, dim=2, D=2.0, m=1.0, speed=0.8, rotate=0.02,
                                        spread=0.2, requests_per_step=4)),
         ):
-            ratios = []
-            for s in range(n_seeds):
-                inst = wl.generate(np.random.default_rng(seed * 100 + s))
-                meas = measure_ratio(inst, MoveToCenter(), delta=delta)
-                ratios.append(meas.ratio_upper)
+            measures = measure_ratio_batch(seeded_instances(wl, n_seeds, seed), "mtc",
+                                           delta=delta)
+            ratios = [m.ratio_upper for m in measures]
             rows.append([name, delta, float(np.mean(ratios)),
                          float(np.mean(ratios)) * delta ** 1.5])
-        adv_ratios = []
-        for s in range(n_seeds):
-            adv = build_thm2(delta, cycles=3, dim=2, rng=np.random.default_rng(seed * 100 + s))
-            tr = simulate(adv.instance, MoveToCenter(), delta=delta)
-            adv_ratios.append(adv.ratio_of(tr.total_cost))
-        mean_adv = float(np.mean(adv_ratios))
+        mean_adv, _ = measure_adversarial_ratio_batch(
+            lambda rng: build_thm2(delta, cycles=3, dim=2, rng=rng), "mtc", delta, seeds
+        )
         rows.append(["thm2-adversarial-2d", delta, mean_adv, mean_adv * delta ** 1.5])
         envelope.append(mean_adv * delta ** 1.5)
 

@@ -17,10 +17,12 @@ import numpy as np
 
 from ..adversaries import build_thm8
 from ..algorithms import MovingClientMtC
+from ..analysis import measure_adversarial_ratio_batch
+from ..core.engine import simulate_batch
 from ..core.simulator import simulate
 from ..offline import bracket_optimum
 from ..workloads import PatrolAgentWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, seeded_instances
 
 __all__ = ["run"]
 
@@ -29,31 +31,29 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     Ts = [200, 400, 800]
     D = 4.0
     n_seeds = scaled(4, scale, minimum=2)
+    seeds = [seed * 100 + s for s in range(n_seeds)]
     rows = []
     flat_ratios = []
     for T in Ts:
-        ratios = []
-        for s in range(n_seeds):
-            wl = PatrolAgentWorkload(scaled(T, scale, minimum=50), dim=1, D=D,
-                                     m_server=1.0, m_agent=1.0, arena=20.0)
-            mc = wl.generate(np.random.default_rng(seed * 100 + s))
-            inst = mc.as_msp()
-            tr = simulate(inst, MovingClientMtC(), delta=0.0)
-            br = bracket_optimum(inst, grid_size=768)
-            ratios.append(tr.total_cost / max(br.lower, 1e-12))
+        wl = PatrolAgentWorkload(scaled(T, scale, minimum=50), dim=1, D=D,
+                                 m_server=1.0, m_agent=1.0, arena=20.0)
+        insts = [mc.as_msp() for mc in seeded_instances(wl, n_seeds, seed)]
+        costs = simulate_batch(insts, "mtc-moving-client", delta=0.0).total_costs
+        ratios = [
+            float(cost) / max(bracket_optimum(inst, grid_size=768).lower, 1e-12)
+            for inst, cost in zip(insts, costs)
+        ]
         mean = float(np.mean(ratios))
         rows.append(["patrol (ms=ma)", T, mean])
         flat_ratios.append(mean)
 
     # Contrast: the faster-agent adversarial regime diverges.
     for T in Ts:
-        adv_ratios = []
-        for s in range(n_seeds):
-            adv = build_thm8(scaled(T, scale, minimum=64) * 4, epsilon=1.0,
-                             rng=np.random.default_rng(seed * 100 + s))
-            tr = simulate(adv.instance, MovingClientMtC(), delta=0.0)
-            adv_ratios.append(adv.ratio_of(tr.total_cost))
-        rows.append(["thm8 (ma=2ms)", T * 4, float(np.mean(adv_ratios))])
+        mean_adv, _ = measure_adversarial_ratio_batch(
+            lambda rng: build_thm8(scaled(T, scale, minimum=64) * 4, epsilon=1.0, rng=rng),
+            "mtc-moving-client", 0.0, seeds,
+        )
+        rows.append(["thm8 (ma=2ms)", T * 4, mean_adv])
 
     # 2-D spot check of the O(1) regime.
     wl2 = PatrolAgentWorkload(scaled(200, scale, minimum=50), dim=2, D=D,

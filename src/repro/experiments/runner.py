@@ -5,6 +5,14 @@ Every experiment module exposes ``run(scale=1.0, seed=0) -> ExperimentResult``.
 benchmark suite (fast, ``scale<=1``) and full CLI runs; ``seed`` makes the
 whole experiment deterministic.
 
+Seed sweeps dispatch through the batched engine: :func:`seeded_instances`
+materializes the per-seed instances of a workload (same derivation
+``default_rng(seed * stride + s)`` the scalar loops used) and the
+experiments hand the whole list to
+:func:`repro.analysis.ratio.measure_ratio_batch` /
+:func:`repro.core.engine.simulate_batch`, so one lock-step engine pass
+replaces ``n_seeds`` Python simulation loops.
+
 Results carry the rendered table plus free-form notes in which each
 experiment states the *reproduction criterion* (the shape the paper
 predicts) and whether the run met it.
@@ -13,11 +21,17 @@ predicts) and whether the run met it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
 
 from ..analysis.tables import render_table, to_csv
 
-__all__ = ["ExperimentResult", "scaled"]
+if TYPE_CHECKING:  # pragma: no cover - import only for type hints
+    from ..core.instance import MSPInstance
+    from ..workloads.base import WorkloadGenerator
+
+__all__ = ["ExperimentResult", "scaled", "seeded_instances"]
 
 
 @dataclass
@@ -60,3 +74,22 @@ class ExperimentResult:
 def scaled(value: int, scale: float, minimum: int = 1) -> int:
     """Scale an integer workload parameter, keeping a sane floor."""
     return max(minimum, int(round(value * scale)))
+
+
+def seeded_instances(
+    workload: "WorkloadGenerator",
+    n_seeds: int,
+    seed: int,
+    stride: int = 100,
+) -> list["MSPInstance"]:
+    """One instance per sweep seed, ready for a lock-step batched run.
+
+    Reproduces the experiments' historical seed derivation
+    ``default_rng(seed * stride + s)`` for ``s`` in ``range(n_seeds)``, so
+    a batched sweep sees exactly the instances the scalar per-seed loop
+    generated.
+    """
+    return [
+        workload.generate(np.random.default_rng(seed * stride + s))
+        for s in range(n_seeds)
+    ]

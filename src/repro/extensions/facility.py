@@ -28,7 +28,7 @@ win, and on stationary ones, where it must not lose.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

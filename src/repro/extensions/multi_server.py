@@ -34,7 +34,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.geometry import move_towards
-from ..core.instance import MSPInstance
 from ..core.requests import RequestBatch
 from ..median import request_center
 

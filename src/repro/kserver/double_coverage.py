@@ -19,7 +19,6 @@ ratio against OPT can be compared with the proved factor ``k``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 
 import numpy as np
 

@@ -9,7 +9,6 @@ configs can describe them declaratively and sweep their parameters.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.instance import MSPInstance
-from ..core.requests import RequestSequence
 from .base import WorkloadGenerator
 from .bursty import BurstyWorkload
 from .clustered import ClusteredWorkload

@@ -1,0 +1,181 @@
+"""Batched engine: bit-for-bit equivalence with the scalar simulator.
+
+The contract of :func:`repro.core.engine.simulate_batch` is that every lane
+reproduces the scalar :func:`repro.core.simulator.simulate` trace *exactly*
+(same float64 bits in positions and cost arrays) for every registry
+algorithm under both cost models.  These tests enforce that contract, plus
+the engine's validation and slicing behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    VECTORIZED,
+    OnlineAlgorithm,
+    ScalarBatchAdapter,
+    as_vectorized,
+    available_algorithms,
+    make_algorithm,
+    make_vectorized,
+)
+from repro.core import (
+    BatchTrace,
+    CostModel,
+    MovementCapViolation,
+    MSPInstance,
+    RequestSequence,
+    Trace,
+    simulate,
+    simulate_batch,
+)
+
+# Algorithms whose registry entry only makes sense on special instances.
+DIM1_ONLY = {"work-function"}
+SKIP = {"mtc-moving-client"}  # requires a moving-client trajectory instance
+
+
+def _instances(dim: int, T: int, n: int, uniform: bool, seed: int = 7) -> list[MSPInstance]:
+    """``n`` same-length random-walk instances, optionally ragged."""
+    out = []
+    for s in range(n):
+        rng = np.random.default_rng(seed * 1000 + s)
+        demand = np.cumsum(rng.normal(scale=0.35, size=(T, dim)), axis=0)
+        if uniform:
+            pts = demand[:, None, :] + rng.normal(scale=0.25, size=(T, 3, dim))
+            seq = RequestSequence.from_packed(pts)
+        else:
+            counts = rng.integers(0, 4, size=T)
+            batches = [
+                demand[t] + rng.normal(scale=0.25, size=(int(c), dim))
+                for t, c in enumerate(counts)
+            ]
+            seq = RequestSequence(batches, dim=dim)
+        out.append(MSPInstance(seq, start=np.zeros(dim), D=2.5, m=1.0))
+    return out
+
+
+def _assert_traces_equal(batch_trace: BatchTrace, scalars: list[Trace]) -> None:
+    for i, ref in enumerate(scalars):
+        lane = batch_trace.trace(i)
+        np.testing.assert_array_equal(lane.positions, ref.positions, err_msg=f"lane {i} positions")
+        np.testing.assert_array_equal(lane.movement_costs, ref.movement_costs, err_msg=f"lane {i} movement")
+        np.testing.assert_array_equal(lane.service_costs, ref.service_costs, err_msg=f"lane {i} service")
+        np.testing.assert_array_equal(lane.distances_moved, ref.distances_moved, err_msg=f"lane {i} distance")
+        np.testing.assert_array_equal(lane.request_counts, ref.request_counts, err_msg=f"lane {i} counts")
+
+
+@pytest.mark.parametrize("name", [a for a in available_algorithms() if a not in SKIP])
+@pytest.mark.parametrize("model", [CostModel.MOVE_FIRST, CostModel.ANSWER_FIRST])
+@pytest.mark.parametrize("dim,uniform", [(1, False), (2, True)])
+def test_batch_matches_scalar_bit_for_bit(name, model, dim, uniform):
+    if name in DIM1_ONLY and dim != 1:
+        pytest.skip(f"{name} is 1-D only")
+    instances = [inst.with_cost_model(model) for inst in _instances(dim, T=40, n=4, uniform=uniform)]
+    scalars = [simulate(inst, make_algorithm(name), delta=0.5) for inst in instances]
+    batch = simulate_batch(instances, name, delta=0.5)
+    _assert_traces_equal(batch, scalars)
+
+
+def test_batch_mixed_cost_models_per_lane():
+    """Lanes may mix move-first and answer-first accounting."""
+    base = _instances(2, T=30, n=4, uniform=True)
+    instances = [
+        inst.with_cost_model(CostModel.ANSWER_FIRST if i % 2 else CostModel.MOVE_FIRST)
+        for i, inst in enumerate(base)
+    ]
+    scalars = [simulate(inst, make_algorithm("mtc"), delta=0.25) for inst in instances]
+    batch = simulate_batch(instances, "mtc", delta=0.25)
+    _assert_traces_equal(batch, scalars)
+
+
+def test_batch_heterogeneous_D_and_m():
+    """Per-lane D/m are honoured (different caps and movement weights)."""
+    rng = np.random.default_rng(3)
+    instances = []
+    for i in range(3):
+        pts = np.cumsum(rng.normal(scale=0.4, size=(25, 2, 2)), axis=0)
+        instances.append(
+            MSPInstance(RequestSequence.from_packed(pts), start=np.zeros(2),
+                        D=1.5 + i, m=0.5 + 0.25 * i)
+        )
+    scalars = [simulate(inst, make_algorithm("greedy-centroid"), delta=0.5) for inst in instances]
+    batch = simulate_batch(instances, "greedy-centroid", delta=0.5)
+    _assert_traces_equal(batch, scalars)
+
+
+def test_batch_trace_slicing_and_totals():
+    instances = _instances(2, T=20, n=5, uniform=True)
+    batch = simulate_batch(instances, "static")
+    assert batch.batch_size == 5
+    assert batch.length == 20
+    assert batch.dim == 2
+    totals = batch.total_costs
+    for i in range(5):
+        tr = batch.trace(i)
+        assert isinstance(tr, Trace)
+        assert tr.total_cost == pytest.approx(float(totals[i]))
+        # slices are copies, not views into the batch arrays
+        assert not np.shares_memory(tr.positions, batch.positions)
+    assert len(batch.traces()) == 5
+    with pytest.raises(IndexError):
+        batch.trace(9)
+
+
+def test_batch_rejects_mismatched_instances():
+    a = _instances(1, T=10, n=1, uniform=True)[0]
+    b = _instances(1, T=12, n=1, uniform=True)[0]
+    with pytest.raises(ValueError, match="length"):
+        simulate_batch([a, b], "static")
+    c = _instances(2, T=10, n=1, uniform=True)[0]
+    with pytest.raises(ValueError, match="dimension"):
+        simulate_batch([a, c], "static")
+    with pytest.raises(ValueError, match="at least one"):
+        simulate_batch([], "static")
+
+
+def test_batch_cap_violation_names_lane():
+    class Cheater(OnlineAlgorithm):
+        name = "cheater"
+
+        def decide(self, t, batch):
+            return self.position + 100.0
+
+    instances = _instances(1, T=5, n=3, uniform=True)
+    with pytest.raises(MovementCapViolation, match=r"lane 0"):
+        simulate_batch(instances, Cheater)
+
+
+def test_as_vectorized_rejects_scalar_instance():
+    with pytest.raises(TypeError, match="factory"):
+        as_vectorized(make_algorithm("mtc"))
+
+
+def test_make_vectorized_unknown_name():
+    with pytest.raises(KeyError, match="unknown algorithm"):
+        make_vectorized("definitely-not-registered")
+
+
+def test_vectorized_names_mirror_scalar_names():
+    for name in VECTORIZED:
+        instances = _instances(1, T=4, n=2, uniform=True)
+        vec = make_vectorized(name)
+        vec.reset_batch(instances, np.ones(2))
+        assert vec.name == make_algorithm(name).name
+
+
+def test_scalar_adapter_covers_unvectorized_algorithms():
+    vec = make_vectorized("retrospective")
+    assert isinstance(vec, ScalarBatchAdapter)
+    instances = _instances(2, T=15, n=3, uniform=True)
+    scalars = [simulate(inst, make_algorithm("retrospective"), delta=0.5) for inst in instances]
+    _assert_traces_equal(simulate_batch(instances, vec, delta=0.5), scalars)
+
+
+def test_single_lane_batch_equals_scalar():
+    """B=1 is a degenerate but legal batch."""
+    inst = _instances(2, T=30, n=1, uniform=True)
+    ref = simulate(inst[0], make_algorithm("mtc"), delta=0.5)
+    _assert_traces_equal(simulate_batch(inst, "mtc", delta=0.5), [ref])

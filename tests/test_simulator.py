@@ -107,6 +107,34 @@ class TestSimulate:
         t2 = simulate(inst, MoveToCenter(), delta=0.5)
         np.testing.assert_array_equal(t1.positions, t2.positions)
 
+    def test_in_place_mutation_cannot_corrupt_accounting(self):
+        """Regression: decide() mutating its position in place and returning it.
+
+        The simulator's pre-move position must never alias the algorithm's
+        live position — otherwise such an algorithm sees ``old == new`` and
+        its movement is accounted as zero, and the trace rows could be
+        retroactively rewritten.
+        """
+
+        class InPlaceDrifter(OnlineAlgorithm):
+            name = "in-place-drifter"
+
+            def decide(self, t, batch):
+                self.position += 0.5  # mutates, then returns the same array
+                return self.position
+
+        tr = simulate(_instance(T=4), InPlaceDrifter())
+        # Moves 0.5 per step, weighted by D=2.0 -> movement cost 1.0 per step.
+        np.testing.assert_allclose(tr.distances_moved, [0.5, 0.5, 0.5, 0.5])
+        np.testing.assert_allclose(tr.movement_costs, [1.0, 1.0, 1.0, 1.0])
+        # The trace rows are snapshots, not views of the mutated array.
+        np.testing.assert_allclose(tr.positions[:, 0], [0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_trace_rows_do_not_alias_algorithm_position(self):
+        alg = StaticServer()
+        tr = simulate(_instance(), alg)
+        assert not np.shares_memory(tr.positions, alg.position)
+
 
 class TestReplayCost:
     def test_matches_simulation(self):
