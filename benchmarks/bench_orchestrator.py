@@ -1,0 +1,119 @@
+"""Orchestrator throughput: the heavy-experiment grid, cold vs parallel vs warm.
+
+Runs the migrated experiment grid (E4, E5, E8, E13, E17) through the
+declarative orchestrator three ways and writes machine-readable wall-clock
+numbers to ``BENCH_orchestrator.json`` so the perf trajectory is tracked
+from PR 2 on:
+
+* ``jobs=1`` cold — sequential baseline (already faster than the pre-
+  orchestrator loops: offline brackets are solved once per workload and
+  shared across each δ sweep instead of being re-solved per δ);
+* ``jobs=4`` cold — process fan-out over the pooled work units (its
+  speedup is bounded by the machine's core count, recorded alongside);
+* warm — a second ``jobs=1`` invocation against the populated store;
+  every cell is a cache hit, so this measures store+finalize overhead
+  and must come in far below the cold run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_orchestrator.py \
+        [--scale 0.4] [--jobs 1 4] [--out BENCH_orchestrator.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.store import ResultsStore
+from repro.experiments import run_all_detailed
+
+GRID = ["E4", "E5", "E8", "E13", "E17"]
+
+
+def _timed_run(ids, scale, seed, jobs, store, rerun=False):
+    start = time.perf_counter()
+    report = run_all_detailed(ids, scale=scale, seed=seed, jobs=jobs,
+                              store=store, rerun=rerun)
+    elapsed = time.perf_counter() - start
+    return elapsed, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="workload scale (0.4 matches the bench suite)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 4],
+                        help="jobs settings to time cold (default: 1 4)")
+    parser.add_argument("--out", type=str, default="BENCH_orchestrator.json")
+    args = parser.parse_args(argv)
+
+    runs = {}
+    renders = {}
+    with tempfile.TemporaryDirectory(prefix="bench-orchestrator-") as tmp:
+        for jobs in args.jobs:
+            store = ResultsStore(Path(tmp) / f"store-jobs{jobs}")
+            elapsed, report = _timed_run(GRID, args.scale, args.seed, jobs, store)
+            runs[f"cold_jobs{jobs}"] = {
+                "seconds": elapsed,
+                "jobs": jobs,
+                "units_computed": report.computed,
+                "units_cached": report.cached,
+            }
+            renders[jobs] = [res.render() for res in report.results]
+            print(f"cold  jobs={jobs}: {elapsed:7.2f}s "
+                  f"({report.computed} units computed)")
+
+        if len(renders) > 1:
+            baseline = renders[args.jobs[0]]
+            for jobs, tables in renders.items():
+                assert tables == baseline, f"jobs={jobs} diverged from jobs={args.jobs[0]}"
+
+        # Warm run against the first store: everything should cache-hit.
+        warm_store = ResultsStore(Path(tmp) / f"store-jobs{args.jobs[0]}")
+        elapsed, report = _timed_run(GRID, args.scale, args.seed, 1, warm_store)
+        runs["warm"] = {
+            "seconds": elapsed,
+            "jobs": 1,
+            "units_computed": report.computed,
+            "units_cached": report.cached,
+        }
+        print(f"warm  jobs=1: {elapsed:7.2f}s "
+              f"({report.cached} units cached, {report.computed} computed)")
+
+    cold0 = runs[f"cold_jobs{args.jobs[0]}"]["seconds"]
+    summary = {
+        "warm_fraction_of_cold": runs["warm"]["seconds"] / cold0,
+    }
+    for jobs in args.jobs[1:]:
+        summary[f"speedup_jobs{jobs}_vs_jobs{args.jobs[0]}"] = (
+            cold0 / runs[f"cold_jobs{jobs}"]["seconds"]
+        )
+
+    payload = {
+        "benchmark": "orchestrator-grid",
+        "grid": GRID,
+        "scale": args.scale,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "runs": runs,
+        "summary": summary,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for key, value in summary.items():
+        print(f"  {key}: {value:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

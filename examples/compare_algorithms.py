@@ -13,7 +13,7 @@ Run:  python examples/compare_algorithms.py
 
 import numpy as np
 
-from repro.algorithms import available_algorithms, make_algorithm
+from repro.algorithms import compatible_algorithms, make_algorithm
 from repro.analysis import measure_ratio, render_table
 from repro.offline import bracket_optimum
 from repro.workloads import standard_suite
@@ -21,7 +21,8 @@ from repro.workloads import standard_suite
 
 def main() -> None:
     suite = standard_suite(T=300, dim=1, D=4.0, m=1.0)
-    algorithms = [a for a in available_algorithms() if a != "mtc-moving-client"]
+    # Capability metadata picks what can play 1-D plain-MSP instances.
+    algorithms = compatible_algorithms(dim=1, moving_client=False)
     delta = 0.5
 
     table: dict[str, dict[str, float]] = {a: {} for a in algorithms}

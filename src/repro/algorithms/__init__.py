@@ -13,7 +13,15 @@ from .lazy import LazyThreshold, StaticServer
 from .move_to_min import MoveToMin
 from .mtc import MoveToCenter
 from .mtc_variants import AnswerFirstMoveToCenter, MovingClientMtC
-from .registry import ALGORITHMS, available_algorithms, make_algorithm, register
+from .registry import (
+    ALGORITHMS,
+    AlgorithmInfo,
+    algorithm_info,
+    available_algorithms,
+    compatible_algorithms,
+    make_algorithm,
+    register,
+)
 from .vectorized import (
     VECTORIZED,
     BatchedCoinFlip,
@@ -34,6 +42,7 @@ from .work_function import WorkFunctionLine
 __all__ = [
     "ALGORITHMS",
     "VECTORIZED",
+    "AlgorithmInfo",
     "AnswerFirstMoveToCenter",
     "BatchedCoinFlip",
     "BatchedFollowLast",
@@ -58,8 +67,10 @@ __all__ = [
     "ScalarBatchAdapter",
     "StaticServer",
     "WorkFunctionLine",
+    "algorithm_info",
     "as_vectorized",
     "available_algorithms",
+    "compatible_algorithms",
     "make_algorithm",
     "make_vectorized",
     "register",

@@ -4,11 +4,18 @@ Maps stable string names to zero-argument factories so the CLI, the
 experiment configs and the benchmark files can request algorithms by name.
 Entries constructed with non-default parameters register under qualified
 names (e.g. ``lazy`` vs ``lazy-aggressive``).
+
+Each entry carries *capability metadata* (:class:`AlgorithmInfo`): which
+dimensions the algorithm supports and whether it needs the moving-client
+model.  The CLI ``compare`` command and the experiment orchestrator
+filter via :func:`compatible_algorithms` instead of hardcoding name-based
+exclusions, so a new restricted algorithm only declares its limits here.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
 
 import numpy as np
 
@@ -22,7 +29,15 @@ from .mtc import MoveToCenter
 from .mtc_variants import MovingClientMtC
 from .work_function import WorkFunctionLine
 
-__all__ = ["ALGORITHMS", "make_algorithm", "available_algorithms", "register"]
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmInfo",
+    "algorithm_info",
+    "available_algorithms",
+    "compatible_algorithms",
+    "make_algorithm",
+    "register",
+]
 
 AlgorithmFactory = Callable[[], OnlineAlgorithm]
 
@@ -43,12 +58,95 @@ ALGORITHMS: Dict[str, AlgorithmFactory] = {
     "work-function": WorkFunctionLine,
 }
 
+#: Capability declarations for entries with restrictions; anything absent
+#: here supports every dimension on the plain (non-moving-client) model.
+_CAPABILITIES: Dict[str, Dict[str, Any]] = {
+    "mtc-moving-client": {"requires_moving_client": True},
+    "work-function": {"supported_dims": (1,)},
+}
 
-def register(name: str, factory: AlgorithmFactory, overwrite: bool = False) -> None:
-    """Add a factory to the registry (e.g. from user code or tests)."""
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registry entry: factory plus capability metadata.
+
+    Attributes
+    ----------
+    name, factory:
+        Registry key and zero-argument constructor.
+    supported_dims:
+        Dimensions the algorithm can play; ``None`` means any.
+    requires_moving_client:
+        Whether the algorithm only makes sense on moving-client instances
+        (its decision rule reads the agent trajectory).
+    """
+
+    name: str
+    factory: AlgorithmFactory
+    supported_dims: tuple[int, ...] | None = None
+    requires_moving_client: bool = False
+
+    def supports_dim(self, dim: int) -> bool:
+        return self.supported_dims is None or dim in self.supported_dims
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """Factory plus capabilities for one registered name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+    return AlgorithmInfo(name=name, factory=factory, **_CAPABILITIES.get(name, {}))
+
+
+def compatible_algorithms(dim: int | None = None, moving_client: bool = False) -> list[str]:
+    """Registered names able to play the described setting (sorted).
+
+    ``dim=None`` skips the dimension check; ``moving_client=False`` (the
+    plain Mobile Server model) excludes algorithms that require the
+    moving-client instance structure.
+    """
+    names = []
+    for name in available_algorithms():
+        info = algorithm_info(name)
+        if info.requires_moving_client and not moving_client:
+            continue
+        if dim is not None and not info.supports_dim(dim):
+            continue
+        names.append(name)
+    return names
+
+
+def register(
+    name: str,
+    factory: AlgorithmFactory,
+    overwrite: bool = False,
+    *,
+    supported_dims: tuple[int, ...] | None = None,
+    requires_moving_client: bool = False,
+) -> None:
+    """Add a factory (plus optional capability limits) to the registry.
+
+    When overwriting an existing entry *without* stating capabilities,
+    the entry's previous capability metadata is preserved (swapping a
+    factory must not silently lift its declared restrictions); passing
+    any capability keyword replaces the metadata wholesale.
+    """
     if name in ALGORITHMS and not overwrite:
         raise KeyError(f"algorithm {name!r} already registered")
+    caps: Dict[str, Any] = {}
+    if supported_dims is not None:
+        caps["supported_dims"] = tuple(supported_dims)
+    if requires_moving_client:
+        caps["requires_moving_client"] = True
+    is_overwrite = name in ALGORITHMS
     ALGORITHMS[name] = factory
+    if caps:
+        _CAPABILITIES[name] = caps
+    elif not is_overwrite:
+        _CAPABILITIES.pop(name, None)
 
 
 def make_algorithm(name: str) -> OnlineAlgorithm:

@@ -15,6 +15,8 @@ from .ratio import (
     measure_adversarial_ratio_batch,
     measure_ratio,
     measure_ratio_batch,
+    measures_from_payload,
+    measures_to_payload,
 )
 from .regression import FitResult, fit_linear, fit_power_law
 from .stats import Summary, bootstrap_ci, summarize
@@ -35,6 +37,8 @@ __all__ = [
     "fit_power_law",
     "measure_adversarial_ratio",
     "measure_adversarial_ratio_batch",
+    "measures_from_payload",
+    "measures_to_payload",
     "measure_ratio",
     "measure_ratio_batch",
     "potential_value",

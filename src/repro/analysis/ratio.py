@@ -43,6 +43,8 @@ __all__ = [
     "measure_ratio_batch",
     "measure_adversarial_ratio",
     "measure_adversarial_ratio_batch",
+    "measures_from_payload",
+    "measures_to_payload",
     "collapse_to_centers",
 ]
 
@@ -139,6 +141,38 @@ def measure_ratio_batch(
             )
         )
     return out
+
+
+def measures_to_payload(measures: Sequence[RatioMeasurement]) -> dict:
+    """Pack measurements for the orchestrator's results store (exact).
+
+    All float fields travel as float64 arrays, so a measurement loaded
+    back via :func:`measures_from_payload` is bit-identical to the one
+    that was computed.
+    """
+    return {
+        "algorithm": [m.algorithm for m in measures],
+        "cost": np.array([m.cost for m in measures], dtype=np.float64),
+        "opt_lower": np.array([m.opt_lower for m in measures], dtype=np.float64),
+        "opt_upper": np.array([m.opt_upper for m in measures], dtype=np.float64),
+        "ratio_lower": np.array([m.ratio_lower for m in measures], dtype=np.float64),
+        "ratio_upper": np.array([m.ratio_upper for m in measures], dtype=np.float64),
+    }
+
+
+def measures_from_payload(payload: dict) -> list[RatioMeasurement]:
+    """Inverse of :func:`measures_to_payload`."""
+    return [
+        RatioMeasurement(
+            cost=float(payload["cost"][i]),
+            opt_lower=float(payload["opt_lower"][i]),
+            opt_upper=float(payload["opt_upper"][i]),
+            ratio_lower=float(payload["ratio_lower"][i]),
+            ratio_upper=float(payload["ratio_upper"][i]),
+            algorithm=payload["algorithm"][i],
+        )
+        for i in range(len(payload["algorithm"]))
+    ]
 
 
 def measure_adversarial_ratio(

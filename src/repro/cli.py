@@ -6,13 +6,20 @@ Subcommands
 ``experiments``
     Run the reproduction experiments and print their tables
     (``--ids E1 E2 ...``, ``--scale`` to shrink/grow workloads,
-    ``--csv DIR`` to also dump CSVs).
+    ``--csv DIR`` to also dump CSVs).  Sweeps go through the declarative
+    orchestrator: ``--jobs N`` fans the pooled work units of all
+    requested experiments out across processes, and completed cells are
+    cached in a persistent content-addressed store (``--store DIR``), so
+    a repeated or interrupted invocation only computes what is missing
+    (``--resume``); ``--rerun`` forces recomputation.
 
 ``compare``
-    Quick algorithm comparison on a named workload.  With ``--batch B``
-    each algorithm plays ``B`` seeded instances in one lock-step pass of
-    the batched engine and certified ratios are averaged (the offline
-    brackets are solved once per instance and shared across algorithms).
+    Quick algorithm comparison on a named workload.  Algorithms are
+    selected via the registry's capability metadata (dimension support,
+    moving-client requirement).  With ``--batch B`` each algorithm plays
+    ``B`` seeded instances in one lock-step pass of the batched engine
+    and certified ratios are averaged (the offline brackets are solved
+    once per instance and shared across algorithms).
 
 ``list``
     Show registered algorithms and workloads.
@@ -28,10 +35,17 @@ import numpy as np
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments import EXPERIMENTS, run_all
+    from .core.store import ResultsStore
+    from .experiments import EXPERIMENTS, run_all_detailed
 
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
     ids = args.ids if args.ids else list(EXPERIMENTS)
-    results = run_all(ids, scale=args.scale, seed=args.seed)
+    store = ResultsStore(args.store) if args.store else None
+    report = run_all_detailed(ids, scale=args.scale, seed=args.seed,
+                              jobs=args.jobs, store=store, rerun=args.rerun)
+    results = report.results
     all_ok = True
     for res in results:
         print(res.render())
@@ -42,11 +56,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             (out / f"{res.experiment_id.lower()}.csv").write_text(res.csv())
         all_ok &= res.passed
     print(f"{sum(r.passed for r in results)}/{len(results)} experiments reproduced their predicted shape")
+    if store is not None:
+        verb = "resumed" if args.resume else "cached"
+        print(f"store: {report.cached}/{report.total} work units {verb}, "
+              f"{report.computed} computed ({store.root})")
     return 0 if all_ok else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from .algorithms import available_algorithms
+    from .algorithms import compatible_algorithms
     from .analysis import measure_ratio_batch, render_table
     from .offline import bracket_optimum
     from .workloads import standard_suite
@@ -64,11 +82,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ]
     brackets = [bracket_optimum(inst) for inst in instances]
     rows = []
-    for name in available_algorithms():
-        if name == "mtc-moving-client":
-            continue
-        if name == "work-function" and args.dim != 1:
-            continue
+    # Plain MSP instances in args.dim dimensions: let the registry's
+    # capability metadata pick the algorithms that can play them.
+    for name in compatible_algorithms(dim=args.dim, moving_client=False):
         measures = measure_ratio_batch(instances, name, delta=args.delta, brackets=brackets)
         rows.append([
             name,
@@ -116,6 +132,17 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--csv", type=str, default="", help="directory for CSV dumps")
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the experiment work units (default 1)")
+    p_exp.add_argument("--store", type=str, default="results/store", metavar="DIR",
+                       help="persistent results store; completed work units are "
+                            "skipped on re-runs ('' disables caching)")
+    p_exp.add_argument("--resume", action="store_true",
+                       help="continue an interrupted grid from the store "
+                            "(cell-level caching makes this the default; the flag "
+                            "documents intent and labels the cache report)")
+    p_exp.add_argument("--rerun", action="store_true",
+                       help="recompute every work unit, overwriting store entries")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_cmp = sub.add_parser("compare", help="compare algorithms on a workload")

@@ -25,11 +25,27 @@ __all__ = ["save_instance", "load_instance", "save_trace", "load_trace"]
 _FORMAT_VERSION = 1
 
 
-def save_instance(instance: MSPInstance, path: str | Path) -> Path:
-    """Write an instance to ``path`` (``.npz`` appended if missing)."""
+def npz_path(path: str | Path) -> Path:
+    """Normalize a target path: append ``.npz`` unless already present."""
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def encode_meta(meta: dict) -> np.ndarray:
+    """JSON-encode a metadata dict as a uint8 array for an npz entry."""
+    return np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+
+
+def decode_meta(data: np.lib.npyio.NpzFile) -> dict:
+    """Read back a metadata dict written by :func:`encode_meta`."""
+    return json.loads(bytes(data["meta"].tobytes()).decode())
+
+
+def save_instance(instance: MSPInstance, path: str | Path) -> Path:
+    """Write an instance to ``path`` (``.npz`` appended if missing)."""
+    path = npz_path(path)
     seq = instance.requests
     flat = seq.all_points()
     offsets = np.concatenate([[0], np.cumsum(seq.counts)]).astype(np.int64)
@@ -44,7 +60,7 @@ def save_instance(instance: MSPInstance, path: str | Path) -> Path:
     }
     np.savez_compressed(
         path,
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        meta=encode_meta(meta),
         flat_points=flat,
         offsets=offsets,
         start=instance.start,
@@ -53,7 +69,7 @@ def save_instance(instance: MSPInstance, path: str | Path) -> Path:
 
 
 def _read_meta(data: np.lib.npyio.NpzFile, expected_kind: str) -> dict:
-    meta = json.loads(bytes(data["meta"].tobytes()).decode())
+    meta = decode_meta(data)
     if meta.get("kind") != expected_kind:
         raise ValueError(f"expected a saved {expected_kind}, found {meta.get('kind')!r}")
     if meta.get("format_version") != _FORMAT_VERSION:
@@ -82,9 +98,7 @@ def load_instance(path: str | Path) -> MSPInstance:
 
 def save_trace(trace: Trace, path: str | Path) -> Path:
     """Write a trace to ``path`` (``.npz`` appended if missing)."""
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+    path = npz_path(path)
     meta = {
         "format_version": _FORMAT_VERSION,
         "kind": "trace",
@@ -92,7 +106,7 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
     }
     np.savez_compressed(
         path,
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        meta=encode_meta(meta),
         positions=trace.positions,
         movement_costs=trace.movement_costs,
         service_costs=trace.service_costs,

@@ -1,0 +1,200 @@
+"""Content-addressed, persistent results store.
+
+The experiment orchestrator (:mod:`repro.experiments.orchestrator`)
+decomposes each experiment into *work units*; this module persists their
+outputs so that re-running a sweep skips every cell that has already been
+computed and interrupted grids resume where they stopped.
+
+Entries are **content-addressed**: the key of a cell is a SHA-256 digest
+over the canonical JSON of its function's dotted path, its parameters
+(seed, scale and every code-relevant knob live in there) and the digests
+of the cells it depends on — so two cells with identical inputs share one
+entry, and any change to the inputs produces a fresh key.
+
+Serialization reuses the exact ``.npz``-with-JSON-sidecar round-tripping
+of :mod:`repro.core.io`: NumPy arrays are stored raw (bit-for-bit), and
+the JSON skeleton preserves Python floats exactly (``repr`` round-trip),
+so a payload loaded from the store is numerically indistinguishable from
+the freshly computed one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from .io import decode_meta, encode_meta, npz_path
+
+__all__ = [
+    "ResultsStore",
+    "digest_key",
+    "load_payload",
+    "pack_payload",
+    "save_payload",
+    "unpack_payload",
+]
+
+_STORE_VERSION = 1
+
+_ARRAY_TAG = "__ndarray__"
+
+
+def pack_payload(payload: Any) -> tuple[Any, list[np.ndarray]]:
+    """Split ``payload`` into a JSON-able skeleton plus extracted arrays.
+
+    Supported payloads are arbitrary nestings of ``dict`` (string keys),
+    ``list``/``tuple`` (tuples come back as lists), ``str``, ``bool``,
+    ``int``, ``float``, ``None``, NumPy scalars (converted losslessly via
+    ``.item()``) and ``np.ndarray`` (replaced by an ``{"__ndarray__": i}``
+    marker and collected into the returned list, preserving dtype).
+    """
+    arrays: list[np.ndarray] = []
+
+    def walk(node: Any) -> Any:
+        if isinstance(node, np.ndarray):
+            arrays.append(node)
+            return {_ARRAY_TAG: len(arrays) - 1}
+        if isinstance(node, np.generic):
+            return node.item()
+        if isinstance(node, dict):
+            out = {}
+            for key, value in node.items():
+                if not isinstance(key, str):
+                    raise TypeError(f"payload dict keys must be str, got {key!r}")
+                if key == _ARRAY_TAG:
+                    raise TypeError(f"payload dict key {_ARRAY_TAG!r} is reserved")
+                out[key] = walk(value)
+            return out
+        if isinstance(node, (list, tuple)):
+            return [walk(item) for item in node]
+        if node is None or isinstance(node, (str, bool, int, float)):
+            return node
+        raise TypeError(f"unsupported payload element of type {type(node).__name__}")
+
+    return walk(payload), arrays
+
+
+def unpack_payload(skeleton: Any, arrays: list[np.ndarray]) -> Any:
+    """Inverse of :func:`pack_payload`."""
+
+    def walk(node: Any) -> Any:
+        if isinstance(node, dict):
+            if set(node) == {_ARRAY_TAG}:
+                return arrays[node[_ARRAY_TAG]]
+            return {key: walk(value) for key, value in node.items()}
+        if isinstance(node, list):
+            return [walk(item) for item in node]
+        return node
+
+    return walk(skeleton)
+
+
+def _canonical_json(obj: Any) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def digest_key(fn: str, params: Mapping[str, Any], dep_digests: Mapping[str, str] | None = None) -> str:
+    """SHA-256 content address of one work unit.
+
+    ``fn`` is the dotted path of the cell function, ``params`` its
+    JSON-able keyword arguments, ``dep_digests`` maps dependency names to
+    their own digests — so the address covers the whole upstream input
+    closure, not just the local parameters.
+    """
+    blob = _canonical_json({
+        "version": _STORE_VERSION,
+        "fn": fn,
+        "params": params,
+        "deps": dict(dep_digests or {}),
+    })
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def save_payload(path: str | Path, payload: Any, extra_meta: Mapping[str, Any] | None = None) -> Path:
+    """Write a payload as one ``.npz`` archive (meta JSON embedded)."""
+    path = npz_path(path)
+    skeleton, arrays = pack_payload(payload)
+    meta = {
+        "format_version": _STORE_VERSION,
+        "kind": "payload",
+        "skeleton": skeleton,
+        "extra": dict(extra_meta or {}),
+    }
+    np.savez_compressed(
+        path,
+        meta=encode_meta(meta),
+        **{f"arr_{i}": arr for i, arr in enumerate(arrays)},
+    )
+    return path
+
+
+def load_payload(path: str | Path) -> Any:
+    """Read a payload written by :func:`save_payload`."""
+    with np.load(Path(path)) as data:
+        meta = decode_meta(data)
+        if meta.get("kind") != "payload":
+            raise ValueError(f"expected a saved payload, found {meta.get('kind')!r}")
+        if meta.get("format_version") != _STORE_VERSION:
+            raise ValueError(f"unsupported store format version {meta.get('format_version')}")
+        skeleton = meta["skeleton"]
+        arrays = []
+        i = 0
+        while f"arr_{i}" in data:
+            arrays.append(data[f"arr_{i}"].copy())
+            i += 1
+    return unpack_payload(skeleton, arrays)
+
+
+class ResultsStore:
+    """A directory of content-addressed cell payloads.
+
+    One ``.npz`` file per entry, named by digest.  ``save`` writes through
+    a per-process temporary file (dot-prefixed, so it never counts as an
+    entry) and atomically renames, so a killed run never leaves a corrupt
+    entry behind — the next ``--resume`` simply recomputes the missing
+    cell — and concurrent runs computing the same cell race benignly:
+    both write complete files and the renames are atomic, last one wins
+    with identical content.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.npz"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def load(self, digest: str) -> Any:
+        return load_payload(self.path_for(digest))
+
+    def save(self, digest: str, payload: Any, extra_meta: Mapping[str, Any] | None = None) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(digest)
+        tmp = self.root / f".tmp-{os.getpid()}-{digest}.npz"
+        try:
+            save_payload(tmp, payload, extra_meta=extra_meta)
+            tmp.replace(final)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return final
+
+    def delete(self, digest: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        path = self.path_for(digest)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for p in self.root.glob("*.npz") if not p.name.startswith("."))

@@ -2,6 +2,13 @@
 
 ``EXPERIMENTS`` maps experiment ids to their ``run(scale, seed)``
 callables; :func:`run_all` executes a subset and returns the results.
+
+Experiments migrated onto the declarative orchestrator additionally
+appear in ``SPECS`` (id → ``build_spec(scale, seed)``): their sweeps are
+flattened into work units that execute in parallel across processes and
+cache per-cell in a persistent results store.  Experiments not yet
+migrated are wrapped as single-unit specs, so the whole suite shares one
+scheduler, one cache and one ``--jobs`` fan-out.
 """
 
 from typing import Callable, Dict
@@ -25,6 +32,7 @@ from . import (
     e16_facility,
     e17_dimension,
 )
+from .orchestrator import ExecutionReport, SweepSpec, execute, legacy_spec
 from .runner import ExperimentResult
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -47,16 +55,67 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E17": e17_dimension.run,
 }
 
+#: Experiments declared as orchestrator sweeps (id → spec builder).
+SPECS: Dict[str, Callable[[float, int], SweepSpec]] = {
+    "E4": e4_mtc_line.build_spec,
+    "E5": e5_mtc_plane.build_spec,
+    "E8": e8_moving_client_mtc.build_spec,
+    "E13": e13_baselines.build_spec,
+    "E17": e17_dimension.build_spec,
+}
 
-def run_all(ids: list[str] | None = None, scale: float = 1.0, seed: int = 0) -> list[ExperimentResult]:
-    """Run the named experiments (all by default) and return their results."""
+
+def build_specs(ids: list[str] | None = None, scale: float = 1.0, seed: int = 0) -> list[SweepSpec]:
+    """One spec per requested experiment (legacy ones get one-cell wrappers)."""
     chosen = ids if ids is not None else list(EXPERIMENTS)
-    results = []
+    specs = []
     for eid in chosen:
         if eid not in EXPERIMENTS:
             raise KeyError(f"unknown experiment {eid!r}; available: {', '.join(EXPERIMENTS)}")
-        results.append(EXPERIMENTS[eid](scale=scale, seed=seed))
-    return results
+        if eid in SPECS:
+            specs.append(SPECS[eid](scale, seed))
+        else:
+            specs.append(legacy_spec(eid, scale, seed))
+    return specs
 
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "run_all"]
+def run_all_detailed(
+    ids: list[str] | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: int = 1,
+    store=None,
+    rerun: bool = False,
+) -> ExecutionReport:
+    """Run experiments through the orchestrator; report includes cache stats.
+
+    ``store`` is a :class:`repro.core.store.ResultsStore` (or ``None`` to
+    compute everything); ``jobs`` fans the pooled work units of *all*
+    requested experiments out across processes; ``rerun`` recomputes and
+    overwrites cached cells.
+    """
+    specs = build_specs(ids, scale=scale, seed=seed)
+    return execute(specs, jobs=jobs, store=store, rerun=rerun)
+
+
+def run_all(
+    ids: list[str] | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: int = 1,
+    store=None,
+    rerun: bool = False,
+) -> list[ExperimentResult]:
+    """Run the named experiments (all by default) and return their results."""
+    return run_all_detailed(ids, scale=scale, seed=seed, jobs=jobs, store=store,
+                            rerun=rerun).results
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "SPECS",
+    "ExperimentResult",
+    "build_specs",
+    "run_all",
+    "run_all_detailed",
+]

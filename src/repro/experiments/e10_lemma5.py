@@ -13,7 +13,7 @@ import numpy as np
 from ..algorithms import MoveToCenter
 from ..analysis import collapse_to_centers, measure_ratio
 from ..workloads import ClusteredWorkload, DriftWorkload, RandomWalkWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -33,8 +33,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     rows = []
     ok = True
     for name, wl in workloads.items():
-        for s in range(n_seeds):
-            inst = wl.generate(np.random.default_rng(seed * 100 + s))
+        for s, cell_seed in enumerate(sweep_seeds(seed, n_seeds)):
+            inst = wl.generate(np.random.default_rng(cell_seed))
             coll = collapse_to_centers(inst)
             orig = measure_ratio(inst, MoveToCenter(), delta=delta)
             simp = measure_ratio(coll, MoveToCenter(), delta=delta)

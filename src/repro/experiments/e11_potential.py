@@ -23,7 +23,7 @@ from ..analysis import collapse_to_centers, verify_potential_argument
 from ..core.simulator import simulate
 from ..offline import solve_line
 from ..workloads import DriftWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -43,10 +43,10 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             q95s = []
             violations = 0
             amort = []
-            for s in range(scaled(3, scale, minimum=2)):
+            for cell_seed in sweep_seeds(seed, scaled(3, scale, minimum=2)):
                 wl = DriftWorkload(T, dim=1, D=D, m=1.0, speed=0.75, spread=0.3,
                                    requests_per_step=r)
-                inst = collapse_to_centers(wl.generate(np.random.default_rng(seed * 100 + s)))
+                inst = collapse_to_centers(wl.generate(np.random.default_rng(cell_seed)))
                 tr = simulate(inst, MoveToCenter(), delta=delta)
                 dp = solve_line(inst, grid_size=None)
                 rep = verify_potential_argument(inst, tr, dp.positions, delta)

@@ -25,7 +25,7 @@ from ..algorithms import MoveToCenter
 from ..analysis import measure_ratio
 from ..core.simulator import simulate
 from ..workloads import DriftWorkload, RandomWalkWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -55,8 +55,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     for wl_name, wl in workloads.items():
         for var_name in _variants(delta):
             ratios = []
-            for s in range(n_seeds):
-                inst = wl.generate(np.random.default_rng(seed * 100 + s))
+            for cell_seed in sweep_seeds(seed, n_seeds):
+                inst = wl.generate(np.random.default_rng(cell_seed))
                 meas = measure_ratio(inst, _variants(delta)[var_name], delta=delta)
                 ratios.append(meas.ratio_upper)
             mean = float(np.mean(ratios))
@@ -65,8 +65,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # Adversarial: Thm 2 at this delta.
     for var_name in _variants(delta):
         ratios = []
-        for s in range(n_seeds):
-            adv = build_thm2(delta, cycles=4, rng=np.random.default_rng(seed * 100 + s))
+        for cell_seed in sweep_seeds(seed, n_seeds):
+            adv = build_thm2(delta, cycles=4, rng=np.random.default_rng(cell_seed))
             tr = simulate(adv.instance, _variants(delta)[var_name], delta=delta)
             ratios.append(adv.ratio_of(tr.total_cost))
         mean = float(np.mean(ratios))

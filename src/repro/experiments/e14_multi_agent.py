@@ -19,7 +19,7 @@ from ..core.simulator import simulate
 from ..extensions import MultiAgentInstance, MultiAgentMtC
 from ..offline import solve_line
 from ..workloads import random_waypoint_path
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -45,9 +45,9 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         means = []
         for T in Ts:
             ratios = []
-            for s in range(n_seeds):
+            for cell_seed in sweep_seeds(seed, n_seeds):
                 ma = _patrol_instance(scaled(T, scale, minimum=50), k, D,
-                                      np.random.default_rng(seed * 100 + s))
+                                      np.random.default_rng(cell_seed))
                 inst = ma.as_msp()
                 tr = simulate(inst, MultiAgentMtC(n_agents=k), delta=0.0)
                 dp = solve_line(inst)

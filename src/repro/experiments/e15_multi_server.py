@@ -24,7 +24,7 @@ from ..extensions import (
     simulate_k_servers,
     solve_two_servers_line,
 )
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -58,8 +58,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     results: dict[tuple[str, str], float] = {}
     for regime_name, speed in regimes:
         per_alg: dict[str, list[float]] = {}
-        for s in range(n_seeds):
-            rng = np.random.default_rng(seed * 100 + s)
+        for cell_seed in sweep_seeds(seed, n_seeds):
+            rng = np.random.default_rng(cell_seed)
             batches = _two_hotspot_batches(T, speed, gap=6.0, amplitude=4.0,
                                            spread=0.2, rng=rng)
             starts = np.array([[-3.0], [3.0]])

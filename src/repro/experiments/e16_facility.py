@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..extensions import MeyersonStatic, MobileMeyerson, simulate_facilities
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -51,8 +51,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     wins = {}
     for wl_name, gen in (("drift", _drift_batches), ("stationary", _stationary_batches)):
         static_costs, mobile_costs, static_n, mobile_n = [], [], [], []
-        for s in range(n_seeds):
-            batches = gen(T, np.random.default_rng(seed * 100 + s))
+        for s, cell_seed in enumerate(sweep_seeds(seed, n_seeds)):
+            batches = gen(T, np.random.default_rng(cell_seed))
             st = simulate_facilities(batches, MeyersonStatic(np.random.default_rng(s)),
                                      f=f, D=D, m=1.0)
             mo = simulate_facilities(batches, MobileMeyerson(np.random.default_rng(s)),

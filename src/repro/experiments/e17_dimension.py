@@ -9,39 +9,85 @@ experiment sweeps the dimension:
 * the Theorem-1 construction embedded in each dimension — the lower bound
   is dimension-independent (the construction lives on a line through the
   space), so measured ratios must match across d.
+
+Declared as an orchestrator sweep: one walk cell and one Thm-1 cell per
+dimension, all independent, so the dimension sweep fans out across
+workers (the high-d convex bracket solves dominate the cost).
 """
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 import numpy as np
 
 from ..adversaries import build_thm1
-from ..analysis import measure_adversarial_ratio_batch, measure_ratio_batch
+from ..analysis import (
+    measure_adversarial_ratio_batch,
+    measure_ratio_batch,
+    measures_from_payload,
+    measures_to_payload,
+)
 from ..workloads import RandomWalkWorkload
-from .runner import ExperimentResult, scaled, seeded_instances
+from .orchestrator import SweepSpec, WorkUnit, execute_spec
+from .runner import ExperimentResult, scaled, seeded_instances, sweep_seeds
 
-__all__ = ["run"]
+__all__ = ["build_spec", "finalize", "run"]
+
+_MODULE = "repro.experiments.e17_dimension"
+DIMS = [1, 2, 3, 5, 8]
+_DELTA = 0.5
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    dims = [1, 2, 3, 5, 8]
+# -- cells -----------------------------------------------------------------
+
+
+def cell_walk(dim: int, T: int, n_seeds: int, seed: int) -> dict:
+    wl = RandomWalkWorkload(T, dim=dim, D=2.0, m=1.0, sigma=0.3,
+                            spread=0.4, requests_per_step=4)
+    measures = measure_ratio_batch(seeded_instances(wl, n_seeds, seed), "mtc",
+                                   delta=_DELTA)
+    return {"measures": measures_to_payload(measures)}
+
+
+def cell_thm1(dim: int, n_seeds: int, seed: int) -> dict:
+    mean_adv, per_seed = measure_adversarial_ratio_batch(
+        lambda rng: build_thm1(1024, dim=dim, rng=rng), "mtc", 0.0,
+        sweep_seeds(seed, n_seeds),
+    )
+    return {"mean": mean_adv, "per_seed": per_seed}
+
+
+# -- spec ------------------------------------------------------------------
+
+
+def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
     T = scaled(200, scale, minimum=60)
     n_seeds = scaled(3, scale, minimum=2)
-    seeds = [seed * 100 + s for s in range(n_seeds)]
-    delta = 0.5
+    units: list[WorkUnit] = []
+    for dim in DIMS:
+        units.append(WorkUnit(
+            key=f"walk/dim={dim}",
+            fn=f"{_MODULE}:cell_walk",
+            params={"dim": dim, "T": T, "n_seeds": n_seeds, "seed": seed},
+        ))
+        units.append(WorkUnit(
+            key=f"thm1/dim={dim}",
+            fn=f"{_MODULE}:cell_thm1",
+            params={"dim": dim, "n_seeds": n_seeds, "seed": seed},
+        ))
+    return SweepSpec("E17", tuple(units), finalize=f"{_MODULE}:finalize",
+                     scale=scale, seed=seed)
+
+
+def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
     rows = []
     walk_ratios = {}
     thm1_ratios = {}
-    for dim in dims:
-        wl = RandomWalkWorkload(T, dim=dim, D=2.0, m=1.0, sigma=0.3,
-                                spread=0.4, requests_per_step=4)
-        measures = measure_ratio_batch(seeded_instances(wl, n_seeds, seed), "mtc",
-                                       delta=delta)
-        walk_ratios[dim] = float(np.mean([m.ratio_upper for m in measures]))
-
-        thm1_ratios[dim], _ = measure_adversarial_ratio_batch(
-            lambda rng: build_thm1(1024, dim=dim, rng=rng), "mtc", 0.0, seeds
-        )
+    for dim in DIMS:
+        walk_measures = measures_from_payload(results[f"walk/dim={dim}"]["measures"])
+        walk_ratios[dim] = float(np.mean([m.ratio_upper for m in walk_measures]))
+        thm1_ratios[dim] = results[f"thm1/dim={dim}"]["mean"]
         rows.append([dim, walk_ratios[dim], thm1_ratios[dim]])
 
     walk_spread = max(walk_ratios.values()) / min(walk_ratios.values())
@@ -60,3 +106,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         notes=notes,
         passed=ok,
     )
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    return execute_spec(build_spec(scale, seed))

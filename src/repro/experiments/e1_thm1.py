@@ -16,7 +16,7 @@ import numpy as np
 from ..adversaries import build_thm1
 from ..algorithms import GreedyCenter, MoveToCenter
 from ..analysis import fit_power_law, measure_adversarial_ratio
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -32,7 +32,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     for D in Ds:
         means = []
         for T in Ts:
-            seeds = [seed * 1000 + i for i in range(n_seeds)]
+            seeds = sweep_seeds(seed, n_seeds, stride=1000)
             mean_mtc, _ = measure_adversarial_ratio(
                 lambda rng, T=T, D=D: build_thm1(T, D=D, rng=rng),
                 MoveToCenter,

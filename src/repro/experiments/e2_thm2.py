@@ -14,7 +14,7 @@ import numpy as np
 from ..adversaries import build_thm2
 from ..algorithms import MoveToCenter
 from ..analysis import fit_power_law, measure_adversarial_ratio
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -31,7 +31,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     for r_min, r_max in skews:
         means = []
         for delta in deltas:
-            seeds = [seed * 1000 + i for i in range(n_seeds)]
+            seeds = sweep_seeds(seed, n_seeds, stride=1000)
             mean, _ = measure_adversarial_ratio(
                 lambda rng, d=delta: build_thm2(d, cycles=cycles, r_min=r_min, r_max=r_max, rng=rng),
                 MoveToCenter,

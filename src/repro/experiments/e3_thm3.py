@@ -18,7 +18,7 @@ from ..adversaries import build_thm3
 from ..algorithms import AnswerFirstMoveToCenter, MoveToCenter
 from ..analysis import fit_linear, measure_adversarial_ratio
 from ..core.costs import CostModel
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -34,7 +34,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     for D in Ds:
         af_means = []
         for r in rs:
-            seeds = [seed * 1000 + i for i in range(n_seeds)]
+            seeds = sweep_seeds(seed, n_seeds, stride=1000)
             af, _ = measure_adversarial_ratio(
                 lambda rng, r=r, D=D: build_thm3(cycles, r=r, D=D, rng=rng),
                 AnswerFirstMoveToCenter,

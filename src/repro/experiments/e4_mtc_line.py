@@ -8,57 +8,139 @@ shapes:
   ratio) — the qualitative content of Theorem 4;
 * ``ratio * δ`` stays bounded across the δ sweep on the adversarial
   workload — the O(1/δ) envelope.
+
+Declared as an orchestrator sweep: the offline DP brackets are computed
+once per benign workload (one ``brackets/*`` cell) and shared by all
+four δ simulation cells, instead of being re-solved per δ as the old
+sequential loop did.
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 import numpy as np
 
 from ..adversaries import build_thm2
 from ..algorithms import MoveToCenter
-from ..analysis import measure_adversarial_ratio_batch, measure_ratio, measure_ratio_batch
+from ..analysis import (
+    measure_adversarial_ratio_batch,
+    measure_ratio,
+    measure_ratio_batch,
+    measures_from_payload,
+    measures_to_payload,
+)
+from ..offline import bracket_optimum
 from ..workloads import DriftWorkload, RandomWalkWorkload
-from .runner import ExperimentResult, scaled, seeded_instances
+from .orchestrator import SweepSpec, WorkUnit, execute_spec, grid
+from .runner import ExperimentResult, scaled, seeded_instances, sweep_seeds
 
-__all__ = ["run"]
+__all__ = ["build_spec", "finalize", "run"]
+
+_MODULE = "repro.experiments.e4_mtc_line"
+DELTAS = [1.0, 0.5, 0.25, 0.125]
+WORKLOADS = ["random-walk", "drift"]
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    deltas = [1.0, 0.5, 0.25, 0.125]
-    T = scaled(400, scale, minimum=100)
-    n_seeds = scaled(4, scale, minimum=2)
-    seeds = [seed * 100 + s for s in range(n_seeds)]
-    rows = []
-    envelope = []
-    for delta in deltas:
-        # Benign workloads: all seeds in one lock-step engine pass, each
-        # certified against its DP bracket.
-        for name, wl in (
-            ("random-walk", RandomWalkWorkload(T, dim=1, D=2.0, m=1.0, sigma=0.3,
-                                               spread=0.4, requests_per_step=4)),
-            ("drift", DriftWorkload(T, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2,
-                                    requests_per_step=4)),
-        ):
-            measures = measure_ratio_batch(seeded_instances(wl, n_seeds, seed), "mtc",
-                                           delta=delta)
-            ratios = [m.ratio_upper for m in measures]
-            rows.append([name, delta, float(np.mean(ratios)), float(np.mean(ratios)) * delta])
-        # Adversarial workload (Thm 2 construction at this delta), batched
-        # over construction seeds.
-        mean_adv, _ = measure_adversarial_ratio_batch(
-            lambda rng: build_thm2(delta, cycles=3, rng=rng), "mtc", delta, seeds
-        )
-        rows.append(["thm2-adversarial", delta, mean_adv, mean_adv * delta])
-        envelope.append(mean_adv * delta)
+def _workload(name: str, T: int):
+    if name == "random-walk":
+        return RandomWalkWorkload(T, dim=1, D=2.0, m=1.0, sigma=0.3,
+                                  spread=0.4, requests_per_step=4)
+    if name == "drift":
+        return DriftWorkload(T, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2,
+                             requests_per_step=4)
+    raise KeyError(f"unknown E4 workload {name!r}")
 
-    # Boundedness in T: double T at the middle delta.
-    delta0 = 0.25
+
+# -- cells -----------------------------------------------------------------
+
+
+def cell_brackets(workload: str, T: int, n_seeds: int, seed: int) -> dict:
+    """Exact DP brackets of the benign instances, shared across the δ sweep."""
+    instances = seeded_instances(_workload(workload, T), n_seeds, seed)
+    return {"brackets": [bracket_optimum(inst).as_payload() for inst in instances]}
+
+
+def cell_benign(workload: str, delta: float, T: int, n_seeds: int, seed: int,
+                deps: Mapping[str, Any]) -> dict:
+    from ..offline.bounds import OptBracket
+
+    instances = seeded_instances(_workload(workload, T), n_seeds, seed)
+    brackets = [OptBracket.from_payload(p) for p in deps[f"brackets/{workload}"]["brackets"]]
+    measures = measure_ratio_batch(instances, "mtc", delta=delta, brackets=brackets)
+    return {"measures": measures_to_payload(measures)}
+
+
+def cell_adversarial(delta: float, n_seeds: int, seed: int) -> dict:
+    mean_adv, per_seed = measure_adversarial_ratio_batch(
+        lambda rng: build_thm2(delta, cycles=3, rng=rng), "mtc", delta,
+        sweep_seeds(seed, n_seeds),
+    )
+    return {"mean": mean_adv, "per_seed": per_seed}
+
+
+def cell_t_doubling(T: int, delta0: float, seed: int) -> dict:
+    """Boundedness in T: double T at the middle delta."""
     wl_s = DriftWorkload(T, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2, requests_per_step=4)
     wl_l = DriftWorkload(2 * T, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2, requests_per_step=4)
     r_small = measure_ratio(wl_s.generate(np.random.default_rng(seed)), MoveToCenter(),
                             delta=delta0).ratio_upper
     r_large = measure_ratio(wl_l.generate(np.random.default_rng(seed)), MoveToCenter(),
                             delta=delta0).ratio_upper
+    return {"r_small": r_small, "r_large": r_large}
+
+
+# -- spec ------------------------------------------------------------------
+
+
+def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
+    T = scaled(400, scale, minimum=100)
+    n_seeds = scaled(4, scale, minimum=2)
+    units: list[WorkUnit] = []
+    for workload in WORKLOADS:
+        units.append(WorkUnit(
+            key=f"brackets/{workload}",
+            fn=f"{_MODULE}:cell_brackets",
+            params={"workload": workload, "T": T, "n_seeds": n_seeds, "seed": seed},
+        ))
+    for p in grid(delta=DELTAS, workload=WORKLOADS):
+        units.append(WorkUnit(
+            key=f"benign/{p['workload']}/delta={p['delta']}",
+            fn=f"{_MODULE}:cell_benign",
+            params={**p, "T": T, "n_seeds": n_seeds, "seed": seed},
+            deps=(f"brackets/{p['workload']}",),
+        ))
+    for delta in DELTAS:
+        units.append(WorkUnit(
+            key=f"adversarial/delta={delta}",
+            fn=f"{_MODULE}:cell_adversarial",
+            params={"delta": delta, "n_seeds": n_seeds, "seed": seed},
+        ))
+    units.append(WorkUnit(
+        key="t-doubling",
+        fn=f"{_MODULE}:cell_t_doubling",
+        params={"T": T, "delta0": 0.25, "seed": seed},
+    ))
+    return SweepSpec("E4", tuple(units), finalize=f"{_MODULE}:finalize",
+                     scale=scale, seed=seed)
+
+
+def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+    T = scaled(400, scale, minimum=100)
+    rows = []
+    envelope = []
+    for delta in DELTAS:
+        for workload in WORKLOADS:
+            measures = measures_from_payload(results[f"benign/{workload}/delta={delta}"]["measures"])
+            ratios = [m.ratio_upper for m in measures]
+            rows.append([workload, delta, float(np.mean(ratios)), float(np.mean(ratios)) * delta])
+        mean_adv = results[f"adversarial/delta={delta}"]["mean"]
+        rows.append(["thm2-adversarial", delta, mean_adv, mean_adv * delta])
+        envelope.append(mean_adv * delta)
+
+    doubling = results["t-doubling"]
+    r_small, r_large = doubling["r_small"], doubling["r_large"]
+    delta0 = 0.25
     notes = [
         "criterion: MtC ratio bounded independent of T; ratio * delta bounded over delta sweep (Thm 4, line)",
         f"T-independence at delta={delta0}: ratio(T={T}) = {r_small:.2f} vs ratio(T={2 * T}) = {r_large:.2f}",
@@ -73,3 +155,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         notes=notes,
         passed=ok,
     )
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    return execute_spec(build_spec(scale, seed))

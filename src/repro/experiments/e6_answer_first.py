@@ -20,7 +20,7 @@ from ..core.costs import CostModel
 from ..core.simulator import simulate
 from ..offline import solve_line
 from ..workloads import DriftWorkload
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -36,9 +36,9 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     for r in rs:
         inflations = []
         af_ratios = []
-        for s in range(n_seeds):
+        for cell_seed in sweep_seeds(seed, n_seeds):
             wl = DriftWorkload(T, dim=1, D=D, m=1.0, speed=0.8, spread=0.2, requests_per_step=r)
-            inst_mf = wl.generate(np.random.default_rng(seed * 100 + s))
+            inst_mf = wl.generate(np.random.default_rng(cell_seed))
             inst_af = inst_mf.with_cost_model(CostModel.ANSWER_FIRST)
             cost_mf = simulate(inst_mf, MoveToCenter(), delta=delta).total_cost
             cost_af = simulate(inst_af, MoveToCenter(), delta=delta).total_cost

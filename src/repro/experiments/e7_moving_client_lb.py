@@ -15,7 +15,7 @@ import numpy as np
 from ..adversaries import build_thm8
 from ..algorithms import MovingClientMtC
 from ..analysis import fit_power_law, measure_adversarial_ratio
-from .runner import ExperimentResult, scaled
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["run"]
 
@@ -31,7 +31,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     for eps in epsilons:
         means = []
         for T in Ts:
-            seeds = [seed * 1000 + i for i in range(n_seeds)]
+            seeds = sweep_seeds(seed, n_seeds, stride=1000)
             mean, _ = measure_adversarial_ratio(
                 lambda rng, T=T, eps=eps: build_thm8(T, epsilon=eps, rng=rng),
                 MovingClientMtC,

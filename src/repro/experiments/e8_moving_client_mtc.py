@@ -9,9 +9,14 @@ Runs the moving-client MtC on random-waypoint patrol agents for a sweep of
 
 OPT is bracketed by the exact 1-D DP (agents patrol a line here so the
 certificate is tight); a 2-D spot row uses the convex bracket.
+
+Declared as an orchestrator sweep: one cell per (regime, T) plus the 2-D
+spot check, all independent, so the T sweep parallelizes across workers.
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -22,47 +27,89 @@ from ..core.engine import simulate_batch
 from ..core.simulator import simulate
 from ..offline import bracket_optimum
 from ..workloads import PatrolAgentWorkload
-from .runner import ExperimentResult, scaled, seeded_instances
+from .orchestrator import SweepSpec, WorkUnit, execute_spec
+from .runner import ExperimentResult, scaled, seeded_instances, sweep_seeds
 
-__all__ = ["run"]
+__all__ = ["build_spec", "finalize", "run"]
+
+_MODULE = "repro.experiments.e8_moving_client_mtc"
+TS = [200, 400, 800]
+D = 4.0
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    Ts = [200, 400, 800]
-    D = 4.0
-    n_seeds = scaled(4, scale, minimum=2)
-    seeds = [seed * 100 + s for s in range(n_seeds)]
-    rows = []
-    flat_ratios = []
-    for T in Ts:
-        wl = PatrolAgentWorkload(scaled(T, scale, minimum=50), dim=1, D=D,
-                                 m_server=1.0, m_agent=1.0, arena=20.0)
-        insts = [mc.as_msp() for mc in seeded_instances(wl, n_seeds, seed)]
-        costs = simulate_batch(insts, "mtc-moving-client", delta=0.0).total_costs
-        ratios = [
-            float(cost) / max(bracket_optimum(inst, grid_size=768).lower, 1e-12)
-            for inst, cost in zip(insts, costs)
-        ]
-        mean = float(np.mean(ratios))
-        rows.append(["patrol (ms=ma)", T, mean])
-        flat_ratios.append(mean)
+# -- cells -----------------------------------------------------------------
 
-    # Contrast: the faster-agent adversarial regime diverges.
-    for T in Ts:
-        mean_adv, _ = measure_adversarial_ratio_batch(
-            lambda rng: build_thm8(scaled(T, scale, minimum=64) * 4, epsilon=1.0, rng=rng),
-            "mtc-moving-client", 0.0, seeds,
-        )
-        rows.append(["thm8 (ma=2ms)", T * 4, mean_adv])
 
-    # 2-D spot check of the O(1) regime.
-    wl2 = PatrolAgentWorkload(scaled(200, scale, minimum=50), dim=2, D=D,
-                              m_server=1.0, m_agent=1.0, arena=15.0)
+def cell_patrol(T_wl: int, n_seeds: int, seed: int) -> dict:
+    """The O(1) regime: equal speeds, certified against the 1-D DP."""
+    wl = PatrolAgentWorkload(T_wl, dim=1, D=D, m_server=1.0, m_agent=1.0, arena=20.0)
+    insts = [mc.as_msp() for mc in seeded_instances(wl, n_seeds, seed)]
+    costs = simulate_batch(insts, "mtc-moving-client", delta=0.0).total_costs
+    ratios = [
+        float(cost) / max(bracket_optimum(inst, grid_size=768).lower, 1e-12)
+        for inst, cost in zip(insts, costs)
+    ]
+    return {"ratios": np.array(ratios, dtype=np.float64)}
+
+
+def cell_thm8(T_steps: int, n_seeds: int, seed: int) -> dict:
+    """Contrast: the faster-agent adversarial regime diverges."""
+    mean_adv, per_seed = measure_adversarial_ratio_batch(
+        lambda rng: build_thm8(T_steps, epsilon=1.0, rng=rng),
+        "mtc-moving-client", 0.0, sweep_seeds(seed, n_seeds),
+    )
+    return {"mean": mean_adv, "per_seed": per_seed}
+
+
+def cell_spot_2d(T_wl: int, seed: int) -> dict:
+    """2-D spot check of the O(1) regime."""
+    wl2 = PatrolAgentWorkload(T_wl, dim=2, D=D, m_server=1.0, m_agent=1.0, arena=15.0)
     mc2 = wl2.generate(np.random.default_rng(seed))
     inst2 = mc2.as_msp()
     tr2 = simulate(inst2, MovingClientMtC(), delta=0.0)
     br2 = bracket_optimum(inst2)
-    rows.append(["patrol-2d (ms=ma)", wl2.T, tr2.total_cost / max(br2.lower, 1e-12)])
+    return {"ratio": tr2.total_cost / max(br2.lower, 1e-12), "T": wl2.T}
+
+
+# -- spec ------------------------------------------------------------------
+
+
+def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
+    n_seeds = scaled(4, scale, minimum=2)
+    units: list[WorkUnit] = []
+    for T in TS:
+        units.append(WorkUnit(
+            key=f"patrol/T={T}",
+            fn=f"{_MODULE}:cell_patrol",
+            params={"T_wl": scaled(T, scale, minimum=50), "n_seeds": n_seeds, "seed": seed},
+        ))
+    for T in TS:
+        units.append(WorkUnit(
+            key=f"thm8/T={T}",
+            fn=f"{_MODULE}:cell_thm8",
+            params={"T_steps": scaled(T, scale, minimum=64) * 4, "n_seeds": n_seeds,
+                    "seed": seed},
+        ))
+    units.append(WorkUnit(
+        key="spot-2d",
+        fn=f"{_MODULE}:cell_spot_2d",
+        params={"T_wl": scaled(200, scale, minimum=50), "seed": seed},
+    ))
+    return SweepSpec("E8", tuple(units), finalize=f"{_MODULE}:finalize",
+                     scale=scale, seed=seed)
+
+
+def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+    rows = []
+    flat_ratios = []
+    for T in TS:
+        mean = float(np.mean(results[f"patrol/T={T}"]["ratios"]))
+        rows.append(["patrol (ms=ma)", T, mean])
+        flat_ratios.append(mean)
+    for T in TS:
+        rows.append(["thm8 (ma=2ms)", T * 4, results[f"thm8/T={T}"]["mean"]])
+    spot = results["spot-2d"]
+    rows.append(["patrol-2d (ms=ma)", spot["T"], spot["ratio"]])
 
     spread = max(flat_ratios) / max(min(flat_ratios), 1e-12)
     notes = [
@@ -79,3 +126,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         notes=notes,
         passed=ok,
     )
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    return execute_spec(build_spec(scale, seed))

@@ -1,0 +1,321 @@
+"""Declarative experiment orchestrator.
+
+An experiment is declared as a :class:`SweepSpec`: a flat collection of
+:class:`WorkUnit` cells (parameter-grid point × seeds × workload or
+adversary factory), each naming a module-level *cell function* by dotted
+path plus JSON-able parameters, optionally depending on other cells
+(e.g. delta-sweep simulation cells sharing one offline-bracket cell).
+:func:`execute` turns one or more specs into results:
+
+1. every unit gets a content address (:func:`repro.core.store.digest_key`
+   over its function, parameters and dependency digests);
+2. units already present in the :class:`~repro.core.store.ResultsStore`
+   are loaded instead of recomputed (cache hits double as ``--resume``:
+   an interrupted grid continues from its last persisted cell);
+3. remaining units run in dependency order — inline for ``jobs=1``,
+   fanned out over a ``ProcessPoolExecutor`` for ``jobs>1``.  Each cell
+   internally dispatches its seed sweep through the batched engine
+   (:func:`repro.core.engine.simulate_batch`), so processes multiply the
+   single-core win of vectorized lanes;
+4. per spec, a *finalize* function assembles the cells into the familiar
+   :class:`~repro.experiments.runner.ExperimentResult` table.
+
+Cell functions must be module-level (picklable by path), take only
+JSON-able keyword arguments, and return a storable payload (nested
+dict/list/scalars/NumPy arrays — see :func:`repro.core.store.pack_payload`).
+Units with dependencies receive an extra ``deps`` mapping
+``{local unit key: payload}``.  All randomness must derive from the
+parameters (seeds), never from global state: that is what makes cells
+relocatable across processes and cache entries exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.store import ResultsStore, digest_key
+from .runner import ExperimentResult
+
+__all__ = [
+    "ExecutionReport",
+    "SweepSpec",
+    "WorkUnit",
+    "execute",
+    "execute_spec",
+    "grid",
+    "legacy_spec",
+]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable cell of a sweep.
+
+    Attributes
+    ----------
+    key:
+        Unique name within the spec (the orchestrator namespaces it with
+        the experiment id globally).
+    fn:
+        Dotted path ``"package.module:function"`` of the cell function.
+    params:
+        JSON-able keyword arguments; seeds, scale and every code-relevant
+        parameter belong here — they form the cell's content address.
+    deps:
+        Keys of units (same spec) whose payloads this cell consumes.
+    """
+
+    key: str
+    fn: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative experiment: work units plus a finalize function."""
+
+    experiment_id: str
+    units: tuple[WorkUnit, ...]
+    finalize: str
+    scale: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class ExecutionReport:
+    """What :func:`execute` did: results plus cache accounting."""
+
+    results: list[ExperimentResult] = field(default_factory=list)
+    computed: int = 0
+    cached: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.computed + self.cached
+
+
+def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes, in declaration order.
+
+    ``grid(delta=[1.0, 0.5], workload=["drift"])`` →
+    ``[{"delta": 1.0, "workload": "drift"}, {"delta": 0.5, ...}]``.
+    """
+    names = list(axes)
+    return [dict(zip(names, values)) for values in itertools.product(*axes.values())]
+
+
+def _resolve(fn: str) -> Callable[..., Any]:
+    module_name, _, func_name = fn.partition(":")
+    if not func_name:
+        raise ValueError(f"cell path {fn!r} must look like 'package.module:function'")
+    return getattr(import_module(module_name), func_name)
+
+
+def _run_cell(fn: str, params: Mapping[str, Any], deps: Mapping[str, Any] | None) -> Any:
+    """Worker entry point: import the cell function and call it."""
+    func = _resolve(fn)
+    if deps is None:
+        return func(**params)
+    return func(**params, deps=dict(deps))
+
+
+def _toposort(units: Sequence[tuple[str, WorkUnit]]) -> list[tuple[str, WorkUnit]]:
+    """Kahn's algorithm, stable with respect to declaration order."""
+    order: list[tuple[str, WorkUnit]] = []
+    placed: set[str] = set()
+    remaining = list(units)
+    known = {key for key, _ in units}
+    for key, unit in units:
+        for dep in _dep_keys(key, unit):
+            if dep not in known:
+                raise KeyError(f"unit {key!r} depends on unknown unit {dep!r}")
+    while remaining:
+        progressed = False
+        still: list[tuple[str, WorkUnit]] = []
+        for key, unit in remaining:
+            if all(dep in placed for dep in _dep_keys(key, unit)):
+                order.append((key, unit))
+                placed.add(key)
+                progressed = True
+            else:
+                still.append((key, unit))
+        if not progressed:
+            cycle = ", ".join(key for key, _ in still)
+            raise ValueError(f"dependency cycle among work units: {cycle}")
+        remaining = still
+    return order
+
+
+def _spec_prefixes(specs: Sequence[SweepSpec]) -> list[str]:
+    """One namespace per spec; repeated experiment ids get ``#n`` suffixes.
+
+    Requesting the same experiment twice (``--ids E9 E9``) is legal — the
+    second spec's cells share the first's content addresses, so the
+    within-run dedup computes them once and both finalize passes see the
+    same payloads, matching the old run-it-twice loop's output.
+    """
+    counts: dict[str, int] = {}
+    prefixes = []
+    for spec in specs:
+        n = counts.get(spec.experiment_id, 0)
+        counts[spec.experiment_id] = n + 1
+        prefixes.append(spec.experiment_id if n == 0 else f"{spec.experiment_id}#{n + 1}")
+    return prefixes
+
+
+def _dep_keys(full_key: str, unit: WorkUnit) -> list[str]:
+    prefix = full_key[: full_key.index("/") + 1] if "/" in full_key else ""
+    return [prefix + dep for dep in unit.deps]
+
+
+def execute(
+    specs: Sequence[SweepSpec],
+    jobs: int = 1,
+    store: ResultsStore | None = None,
+    rerun: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> ExecutionReport:
+    """Run the specs' work units (cache-aware, optionally in parallel).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs everything inline (no pool).
+    store:
+        Persistent cell cache.  When given, completed cells are loaded
+        instead of recomputed and fresh cells are written back — which is
+        both the fast-second-run path and the resume-after-interrupt path.
+    rerun:
+        Ignore existing store entries and recompute every cell,
+        overwriting the stored payloads.
+    progress:
+        Optional callback for human-readable status lines.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    prefixes = _spec_prefixes(specs)
+    flat: list[tuple[str, WorkUnit]] = []
+    seen: set[str] = set()
+    for spec, prefix in zip(specs, prefixes):
+        for unit in spec.units:
+            full = f"{prefix}/{unit.key}"
+            if full in seen:
+                raise ValueError(f"duplicate work unit key {full!r}")
+            seen.add(full)
+            flat.append((full, unit))
+    ordered = _toposort(flat)
+
+    digests: dict[str, str] = {}
+    for full, unit in ordered:
+        dep_digests = {dep: digests[dep] for dep in _dep_keys(full, unit)}
+        digests[full] = digest_key(unit.fn, dict(unit.params), dep_digests)
+
+    report = ExecutionReport()
+    payloads: dict[str, Any] = {}
+    if store is not None and not rerun:
+        for full, unit in ordered:
+            if digests[full] in store:
+                payloads[full] = store.load(digests[full])
+                report.cached += 1
+
+    # Within-run dedup: units with identical content addresses (e.g. the
+    # same experiment requested twice, or two sweeps sharing a cell)
+    # compute once; the twins count as cache hits.
+    pending: list[tuple[str, WorkUnit]] = []
+    twins: dict[str, list[str]] = {}
+    for full, unit in ordered:
+        if full in payloads:
+            continue
+        digest = digests[full]
+        if digest in twins:
+            twins[digest].append(full)
+            report.cached += 1
+        else:
+            twins[digest] = []
+            pending.append((full, unit))
+
+    def finish(full: str, unit: WorkUnit, payload: Any) -> None:
+        payloads[full] = payload
+        for twin in twins[digests[full]]:
+            payloads[twin] = payload
+        report.computed += 1
+        if store is not None:
+            store.save(digests[full], payload, extra_meta={"key": full, "fn": unit.fn})
+        if progress is not None:
+            progress(f"computed {full}")
+
+    if jobs == 1 or len(pending) <= 1:
+        for full, unit in pending:
+            deps = {dep_local: payloads[dep] for dep_local, dep in zip(unit.deps, _dep_keys(full, unit))} \
+                if unit.deps else None
+            finish(full, unit, _run_cell(unit.fn, dict(unit.params), deps))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            waiting = dict(pending)
+            futures: dict[Any, tuple[str, WorkUnit]] = {}
+
+            def launch_ready() -> None:
+                for full in list(waiting):
+                    unit = waiting[full]
+                    dep_fulls = _dep_keys(full, unit)
+                    if all(dep in payloads for dep in dep_fulls):
+                        deps = {dep_local: payloads[dep]
+                                for dep_local, dep in zip(unit.deps, dep_fulls)} if unit.deps else None
+                        fut = pool.submit(_run_cell, unit.fn, dict(unit.params), deps)
+                        futures[fut] = (full, unit)
+                        del waiting[full]
+
+            launch_ready()
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    full, unit = futures.pop(fut)
+                    finish(full, unit, fut.result())
+                launch_ready()
+
+    for spec, prefix in zip(specs, prefixes):
+        local = {unit.key: payloads[f"{prefix}/{unit.key}"] for unit in spec.units}
+        result = _resolve(spec.finalize)(local, scale=spec.scale, seed=spec.seed)
+        report.results.append(result)
+    return report
+
+
+def execute_spec(spec: SweepSpec, **kwargs: Any) -> ExperimentResult:
+    """Convenience wrapper: run one spec, return its result."""
+    return execute([spec], **kwargs).results[0]
+
+
+# -- wrapping of experiments that predate the orchestrator -----------------
+
+
+def legacy_spec(experiment_id: str, scale: float, seed: int) -> SweepSpec:
+    """A one-cell spec around a plain ``run(scale, seed)`` experiment.
+
+    Gives non-migrated experiments store caching and cross-experiment
+    parallelism for free: the whole run is a single cell whose payload is
+    the exact :class:`ExperimentResult` round-trip.
+    """
+    unit = WorkUnit(
+        key="run",
+        fn="repro.experiments.orchestrator:cell_run_legacy",
+        params={"experiment_id": experiment_id, "scale": scale, "seed": seed},
+    )
+    return SweepSpec(experiment_id, (unit,),
+                     finalize="repro.experiments.orchestrator:finalize_legacy",
+                     scale=scale, seed=seed)
+
+
+def cell_run_legacy(experiment_id: str, scale: float, seed: int) -> dict:
+    from . import EXPERIMENTS
+
+    result = EXPERIMENTS[experiment_id](scale=scale, seed=seed)
+    return result.as_payload()
+
+
+def finalize_legacy(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+    return ExperimentResult.from_payload(results["run"])

@@ -21,17 +21,19 @@ predicts) and whether the run met it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from ..analysis.tables import render_table, to_csv
+from ..core.store import load_payload, save_payload
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type hints
     from ..core.instance import MSPInstance
     from ..workloads.base import WorkloadGenerator
 
-__all__ = ["ExperimentResult", "scaled", "seeded_instances"]
+__all__ = ["ExperimentResult", "scaled", "seeded_instances", "sweep_seeds"]
 
 
 @dataclass
@@ -70,10 +72,59 @@ class ExperimentResult:
     def csv(self) -> str:
         return to_csv(self.headers, self.rows)
 
+    # -- exact persistence -------------------------------------------------
+
+    def as_payload(self) -> dict[str, Any]:
+        """A store-compatible payload preserving every value exactly.
+
+        Rows may mix strings, ints and floats (NumPy scalars are converted
+        losslessly); :meth:`from_payload` reconstructs a result whose
+        rendered table is byte-identical.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "passed": bool(self.passed),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=payload["headers"],
+            rows=payload["rows"],
+            notes=payload["notes"],
+            passed=payload["passed"],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write this result as one ``.npz`` archive (exact round-trip)."""
+        return save_payload(path, self.as_payload(), extra_meta={"kind": "experiment-result"})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        """Read a result written by :meth:`save`."""
+        return cls.from_payload(load_payload(path))
+
 
 def scaled(value: int, scale: float, minimum: int = 1) -> int:
     """Scale an integer workload parameter, keeping a sane floor."""
     return max(minimum, int(round(value * scale)))
+
+
+def sweep_seeds(seed: int, n: int, stride: int = 100) -> list[int]:
+    """The canonical per-cell seed derivation: ``seed * stride + s``.
+
+    Every experiment routes its seed sweeps through this helper (directly
+    or via :func:`seeded_instances`), so the derivation lives in exactly
+    one place and a sweep's seed list doubles as part of its work-unit
+    identity in the orchestrator's results store.
+    """
+    return [seed * stride + s for s in range(n)]
 
 
 def seeded_instances(
@@ -85,11 +136,10 @@ def seeded_instances(
     """One instance per sweep seed, ready for a lock-step batched run.
 
     Reproduces the experiments' historical seed derivation
-    ``default_rng(seed * stride + s)`` for ``s`` in ``range(n_seeds)``, so
-    a batched sweep sees exactly the instances the scalar per-seed loop
-    generated.
+    (:func:`sweep_seeds`), so a batched sweep sees exactly the instances
+    the scalar per-seed loop generated.
     """
     return [
-        workload.generate(np.random.default_rng(seed * stride + s))
-        for s in range(n_seeds)
+        workload.generate(np.random.default_rng(s))
+        for s in sweep_seeds(seed, n_seeds, stride)
     ]

@@ -57,6 +57,24 @@ class OptBracket:
             return 0.0
         return (self.upper - self.lower) / self.upper
 
+    def as_payload(self) -> dict:
+        """Store-compatible payload (exact; arrays kept bit-for-bit)."""
+        return {
+            "lower": float(self.lower),
+            "upper": float(self.upper),
+            "method": self.method,
+            "positions": np.asarray(self.positions),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "OptBracket":
+        return cls(
+            lower=payload["lower"],
+            upper=payload["upper"],
+            method=payload["method"],
+            positions=payload["positions"],
+        )
+
 
 def bracket_optimum(
     instance: MSPInstance,

@@ -13,11 +13,48 @@ class TestCLI:
 
     def test_experiments_subset(self, capsys, tmp_path):
         code = main(["experiments", "--ids", "E9", "--scale", "0.05",
-                     "--csv", str(tmp_path)])
+                     "--csv", str(tmp_path), "--store", ""])
         out = capsys.readouterr().out
         assert "[E9]" in out
         assert (tmp_path / "e9.csv").exists()
         assert code == 0
+
+    def test_experiments_store_caches_second_run(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "store: 0/1 work units cached, 1 computed" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "store: 1/1 work units cached, 0 computed" in warm
+        assert warm.split("store:")[0] == cold.split("store:")[0]
+
+    def test_experiments_rerun_recomputes(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        base = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--rerun"]) == 0
+        assert "1 computed" in capsys.readouterr().out
+
+    def test_experiments_resume_label(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        base = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        assert "work units resumed" in capsys.readouterr().out
+
+    def test_experiments_jobs_validation(self, capsys):
+        assert main(["experiments", "--ids", "E9", "--jobs", "0"]) == 2
+
+    def test_experiments_parallel_jobs(self, capsys, tmp_path):
+        code = main(["experiments", "--ids", "E4", "--scale", "0.1", "--jobs", "2",
+                     "--store", str(tmp_path / "store")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[E4]" in out
 
     def test_compare(self, capsys):
         assert main(["compare", "--workload", "drift", "--T", "60", "--dim", "1"]) == 0

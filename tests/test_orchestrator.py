@@ -1,0 +1,207 @@
+"""Tests for the declarative experiment orchestrator.
+
+Synthetic cell functions live at module level so the orchestrator can
+resolve them by dotted path (and worker processes can import them); they
+drop marker files so the tests can count real executions vs cache hits.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.store import ResultsStore
+from repro.experiments import EXPERIMENTS, build_specs, run_all, run_all_detailed
+from repro.experiments.orchestrator import (
+    SweepSpec,
+    WorkUnit,
+    execute,
+    execute_spec,
+    grid,
+    legacy_spec,
+)
+from repro.experiments.runner import ExperimentResult, sweep_seeds
+
+_MODULE = "test_orchestrator"
+
+
+def _mark(workdir: str, name: str) -> None:
+    Path(workdir, name.replace("/", "_")).touch()
+
+
+def cell_base(value: float, workdir: str) -> dict:
+    _mark(workdir, f"base-{value}")
+    return {"value": value, "arr": np.arange(3) * value}
+
+
+def cell_double(key: str, workdir: str, deps: dict) -> dict:
+    _mark(workdir, f"double-{key}")
+    return {"value": 2 * deps[key]["value"]}
+
+
+def finalize_sum(results: dict, scale: float, seed: int) -> ExperimentResult:
+    total = sum(v["value"] for k, v in results.items() if k.startswith("double/"))
+    return ExperimentResult("EX", "synthetic", ["total"], [[total]],
+                            notes=["criterion: synthetic"], passed=True)
+
+
+def _spec(workdir: str, values=(1.0, 2.0, 3.0)) -> SweepSpec:
+    units = []
+    for v in values:
+        units.append(WorkUnit(f"base/{v}", f"{_MODULE}:cell_base",
+                              {"value": v, "workdir": workdir}))
+        units.append(WorkUnit(f"double/{v}", f"{_MODULE}:cell_double",
+                              {"key": f"base/{v}", "workdir": workdir},
+                              deps=(f"base/{v}",)))
+    return SweepSpec("EX", tuple(units), f"{_MODULE}:finalize_sum")
+
+
+class TestGrid:
+    def test_product_in_declaration_order(self):
+        cells = grid(a=[1, 2], b=["x", "y"])
+        assert cells == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_single_axis(self):
+        assert grid(d=[0.5]) == [{"d": 0.5}]
+
+
+class TestExecuteInline:
+    def test_deps_flow_and_finalize(self, tmp_path):
+        result = execute_spec(_spec(str(tmp_path)))
+        assert result.rows == [[2.0 * (1 + 2 + 3)]]
+        assert len(list(tmp_path.iterdir())) == 6
+
+    def test_unknown_dep_rejected(self):
+        spec = SweepSpec("EX", (WorkUnit("a", f"{_MODULE}:cell_base", {"value": 1, "workdir": "."},
+                                         deps=("missing",)),), f"{_MODULE}:finalize_sum")
+        with pytest.raises(KeyError, match="unknown unit"):
+            execute([spec])
+
+    def test_duplicate_keys_rejected(self):
+        unit = WorkUnit("a", f"{_MODULE}:cell_base", {"value": 1, "workdir": "."})
+        spec = SweepSpec("EX", (unit, unit), f"{_MODULE}:finalize_sum")
+        with pytest.raises(ValueError, match="duplicate"):
+            execute([spec])
+
+    def test_cycle_rejected(self):
+        units = (
+            WorkUnit("a", f"{_MODULE}:cell_double", {"key": "b", "workdir": "."}, deps=("b",)),
+            WorkUnit("b", f"{_MODULE}:cell_double", {"key": "a", "workdir": "."}, deps=("a",)),
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            execute([SweepSpec("EX", units, f"{_MODULE}:finalize_sum")])
+
+
+class TestStoreCaching:
+    def test_cache_hit_skips_recompute(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        store = ResultsStore(tmp_path / "store")
+        report1 = execute([_spec(str(work))], store=store)
+        assert (report1.cached, report1.computed) == (0, 6)
+        n_markers = len(list(work.iterdir()))
+
+        report2 = execute([_spec(str(work))], store=store)
+        assert (report2.cached, report2.computed) == (6, 0)
+        assert len(list(work.iterdir())) == n_markers  # nothing re-ran
+        assert report2.results[0].render() == report1.results[0].render()
+
+    def test_param_change_is_cache_miss(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        store = ResultsStore(tmp_path / "store")
+        execute([_spec(str(work), values=(1.0,))], store=store)
+        report = execute([_spec(str(work), values=(4.0,))], store=store)
+        assert report.cached == 0 and report.computed == 2
+
+    def test_resume_after_partial_run(self, tmp_path):
+        """Simulate an interrupted grid: drop some cells, re-execute."""
+        work = tmp_path / "work"
+        work.mkdir()
+        store = ResultsStore(tmp_path / "store")
+        execute([_spec(str(work))], store=store)
+
+        # "Interrupt": remove two of the six persisted cells.
+        entries = sorted(store.root.glob("*.npz"))
+        for path in entries[:2]:
+            path.unlink()
+
+        for marker in work.iterdir():
+            marker.unlink()
+        report = execute([_spec(str(work))], store=store)
+        assert report.computed == 2 and report.cached == 4
+        assert len(list(work.iterdir())) == 2  # only the missing cells re-ran
+
+    def test_rerun_recomputes_everything(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        store = ResultsStore(tmp_path / "store")
+        execute([_spec(str(work))], store=store)
+        report = execute([_spec(str(work))], store=store, rerun=True)
+        assert report.cached == 0 and report.computed == 6
+
+
+class TestParallelExecution:
+    def test_jobs2_synthetic_identical(self, tmp_path):
+        work1 = tmp_path / "w1"
+        work1.mkdir()
+        work2 = tmp_path / "w2"
+        work2.mkdir()
+        r1 = execute([_spec(str(work1))], jobs=1)
+        r2 = execute([_spec(str(work2))], jobs=2)
+        assert r1.results[0].render() == r2.results[0].render()
+
+    def test_jobs2_experiment_identical_and_store_parity(self, tmp_path):
+        """E4 through 2 worker processes == E4 inline, cell for cell."""
+        store1 = ResultsStore(tmp_path / "s1")
+        store2 = ResultsStore(tmp_path / "s2")
+        r1 = run_all_detailed(["E4"], scale=0.1, seed=3, jobs=1, store=store1)
+        r2 = run_all_detailed(["E4"], scale=0.1, seed=3, jobs=2, store=store2)
+        assert r1.results[0].render() == r2.results[0].render()
+        # identical content addresses and identical stored bytes-level payloads
+        assert sorted(p.name for p in store1.root.glob("*.npz")) == \
+               sorted(p.name for p in store2.root.glob("*.npz"))
+
+
+class TestLegacyWrapping:
+    def test_legacy_spec_roundtrip(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        spec = legacy_spec("E9", scale=0.1, seed=0)
+        direct = EXPERIMENTS["E9"](scale=0.1, seed=0)
+        report = execute([spec], store=store)
+        assert report.results[0].render() == direct.render()
+        report2 = execute([legacy_spec("E9", scale=0.1, seed=0)], store=store)
+        assert report2.cached == 1 and report2.computed == 0
+        assert report2.results[0].render() == direct.render()
+
+    def test_build_specs_mixes_migrated_and_legacy(self):
+        specs = build_specs(["E4", "E9"], scale=0.1, seed=0)
+        assert specs[0].experiment_id == "E4" and len(specs[0].units) > 1
+        assert specs[1].experiment_id == "E9" and len(specs[1].units) == 1
+
+    def test_run_all_unknown_id_still_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(["E99"], scale=0.01)
+
+    def test_duplicate_ids_run_twice(self, tmp_path):
+        """`--ids E9 E9` must behave like the old loop: two results."""
+        store = ResultsStore(tmp_path / "store")
+        report = run_all_detailed(["E9", "E9"], scale=0.1, seed=0, store=store)
+        assert len(report.results) == 2
+        assert report.results[0].render() == report.results[1].render()
+        # second spec's cell shares the first's content address: pure cache hit
+        assert (report.computed, report.cached) == (1, 1)
+
+
+class TestSweepSeeds:
+    def test_default_stride(self):
+        assert sweep_seeds(7, 3) == [700, 701, 702]
+
+    def test_custom_stride(self):
+        assert sweep_seeds(2, 2, stride=1000) == [2000, 2001]
+
+    def test_zero_count(self):
+        assert sweep_seeds(5, 0) == []

@@ -55,3 +55,69 @@ class TestRegistry:
     def test_sorted_output(self):
         names = available_algorithms()
         assert names == sorted(names)
+
+
+class TestCapabilities:
+    def test_default_entry_supports_everything(self):
+        from repro.algorithms import algorithm_info
+
+        info = algorithm_info("mtc")
+        assert info.supported_dims is None
+        assert not info.requires_moving_client
+        assert info.supports_dim(1) and info.supports_dim(7)
+
+    def test_declared_restrictions(self):
+        from repro.algorithms import algorithm_info
+
+        assert algorithm_info("work-function").supported_dims == (1,)
+        assert algorithm_info("mtc-moving-client").requires_moving_client
+
+    def test_compatible_filtering(self):
+        from repro.algorithms import compatible_algorithms
+
+        dim1 = compatible_algorithms(dim=1, moving_client=False)
+        dim2 = compatible_algorithms(dim=2, moving_client=False)
+        assert "work-function" in dim1 and "work-function" not in dim2
+        assert "mtc-moving-client" not in dim1
+        assert "mtc-moving-client" in compatible_algorithms(dim=1, moving_client=True)
+
+    def test_unknown_name_raises(self):
+        from repro.algorithms import algorithm_info
+
+        with pytest.raises(KeyError, match="available"):
+            algorithm_info("nope")
+
+    def test_register_with_capabilities(self):
+        from repro.algorithms import StaticServer, algorithm_info, compatible_algorithms
+
+        register("test-1d-only", StaticServer, supported_dims=(1,))
+        try:
+            assert algorithm_info("test-1d-only").supported_dims == (1,)
+            assert "test-1d-only" not in compatible_algorithms(dim=2)
+        finally:
+            del ALGORITHMS["test-1d-only"]
+
+    def test_overwrite_without_caps_preserves_metadata(self):
+        from repro.algorithms import StaticServer, algorithm_info
+
+        original = ALGORITHMS["work-function"]
+        try:
+            register("work-function", StaticServer, overwrite=True)
+            assert algorithm_info("work-function").supported_dims == (1,)
+        finally:
+            ALGORITHMS["work-function"] = original
+
+    def test_overwrite_with_caps_replaces_metadata(self):
+        from repro.algorithms import StaticServer, algorithm_info
+        from repro.algorithms.registry import _CAPABILITIES
+
+        original = ALGORITHMS["work-function"]
+        original_caps = _CAPABILITIES.get("work-function")
+        try:
+            register("work-function", StaticServer, overwrite=True,
+                     supported_dims=(1, 2))
+            assert algorithm_info("work-function").supported_dims == (1, 2)
+        finally:
+            ALGORITHMS["work-function"] = original
+            if original_caps is not None:
+                _CAPABILITIES["work-function"] = original_caps

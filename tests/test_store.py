@@ -1,0 +1,136 @@
+"""Tests for the content-addressed results store (repro.core.store)."""
+
+import numpy as np
+import pytest
+
+from repro.core.store import (
+    ResultsStore,
+    digest_key,
+    load_payload,
+    pack_payload,
+    save_payload,
+    unpack_payload,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+class TestPayloadPacking:
+    def test_scalars_and_structures_roundtrip(self):
+        payload = {
+            "a": 1,
+            "b": 0.1 + 0.2,  # not exactly representable in decimal
+            "c": "text",
+            "d": None,
+            "e": True,
+            "nested": {"list": [1, 2.5, "x", [None, False]]},
+        }
+        skeleton, arrays = pack_payload(payload)
+        assert arrays == []
+        assert unpack_payload(skeleton, arrays) == payload
+
+    def test_arrays_bit_exact(self):
+        rng = np.random.default_rng(0)
+        payload = {"x": rng.standard_normal(17), "meta": {"y": rng.integers(0, 9, size=4)}}
+        skeleton, arrays = pack_payload(payload)
+        out = unpack_payload(skeleton, arrays)
+        assert out["x"].dtype == np.float64
+        np.testing.assert_array_equal(out["x"], payload["x"])
+        np.testing.assert_array_equal(out["meta"]["y"], payload["meta"]["y"])
+
+    def test_numpy_scalars_converted_losslessly(self):
+        value = np.float64(1.0) / np.float64(3.0)
+        skeleton, _ = pack_payload({"v": value})
+        assert skeleton["v"] == float(value)
+        assert isinstance(skeleton["v"], float)
+
+    def test_tuples_become_lists(self):
+        skeleton, _ = pack_payload({"t": (1, 2)})
+        assert skeleton["t"] == [1, 2]
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError, match="keys must be str"):
+            pack_payload({1: "x"})
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError, match="unsupported payload"):
+            pack_payload({"x": object()})
+
+    def test_file_roundtrip_exact(self, tmp_path):
+        rng = np.random.default_rng(3)
+        payload = {"arr": rng.standard_normal((5, 2)), "f": float(np.pi), "s": ["a", "b"]}
+        path = save_payload(tmp_path / "cell", payload)
+        assert path.suffix == ".npz"
+        loaded = load_payload(path)
+        np.testing.assert_array_equal(loaded["arr"], payload["arr"])
+        assert loaded["f"] == payload["f"]
+        assert loaded["s"] == payload["s"]
+
+
+class TestDigestKey:
+    def test_deterministic(self):
+        assert digest_key("m:f", {"a": 1}) == digest_key("m:f", {"a": 1})
+
+    def test_key_order_irrelevant(self):
+        assert digest_key("m:f", {"a": 1, "b": 2}) == digest_key("m:f", {"b": 2, "a": 1})
+
+    def test_params_change_digest(self):
+        assert digest_key("m:f", {"a": 1}) != digest_key("m:f", {"a": 2})
+
+    def test_fn_changes_digest(self):
+        assert digest_key("m:f", {"a": 1}) != digest_key("m:g", {"a": 1})
+
+    def test_dependency_digest_propagates(self):
+        dep_a = digest_key("m:dep", {"x": 1})
+        dep_b = digest_key("m:dep", {"x": 2})
+        assert digest_key("m:f", {}, {"d": dep_a}) != digest_key("m:f", {}, {"d": dep_b})
+
+
+class TestResultsStore:
+    def test_save_contains_load(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        digest = digest_key("m:f", {"a": 1})
+        assert digest not in store
+        store.save(digest, {"v": 42})
+        assert digest in store
+        assert store.load(digest) == {"v": 42}
+        assert len(store) == 1
+
+    def test_delete(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        digest = digest_key("m:f", {})
+        store.save(digest, {"v": 1})
+        assert store.delete(digest)
+        assert digest not in store
+        assert not store.delete(digest)
+
+    def test_missing_root_is_empty(self, tmp_path):
+        store = ResultsStore(tmp_path / "nope")
+        assert len(store) == 0
+        assert "0" * 64 not in store
+
+
+class TestExperimentResultPersistence:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="EX",
+            title="a title",
+            headers=["name", "n", "ratio"],
+            rows=[["alpha", 3, 0.1 + 0.2], ["beta", 7, float(np.float64(1) / 3)]],
+            notes=["criterion: something", "value: 1.23"],
+            passed=False,
+        )
+
+    def test_payload_roundtrip_exact(self):
+        res = self._result()
+        back = ExperimentResult.from_payload(res.as_payload())
+        assert back.rows == [list(r) for r in res.rows]
+        assert back.render() == res.render()
+        assert back.csv() == res.csv()
+        assert back.passed is False
+
+    def test_save_load_roundtrip_exact(self, tmp_path):
+        res = self._result()
+        path = res.save(tmp_path / "result")
+        back = ExperimentResult.load(path)
+        assert back.render() == res.render()
+        assert back.rows[0][2] == res.rows[0][2]  # float preserved to the last bit
