@@ -8,7 +8,16 @@ constructions, offline optimal solvers, workload generators, and the
 analysis/experiment harness that regenerates every theorem's predicted
 behaviour as an empirical table.
 
-Quickstart::
+Quickstart (the declarative scenario layer, :mod:`repro.api`)::
+
+    from repro import Scenario, run
+
+    sc = Scenario.workload("drift", algorithm="mtc",
+                           params={"T": 500, "dim": 2, "D": 4.0},
+                           seeds=range(8), delta=0.5)
+    print(run(sc).mean_cost)
+
+or the raw engine, for step-level control::
 
     import numpy as np
     from repro import MSPInstance, RequestSequence, MoveToCenter, simulate
@@ -29,6 +38,7 @@ from .algorithms import (
     available_algorithms,
     make_algorithm,
 )
+from .api import RunResult, Scenario, resolve, run, run_many
 from .core import (
     CostModel,
     MovementCapViolation,
@@ -56,12 +66,17 @@ __all__ = [
     "OnlineAlgorithm",
     "RequestBatch",
     "RequestSequence",
+    "RunResult",
+    "Scenario",
     "Trace",
     "__version__",
     "available_algorithms",
     "make_algorithm",
     "replay_cost",
     "request_center",
+    "resolve",
+    "run",
+    "run_many",
     "simulate",
     "simulate_moving_client",
     "weber_cost",

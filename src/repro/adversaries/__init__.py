@@ -7,19 +7,37 @@ trajectory whose replayed cost upper-bounds the offline optimum.
 
 from .adaptive import AdaptiveRunResult, GreedyEscapeAdversary
 from .base import AdversarialInstance, embed_direction
+from .registry import (
+    ADVERSARIES,
+    AdaptiveGame,
+    AdversaryInfo,
+    BoundAdversary,
+    adversary_info,
+    available_adversaries,
+    make_adversary,
+    register_adversary,
+)
 from .thm1 import build_thm1
 from .thm2 import build_thm2, thm2_phase_lengths
 from .thm3 import build_thm3
 from .thm8 import build_thm8
 
 __all__ = [
+    "ADVERSARIES",
+    "AdaptiveGame",
     "AdaptiveRunResult",
     "AdversarialInstance",
+    "AdversaryInfo",
+    "BoundAdversary",
     "GreedyEscapeAdversary",
+    "adversary_info",
+    "available_adversaries",
     "build_thm1",
     "build_thm2",
     "build_thm3",
     "build_thm8",
     "embed_direction",
+    "make_adversary",
+    "register_adversary",
     "thm2_phase_lengths",
 ]

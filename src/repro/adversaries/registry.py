@@ -1,0 +1,186 @@
+"""Adversary registry.
+
+Mirrors the algorithm and workload registries: every lower-bound
+construction is addressable by ``name + JSON-able params``, so a
+:class:`~repro.api.Scenario` can name its request source declaratively
+and the orchestrator can content-address adversarial cells exactly like
+workload cells.
+
+Two kinds of entries exist:
+
+* **oblivious** constructions (the paper's Theorems 1, 2, 3 and 8):
+  :func:`make_adversary` returns a :class:`BoundAdversary`, a seedable
+  builder — call it with a :class:`numpy.random.Generator` to draw one
+  :class:`~repro.adversaries.base.AdversarialInstance`;
+* **adaptive** opponents (:class:`~repro.adversaries.adaptive.GreedyEscapeAdversary`):
+  the entry is tagged ``adaptive=True`` and :func:`make_adversary`
+  returns an :class:`AdaptiveGame`, which must be *played* against an
+  algorithm instead of pre-built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from ..core.costs import CostModel
+from .adaptive import AdaptiveRunResult, GreedyEscapeAdversary
+from .base import AdversarialInstance
+from .thm1 import build_thm1
+from .thm2 import build_thm2
+from .thm3 import build_thm3
+from .thm8 import build_thm8
+
+__all__ = [
+    "ADVERSARIES",
+    "AdaptiveGame",
+    "AdversaryInfo",
+    "BoundAdversary",
+    "adversary_info",
+    "available_adversaries",
+    "make_adversary",
+    "register_adversary",
+]
+
+
+@dataclass(frozen=True)
+class AdversaryInfo:
+    """One registry entry: builder plus capability metadata.
+
+    Attributes
+    ----------
+    name, builder:
+        Registry key and construction function.  Oblivious builders take
+        their construction parameters as keywords plus ``rng``; adaptive
+        builders take parameters only and return an :class:`AdaptiveGame`
+        factory input.
+    supported_dims:
+        Dimensions the construction can be embedded in; ``None`` = any.
+    moving_client:
+        Whether the construction is a Section-5 (moving client) one — its
+        instances carry an agent trajectory and satisfy algorithms that
+        declare ``requires_moving_client``.
+    adaptive:
+        Whether the opponent reacts to the online algorithm (no fixed
+        instance exists before the game is played).
+    """
+
+    name: str
+    builder: Callable[..., Any]
+    supported_dims: tuple[int, ...] | None = None
+    moving_client: bool = False
+    adaptive: bool = False
+
+    def supports_dim(self, dim: int) -> bool:
+        return self.supported_dims is None or dim in self.supported_dims
+
+
+@dataclass(frozen=True)
+class BoundAdversary:
+    """An oblivious construction with its parameters bound.
+
+    Calling it with a seeded generator materialises one draw; the object
+    itself is cheap and picklable, so scenario cells can carry it across
+    process boundaries by name + params instead.
+    """
+
+    info: AdversaryInfo
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self, rng: np.random.Generator) -> AdversarialInstance:
+        return self.info.builder(rng=rng, **self.params)
+
+    __call__ = build
+
+
+@dataclass(frozen=True)
+class AdaptiveGame:
+    """An adaptive opponent plus the game geometry it will be played on."""
+
+    adversary: GreedyEscapeAdversary
+    T: int
+    dim: int = 1
+
+    def play(self, algorithm: Any, delta: float = 0.0) -> AdaptiveRunResult:
+        return self.adversary.run(algorithm, self.T, dim=self.dim, delta=delta)
+
+
+def _build_greedy_escape(
+    T: int = 100,
+    dim: int = 1,
+    D: float = 1.0,
+    m: float = 1.0,
+    requests_per_step: int = 1,
+) -> AdaptiveGame:
+    return AdaptiveGame(
+        GreedyEscapeAdversary(D=D, m=m, requests_per_step=requests_per_step), T, dim
+    )
+
+
+ADVERSARIES: Dict[str, AdversaryInfo] = {}
+
+
+def register_adversary(
+    name: str,
+    builder: Callable[..., Any],
+    overwrite: bool = False,
+    *,
+    supported_dims: tuple[int, ...] | None = None,
+    moving_client: bool = False,
+    adaptive: bool = False,
+) -> None:
+    """Add a construction (plus capability limits) to the registry."""
+    if name in ADVERSARIES and not overwrite:
+        raise KeyError(f"adversary {name!r} already registered")
+    ADVERSARIES[name] = AdversaryInfo(
+        name=name,
+        builder=builder,
+        supported_dims=tuple(supported_dims) if supported_dims is not None else None,
+        moving_client=moving_client,
+        adaptive=adaptive,
+    )
+
+
+register_adversary("thm1", build_thm1)
+register_adversary("thm2", build_thm2)
+register_adversary("thm3", build_thm3)
+register_adversary("thm8", build_thm8, moving_client=True)
+register_adversary("greedy-escape", _build_greedy_escape, adaptive=True)
+
+
+def adversary_info(name: str) -> AdversaryInfo:
+    """Registry entry for one adversary name."""
+    try:
+        return ADVERSARIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown adversary {name!r}; available: {', '.join(sorted(ADVERSARIES))}"
+        ) from None
+
+
+def _coerce_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-able params → builder arguments (enum strings become enums)."""
+    out = dict(params)
+    if isinstance(out.get("cost_model"), str):
+        out["cost_model"] = CostModel(out["cost_model"])
+    return out
+
+
+def make_adversary(name: str, **params: Any) -> BoundAdversary | AdaptiveGame:
+    """Bind a registered construction to its parameters.
+
+    Oblivious entries return a :class:`BoundAdversary` (call with an rng
+    to draw an instance); adaptive entries return an :class:`AdaptiveGame`
+    ready to :meth:`~AdaptiveGame.play`.
+    """
+    info = adversary_info(name)
+    if info.adaptive:
+        return info.builder(**_coerce_params(params))
+    return BoundAdversary(info, _coerce_params(params))
+
+
+def available_adversaries() -> list[str]:
+    """Sorted registry keys."""
+    return sorted(ADVERSARIES)

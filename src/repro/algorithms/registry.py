@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict
 
 import numpy as np
 
+from ..core.costs import CostModel
 from .base import OnlineAlgorithm
 from .coinflip import CoinFlip
 from .follow import FollowLastRequest, RetrospectiveCenter
@@ -26,7 +27,7 @@ from .greedy import GreedyCenter, GreedyCentroid, NearestRequestChaser
 from .lazy import LazyThreshold, StaticServer
 from .move_to_min import MoveToMin
 from .mtc import MoveToCenter
-from .mtc_variants import MovingClientMtC
+from .mtc_variants import AnswerFirstMoveToCenter, MovingClientMtC
 from .work_function import WorkFunctionLine
 
 __all__ = [
@@ -43,6 +44,7 @@ AlgorithmFactory = Callable[[], OnlineAlgorithm]
 
 ALGORITHMS: Dict[str, AlgorithmFactory] = {
     "mtc": MoveToCenter,
+    "mtc-answer-first": AnswerFirstMoveToCenter,
     "mtc-moving-client": MovingClientMtC,
     "greedy-center": GreedyCenter,
     "greedy-centroid": GreedyCentroid,
@@ -59,8 +61,10 @@ ALGORITHMS: Dict[str, AlgorithmFactory] = {
 }
 
 #: Capability declarations for entries with restrictions; anything absent
-#: here supports every dimension on the plain (non-moving-client) model.
+#: here supports every dimension and cost model on the plain
+#: (non-moving-client) model.
 _CAPABILITIES: Dict[str, Dict[str, Any]] = {
+    "mtc-answer-first": {"cost_models": ("answer-first",)},
     "mtc-moving-client": {"requires_moving_client": True},
     "work-function": {"supported_dims": (1,)},
 }
@@ -85,9 +89,28 @@ class AlgorithmInfo:
     factory: AlgorithmFactory
     supported_dims: tuple[int, ...] | None = None
     requires_moving_client: bool = False
+    cost_models: tuple[str, ...] | None = None
 
     def supports_dim(self, dim: int) -> bool:
         return self.supported_dims is None or dim in self.supported_dims
+
+    def supports_cost_model(self, model: "CostModel | str") -> bool:
+        if self.cost_models is None:
+            return True
+        value = model.value if isinstance(model, CostModel) else str(model)
+        return value in self.cost_models
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether a truly vectorized batched implementation is registered.
+
+        The scenario dispatcher (:func:`repro.api.run`) uses this to pick
+        the lock-step engine; algorithms without an entry still run
+        batched through the scalar adapter, bit-identically.
+        """
+        from .vectorized import VECTORIZED  # lazy: vectorized imports this module
+
+        return self.name in VECTORIZED
 
 
 def algorithm_info(name: str) -> AlgorithmInfo:
@@ -101,12 +124,18 @@ def algorithm_info(name: str) -> AlgorithmInfo:
     return AlgorithmInfo(name=name, factory=factory, **_CAPABILITIES.get(name, {}))
 
 
-def compatible_algorithms(dim: int | None = None, moving_client: bool = False) -> list[str]:
+def compatible_algorithms(
+    dim: int | None = None,
+    moving_client: bool = False,
+    cost_model: "CostModel | str | None" = CostModel.MOVE_FIRST,
+) -> list[str]:
     """Registered names able to play the described setting (sorted).
 
     ``dim=None`` skips the dimension check; ``moving_client=False`` (the
     plain Mobile Server model) excludes algorithms that require the
-    moving-client instance structure.
+    moving-client instance structure; ``cost_model`` (default move-first)
+    excludes algorithms built for a different accounting model, ``None``
+    skips that check.
     """
     names = []
     for name in available_algorithms():
@@ -114,6 +143,8 @@ def compatible_algorithms(dim: int | None = None, moving_client: bool = False) -
         if info.requires_moving_client and not moving_client:
             continue
         if dim is not None and not info.supports_dim(dim):
+            continue
+        if cost_model is not None and not info.supports_cost_model(cost_model):
             continue
         names.append(name)
     return names
@@ -126,6 +157,7 @@ def register(
     *,
     supported_dims: tuple[int, ...] | None = None,
     requires_moving_client: bool = False,
+    cost_models: tuple[str, ...] | None = None,
 ) -> None:
     """Add a factory (plus optional capability limits) to the registry.
 
@@ -141,6 +173,8 @@ def register(
         caps["supported_dims"] = tuple(supported_dims)
     if requires_moving_client:
         caps["requires_moving_client"] = True
+    if cost_models is not None:
+        caps["cost_models"] = tuple(cost_models)
     is_overwrite = name in ALGORITHMS
     ALGORITHMS[name] = factory
     if caps:
@@ -149,15 +183,22 @@ def register(
         _CAPABILITIES.pop(name, None)
 
 
-def make_algorithm(name: str) -> OnlineAlgorithm:
-    """Instantiate a registered algorithm by name."""
+def make_algorithm(name: str, **params: Any) -> OnlineAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    Extra keyword arguments are forwarded to the factory — e.g.
+    ``make_algorithm("mtc", step_scale=0.25)`` — which is how scenario
+    specs (:mod:`repro.api`) describe parameterized variants by strings.
+    Factories registered as zero-argument lambdas reject parameters with
+    the usual ``TypeError``.
+    """
     try:
         factory = ALGORITHMS[name]
     except KeyError:
         raise KeyError(
             f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
         ) from None
-    return factory()
+    return factory(**params)
 
 
 def available_algorithms() -> list[str]:

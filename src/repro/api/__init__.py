@@ -1,0 +1,96 @@
+"""``repro.api`` — the stable public surface of the reproduction.
+
+One declarative object, one entry point::
+
+    from repro.api import Scenario, run
+
+    sc = Scenario.workload(
+        "drift", algorithm="mtc",
+        params={"T": 200, "dim": 1, "D": 4.0, "speed": 0.8},
+        seeds=range(8), delta=0.5, ratio="bracket",
+    )
+    result = run(sc)
+
+A :class:`Scenario` names its request source (workload or adversary
+registry entry + params), its algorithm (registry entry + params), the
+seed sweep, augmentation and certification mode; :func:`run` dispatches
+to the batched lock-step engine or the scalar simulator — bit-identical
+either way — and returns a :class:`RunResult`.  Scenarios serialize to
+plain JSON (:meth:`Scenario.to_dict`) and carry a content address
+(:meth:`Scenario.digest`) in the persistent results store, shared with
+the experiment orchestrator's scenario cells.
+
+Prefer this module over importing :mod:`repro.core.simulator` /
+:mod:`repro.core.engine` directly: the engines remain public for custom
+loops, but everything expressible as *source × algorithm × seeds* should
+go through a scenario.
+"""
+
+from ..adversaries.registry import (
+    ADVERSARIES,
+    AdaptiveGame,
+    AdversaryInfo,
+    BoundAdversary,
+    adversary_info,
+    available_adversaries,
+    make_adversary,
+    register_adversary,
+)
+from ..algorithms.registry import (
+    AlgorithmInfo,
+    algorithm_info,
+    available_algorithms,
+    compatible_algorithms,
+    make_algorithm,
+)
+from ..workloads.registry import (
+    WORKLOADS,
+    WorkloadInfo,
+    available_workloads,
+    make_workload,
+    register_workload,
+    workload_info,
+)
+from .runtime import (
+    RunResult,
+    build_instances,
+    cell_run,
+    resolve,
+    run,
+    run_many,
+    scenario_unit,
+)
+from .scenario import CELL_FN, Scenario, freeze_params, thaw_params
+
+__all__ = [
+    "ADVERSARIES",
+    "CELL_FN",
+    "WORKLOADS",
+    "AdaptiveGame",
+    "AdversaryInfo",
+    "AlgorithmInfo",
+    "BoundAdversary",
+    "RunResult",
+    "Scenario",
+    "WorkloadInfo",
+    "adversary_info",
+    "algorithm_info",
+    "available_adversaries",
+    "available_algorithms",
+    "available_workloads",
+    "build_instances",
+    "cell_run",
+    "compatible_algorithms",
+    "freeze_params",
+    "make_adversary",
+    "make_algorithm",
+    "make_workload",
+    "register_adversary",
+    "register_workload",
+    "resolve",
+    "run",
+    "run_many",
+    "scenario_unit",
+    "thaw_params",
+    "workload_info",
+]

@@ -1,0 +1,480 @@
+"""Scenario execution: one ``run()`` over both engines.
+
+:func:`run` takes a :class:`~repro.api.scenario.Scenario`, materialises
+its instances from the workload/adversary registries, validates the
+algorithm's capability metadata against the source, dispatches to the
+batched lock-step engine (when the algorithm's registry entry advertises
+a vectorized implementation) or the scalar simulator (bit-identical
+fallback), certifies ratios as requested, and returns a
+:class:`RunResult`.
+
+:func:`run_many` runs a list of scenarios, sharing instance
+materialisation and offline brackets across scenarios that differ only
+in the algorithm (the CLI ``compare`` pattern), and optionally
+round-trips results through a persistent
+:class:`~repro.core.store.ResultsStore` keyed by each scenario's content
+digest.
+
+:func:`cell_run` is the orchestrator work-unit entry point: experiments
+that declare their sweeps as scenarios get content-addressed caching and
+process fan-out without any experiment-specific cell code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..adversaries.base import AdversarialInstance
+from ..adversaries.registry import AdaptiveGame, adversary_info, make_adversary
+from ..algorithms.registry import AlgorithmInfo, algorithm_info, make_algorithm
+from ..analysis.ratio import (
+    RatioMeasurement,
+    measures_from_payload,
+    measures_to_payload,
+)
+from ..core.engine import simulate_batch
+from ..core.instance import MovingClientInstance, MSPInstance
+from ..core.simulator import simulate
+from ..core.store import ResultsStore
+from ..core.trace import Trace
+from ..offline.bounds import OptBracket, bracket_optimum
+from ..workloads.registry import make_workload, workload_info
+from .scenario import CELL_FN, Scenario
+
+__all__ = [
+    "RunResult",
+    "build_instances",
+    "cell_run",
+    "resolve",
+    "run",
+    "run_many",
+    "scenario_unit",
+]
+
+
+def resolve(name: str, **params: Any) -> Any:
+    """Instantiate a registered request source by name.
+
+    Searches the workload registry first, then the adversary registry:
+    returns a ready workload generator (``generate(rng)``), a
+    :class:`~repro.adversaries.registry.BoundAdversary` (call with an rng
+    to draw an :class:`~repro.adversaries.base.AdversarialInstance`), or
+    an :class:`~repro.adversaries.registry.AdaptiveGame`.
+    """
+    from ..adversaries.registry import ADVERSARIES
+    from ..workloads.registry import WORKLOADS
+
+    if name in WORKLOADS:
+        return make_workload(name, **params)
+    if name in ADVERSARIES:
+        return make_adversary(name, **params)
+    known = sorted(WORKLOADS) + sorted(ADVERSARIES)
+    raise KeyError(f"unknown source {name!r}; available: {', '.join(known)}")
+
+
+@dataclass
+class RunResult:
+    """Everything one scenario run produced.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario that was run.
+    costs:
+        ``(B,)`` total cost per seed (bit-identical across engines).
+    ratios:
+        Certified ratio lower bounds per seed (``cost / adversary cost``)
+        when the scenario certifies against an adversary, else ``None``.
+    measurements:
+        Per-seed :class:`~repro.analysis.ratio.RatioMeasurement` interval
+        certificates when the scenario certifies against a bracketed
+        optimum, else ``None``.
+    traces:
+        Full per-seed traces (``None`` when the result was reloaded from
+        a store payload, which keeps only the scalar summaries).
+    engine:
+        ``"scalar"`` or ``"batched"`` — which path actually ran.
+    elapsed:
+        Wall-clock seconds of the run (0.0 for cache hits).
+    """
+
+    scenario: Scenario
+    costs: np.ndarray
+    ratios: np.ndarray | None = None
+    measurements: list[RatioMeasurement] | None = None
+    traces: list[Trace] | None = None
+    engine: str = "scalar"
+    elapsed: float = 0.0
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.costs.shape[0])
+
+    @property
+    def mean_cost(self) -> float:
+        return float(self.costs.mean())
+
+    @property
+    def mean_ratio(self) -> float:
+        """Mean certified adversarial ratio lower bound over the seeds."""
+        if self.ratios is None:
+            raise ValueError(f"scenario {self.scenario.label()!r} did not certify against an adversary")
+        return float(self.ratios.mean())
+
+    @property
+    def ratio_lower(self) -> np.ndarray:
+        """``(B,)`` certified lower ends ``cost / opt_upper``."""
+        if self.measurements is None:
+            raise ValueError(f"scenario {self.scenario.label()!r} has no bracket measurements")
+        return np.array([m.ratio_lower for m in self.measurements])
+
+    @property
+    def ratio_upper(self) -> np.ndarray:
+        """``(B,)`` certified upper ends ``cost / opt_lower``."""
+        if self.measurements is None:
+            raise ValueError(f"scenario {self.scenario.label()!r} has no bracket measurements")
+        return np.array([m.ratio_upper for m in self.measurements])
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.scenario.label()}: B={self.batch_size}",
+            f"engine={self.engine}",
+            f"mean cost {self.mean_cost:.4g}",
+        ]
+        if self.ratios is not None:
+            parts.append(f"ratio >= {self.mean_ratio:.4g}")
+        if self.measurements is not None:
+            parts.append(
+                f"ratio in [{float(self.ratio_lower.mean()):.4g}, "
+                f"{float(self.ratio_upper.mean()):.4g}]"
+            )
+        parts.append(f"{self.elapsed:.3f}s")
+        return ", ".join(parts)
+
+    # -- store round-trip --------------------------------------------------
+
+    def as_payload(self) -> dict[str, Any]:
+        """Store-compatible payload (exact costs/ratios; traces dropped)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "engine": self.engine,
+            "elapsed": self.elapsed,
+            "costs": np.asarray(self.costs, dtype=np.float64),
+            "ratios": None if self.ratios is None else np.asarray(self.ratios, dtype=np.float64),
+            "measures": None if self.measurements is None else measures_to_payload(self.measurements),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            scenario=Scenario.from_dict(payload["scenario"]),
+            costs=payload["costs"],
+            ratios=payload["ratios"],
+            measurements=None if payload["measures"] is None
+            else measures_from_payload(payload["measures"]),
+            traces=None,
+            engine=payload["engine"],
+            elapsed=float(payload["elapsed"]),
+        )
+
+
+# -- materialisation -------------------------------------------------------
+
+
+def _source_info(scenario: Scenario):
+    if scenario.kind == "workload":
+        return workload_info(scenario.source)
+    return adversary_info(scenario.source)
+
+
+def build_instances(
+    scenario: Scenario,
+) -> tuple[list[MSPInstance], list[AdversarialInstance] | None]:
+    """Materialise the scenario's per-seed instances.
+
+    Returns the (lowered, cost-model-adjusted) :class:`MSPInstance` list
+    ready for either engine, plus the adversarial wrappers when the
+    source is an oblivious construction (``None`` for workloads).
+    Moving-client instances are lowered via ``as_msp()`` exactly as
+    :func:`repro.core.simulator.simulate_moving_client` does.
+    """
+    source = resolve(scenario.source, **scenario.source_kwargs())
+    if isinstance(source, AdaptiveGame):
+        raise ValueError(
+            f"adaptive source {scenario.source!r} has no pre-built instances; "
+            "its instances exist only after the game is played"
+        )
+    if scenario.kind == "adversary":
+        advs = [source.build(np.random.default_rng(s)) for s in scenario.seeds]
+        return [adv.instance for adv in advs], advs
+    instances = []
+    for seed in scenario.seeds:
+        inst = source.generate(np.random.default_rng(seed))
+        if isinstance(inst, MovingClientInstance):
+            inst = inst.as_msp()
+        if scenario.cost_model is not None:
+            inst = inst.with_cost_model(_cost_model(scenario.cost_model))
+        instances.append(inst)
+    return instances, None
+
+
+def _cost_model(value: str):
+    from ..core.costs import CostModel
+
+    return CostModel(value)
+
+
+def _check_compatibility(scenario: Scenario, info: AlgorithmInfo, instances: Sequence[MSPInstance]) -> None:
+    source_info = _source_info(scenario)
+    if info.requires_moving_client and not source_info.moving_client:
+        raise ValueError(
+            f"algorithm {info.name!r} requires a moving-client source; "
+            f"{scenario.kind} {scenario.source!r} is not one"
+        )
+    for inst in instances:
+        if not info.supports_dim(inst.dim):
+            raise ValueError(
+                f"algorithm {info.name!r} does not support dim={inst.dim} "
+                f"(supported: {info.supported_dims})"
+            )
+        if not info.supports_cost_model(inst.cost_model):
+            raise ValueError(
+                f"algorithm {info.name!r} does not play the "
+                f"{inst.cost_model.value!r} cost model (supported: {info.cost_models})"
+            )
+
+
+def _choose_engine(scenario: Scenario, info: AlgorithmInfo, instances: Sequence[MSPInstance]) -> str:
+    if scenario.engine != "auto":
+        return scenario.engine
+    if scenario.algorithm_params:
+        # Vectorized implementations are registered for the default
+        # parameterisation only; variants run through the scalar loop.
+        return "scalar"
+    if not info.vectorized:
+        return "scalar"
+    if len(instances) < 2:
+        return "scalar"
+    if len({inst.length for inst in instances}) != 1:
+        return "scalar"  # ragged draws cannot share a lock-step pass
+    return "batched"
+
+
+# -- execution -------------------------------------------------------------
+
+
+def _run_adaptive(scenario: Scenario, t0: float) -> RunResult:
+    game = resolve(scenario.source, **scenario.source_kwargs())
+    # The adaptive game is fully deterministic given the algorithm (even
+    # the registered randomized algorithms reseed per factory call), so
+    # one play is broadcast across the seed axis instead of replaying the
+    # identical game per seed.
+    outcome = game.play(
+        make_algorithm(scenario.algorithm, **scenario.algorithm_kwargs()),
+        delta=scenario.delta,
+    )
+    B = len(scenario.seeds)
+    costs = np.full(B, outcome.algorithm_cost)
+    ratios = np.full(B, outcome.ratio)
+    ratio_mode = scenario.effective_ratio()
+    return RunResult(
+        scenario=scenario,
+        costs=costs,
+        ratios=ratios if ratio_mode == "adversary" else None,
+        measurements=None,
+        traces=None,
+        engine="scalar",
+        elapsed=perf_counter() - t0,
+    )
+
+
+def _bracket_measurements(
+    scenario: Scenario,
+    instances: Sequence[MSPInstance],
+    costs: np.ndarray,
+    algorithm_name: str,
+    brackets: Sequence[OptBracket] | None,
+) -> list[RatioMeasurement]:
+    if brackets is None:
+        brackets = [bracket_optimum(inst) for inst in instances]
+    elif len(brackets) != len(instances):
+        raise ValueError("need exactly one bracket per instance")
+    out = []
+    # Same interval arithmetic as analysis.ratio.measure_ratio{,_batch},
+    # so API results are interchangeable with the legacy helpers.
+    for i, bracket in enumerate(brackets):
+        lower = max(bracket.lower, 1e-300)
+        upper = max(bracket.upper, 1e-300)
+        cost = float(costs[i])
+        out.append(
+            RatioMeasurement(
+                cost=cost,
+                opt_lower=bracket.lower,
+                opt_upper=bracket.upper,
+                ratio_lower=cost / upper,
+                ratio_upper=cost / lower,
+                algorithm=algorithm_name,
+            )
+        )
+    return out
+
+
+def run(
+    scenario: Scenario,
+    *,
+    instances: Sequence[MSPInstance] | None = None,
+    adversarials: Sequence[AdversarialInstance] | None = None,
+    brackets: Sequence[OptBracket] | None = None,
+    keep_traces: bool = True,
+) -> RunResult:
+    """Execute one scenario and return its :class:`RunResult`.
+
+    The keyword arguments let :func:`run_many` (and tests) inject
+    pre-materialised instances and offline brackets; ordinary callers
+    pass just the scenario.
+    """
+    t0 = perf_counter()
+    info = algorithm_info(scenario.algorithm)
+    if scenario.kind == "adversary" and adversary_info(scenario.source).adaptive:
+        if scenario.engine == "batched":
+            raise ValueError("adaptive adversaries play move-by-move; engine='batched' is impossible")
+        return _run_adaptive(scenario, t0)
+
+    if instances is None:
+        instances, adversarials = build_instances(scenario)
+    else:
+        instances = list(instances)
+    _check_compatibility(scenario, info, instances)
+    engine = _choose_engine(scenario, info, instances)
+
+    if engine == "batched":
+        batch = simulate_batch(
+            instances,
+            scenario.algorithm if not scenario.algorithm_params
+            else (lambda: make_algorithm(scenario.algorithm, **scenario.algorithm_kwargs())),
+            delta=scenario.delta,
+        )
+        costs = batch.total_costs
+        traces = batch.traces() if keep_traces else None
+        algorithm_name = batch.algorithm
+    else:
+        traces_all = [
+            simulate(
+                inst,
+                make_algorithm(scenario.algorithm, **scenario.algorithm_kwargs()),
+                delta=scenario.delta,
+            )
+            for inst in instances
+        ]
+        costs = np.array([tr.total_cost for tr in traces_all])
+        algorithm_name = traces_all[0].algorithm
+        traces = traces_all if keep_traces else None
+
+    ratio_mode = scenario.effective_ratio()
+    ratios = None
+    measurements = None
+    if ratio_mode == "adversary":
+        if adversarials is None:
+            raise ValueError(
+                f"scenario {scenario.label()!r} asks for adversary certification "
+                "but its source is a workload (use ratio='bracket' or 'none')"
+            )
+        ratios = np.array([adv.ratio_of(float(c)) for adv, c in zip(adversarials, costs)])
+    elif ratio_mode == "bracket":
+        measurements = _bracket_measurements(scenario, instances, costs, algorithm_name, brackets)
+
+    return RunResult(
+        scenario=scenario,
+        costs=np.asarray(costs, dtype=np.float64),
+        ratios=ratios,
+        measurements=measurements,
+        traces=traces,
+        engine=engine,
+        elapsed=perf_counter() - t0,
+    )
+
+
+def _share_key(scenario: Scenario) -> tuple:
+    """Scenarios agreeing on this key see identical instances."""
+    return (scenario.kind, scenario.source, scenario.source_params,
+            scenario.seeds, scenario.cost_model)
+
+
+def run_many(
+    scenarios: Sequence[Scenario],
+    *,
+    store: ResultsStore | None = None,
+    keep_traces: bool = False,
+) -> list[RunResult]:
+    """Run several scenarios, sharing instances and offline brackets.
+
+    Scenarios that differ only in the algorithm (the ``compare`` pattern)
+    materialise their instances once and — when any of them certifies
+    against a bracketed optimum — solve each instance's offline bracket
+    once, not once per algorithm.
+
+    With a ``store``, each scenario is looked up by its content digest
+    first and fresh results are written back, so repeated comparisons are
+    cache hits (the addresses are shared with orchestrator scenario
+    cells).  Results loaded from the store carry no traces.
+    """
+    cache: dict[tuple, tuple] = {}
+    results: list[RunResult] = []
+    for scenario in scenarios:
+        if store is not None:
+            digest = scenario.digest()
+            if digest in store:
+                results.append(RunResult.from_payload(store.load(digest)))
+                continue
+        adaptive = scenario.kind == "adversary" and adversary_info(scenario.source).adaptive
+        if adaptive:
+            result = run(scenario, keep_traces=keep_traces)
+        else:
+            key = _share_key(scenario)
+            if key not in cache:
+                cache[key] = (*build_instances(scenario), None)
+            instances, advs, brackets = cache[key]
+            if scenario.effective_ratio() == "bracket" and brackets is None:
+                brackets = [bracket_optimum(inst) for inst in instances]
+                cache[key] = (instances, advs, brackets)
+            result = run(
+                scenario,
+                instances=instances,
+                adversarials=advs,
+                brackets=brackets,
+                keep_traces=keep_traces,
+            )
+        if store is not None:
+            store.save(scenario.digest(), result.as_payload(),
+                       extra_meta={"kind": "scenario", "label": scenario.label()})
+        results.append(result)
+    return results
+
+
+# -- orchestrator integration ----------------------------------------------
+
+
+def cell_run(scenario: Mapping[str, Any]) -> dict[str, Any]:
+    """Generic orchestrator cell: execute one serialized scenario.
+
+    The cell's content address (``fn`` + the scenario dict) equals
+    :meth:`Scenario.digest`, so orchestrated sweeps and inline
+    :func:`run_many` calls share store entries.
+    """
+    return run(Scenario.from_dict(scenario), keep_traces=False).as_payload()
+
+
+def scenario_unit(key: str, scenario: Scenario, deps: tuple[str, ...] = ()):
+    """A :class:`~repro.experiments.orchestrator.WorkUnit` running ``scenario``.
+
+    The unit's parameters are :meth:`Scenario.cache_dict` (display name
+    stripped), so its orchestrator content address equals
+    :meth:`Scenario.digest` — sweeps and inline runs share store entries.
+    """
+    from ..experiments.orchestrator import WorkUnit
+
+    return WorkUnit(key=key, fn=CELL_FN, params={"scenario": scenario.cache_dict()}, deps=deps)

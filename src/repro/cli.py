@@ -11,27 +11,49 @@ Subcommands
     requested experiments out across processes, and completed cells are
     cached in a persistent content-addressed store (``--store DIR``), so
     a repeated or interrupted invocation only computes what is missing
-    (``--resume``); ``--rerun`` forces recomputation.
+    (``--resume``); ``--rerun`` forces recomputation.  The cache report
+    includes per-cell wall-clock timing; ``--store-gc SIZE`` evicts
+    least-recently-used store entries down to a size budget afterwards.
+
+``run``
+    Execute one declarative :class:`repro.api.Scenario` — a registered
+    workload *or* adversary source plus an algorithm, seeds, δ and a
+    certification mode — through the unified dispatcher and print the
+    per-seed results.
 
 ``compare``
-    Quick algorithm comparison on a named workload.  Algorithms are
+    Quick algorithm comparison on a named workload.  Each algorithm is
+    one scenario over the same source and seeds; ``run_many`` shares the
+    instances and offline brackets across all of them.  Algorithms are
     selected via the registry's capability metadata (dimension support,
-    moving-client requirement).  With ``--batch B`` each algorithm plays
-    ``B`` seeded instances in one lock-step pass of the batched engine
-    and certified ratios are averaged (the offline brackets are solved
-    once per instance and shared across algorithms).
+    moving-client requirement, cost model).
 
 ``list``
-    Show registered algorithms and workloads.
+    Show registered algorithms, workloads, adversaries and experiments.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-import numpy as np
+
+def _parse_size(text: str) -> int:
+    """``"500M"``/``"2G"``/``"100K"``/plain bytes → byte count."""
+    text = text.strip()
+    factors = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    if text and text[-1].upper() in factors:
+        return int(float(text[:-1]) * factors[text[-1].upper()])
+    return int(text)
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit, factor in (("G", 1024**3), ("M", 1024**2), ("K", 1024)):
+        if n >= factor:
+            return f"{n / factor:.1f}{unit}"
+    return f"{n}B"
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -40,6 +62,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.store_gc is not None and not args.store:
+        print("--store-gc needs a persistent store (--store DIR)", file=sys.stderr)
         return 2
     ids = args.ids if args.ids else list(EXPERIMENTS)
     store = ResultsStore(args.store) if args.store else None
@@ -60,38 +85,130 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         verb = "resumed" if args.resume else "cached"
         print(f"store: {report.cached}/{report.total} work units {verb}, "
               f"{report.computed} computed ({store.root})")
+    if report.timings:
+        slowest = ", ".join(f"{key} {secs:.2f}s" for key, secs in report.slowest(3))
+        print(f"timing: {report.computed} cells computed in {report.compute_seconds:.2f}s; "
+              f"slowest: {slowest}")
+    if store is not None and args.store_gc is not None:
+        stats = store.gc(args.store_gc)
+        print(f"store-gc: evicted {stats.evicted} entries ({_fmt_bytes(stats.freed_bytes)} freed), "
+              f"{stats.remaining_entries} entries ({_fmt_bytes(stats.remaining_bytes)}) remain")
     return 0 if all_ok else 1
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """``KEY=VALUE`` pairs; values parse as JSON, falling back to strings."""
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"parameter {pair!r} must look like KEY=VALUE")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .adversaries import ADVERSARIES
+    from .analysis import render_table
+    from .api import Scenario, run_many
+    from .core.store import ResultsStore
+    from .workloads import WORKLOADS
+
+    if args.source in WORKLOADS:
+        kind = "workload"
+    elif args.source in ADVERSARIES:
+        kind = "adversary"
+    else:
+        known = ", ".join(sorted(WORKLOADS) + sorted(ADVERSARIES))
+        print(f"unknown source {args.source!r}; available: {known}", file=sys.stderr)
+        return 2
+    try:
+        scenario = Scenario(
+            kind=kind,
+            source=args.source,
+            source_params=_parse_params(args.param),
+            algorithm=args.algorithm,
+            algorithm_params=_parse_params(args.alg_param),
+            seeds=tuple(args.seeds),
+            delta=args.delta,
+            cost_model=args.cost_model,
+            ratio=args.ratio,
+            engine=args.engine,
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return 2
+    store = ResultsStore(args.store) if args.store else None
+    cached = store is not None and scenario.digest() in store
+    try:
+        result = run_many([scenario], store=store)[0]
+    except (ValueError, TypeError, KeyError) as exc:
+        # Capability mismatches, unknown algorithm names, bad source or
+        # algorithm parameters — user input errors, not crashes.
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return 2
+    headers = ["seed", "cost"]
+    rows: list[list] = [[s, float(c)] for s, c in zip(scenario.seeds, result.costs)]
+    if result.ratios is not None:
+        headers.append("ratio >=")
+        for row, r in zip(rows, result.ratios):
+            row.append(float(r))
+    if result.measurements is not None:
+        headers += ["ratio >=", "ratio <="]
+        for row, m in zip(rows, result.measurements):
+            row += [m.ratio_lower, m.ratio_upper]
+    print(render_table(headers, rows, title=scenario.label()))
+    origin = "store (cache hit)" if cached else f"{result.engine} engine, {result.elapsed:.3f}s"
+    print(f"  mean cost {result.mean_cost:.4f} over {result.batch_size} seed(s); {origin}")
+    if result.ratios is not None:
+        print(f"  certified ratio lower bound (mean): {result.mean_ratio:.4f}")
+    if result.measurements is not None:
+        print(f"  certified ratio interval (mean): [{float(result.ratio_lower.mean()):.4f}, "
+              f"{float(result.ratio_upper.mean()):.4f}]")
+    if store is not None:
+        print(f"  scenario digest {scenario.digest()[:16]}... ({store.root})")
+    return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .algorithms import compatible_algorithms
-    from .analysis import measure_ratio_batch, render_table
-    from .offline import bracket_optimum
-    from .workloads import standard_suite
+    from .analysis import render_table
+    from .api import Scenario, run_many
+    from .workloads import SUITE_NAMES, suite_entry
 
     if args.batch < 1:
         print("--batch must be at least 1", file=sys.stderr)
         return 2
-    suite = standard_suite(T=args.T, dim=args.dim, D=args.D, m=1.0)
-    if args.workload not in suite:
-        print(f"unknown workload {args.workload!r}; available: {', '.join(suite)}", file=sys.stderr)
+    if args.workload not in SUITE_NAMES:
+        print(f"unknown workload {args.workload!r}; available: {', '.join(SUITE_NAMES)}", file=sys.stderr)
         return 2
-    instances = [
-        suite[args.workload].generate(np.random.default_rng(args.seed + i))
-        for i in range(args.batch)
-    ]
-    brackets = [bracket_optimum(inst) for inst in instances]
-    rows = []
+    source, extra = suite_entry(args.workload, args.dim)
+    seeds = [args.seed + i for i in range(args.batch)]
     # Plain MSP instances in args.dim dimensions: let the registry's
-    # capability metadata pick the algorithms that can play them.
-    for name in compatible_algorithms(dim=args.dim, moving_client=False):
-        measures = measure_ratio_batch(instances, name, delta=args.delta, brackets=brackets)
-        rows.append([
-            name,
-            float(np.mean([m.cost for m in measures])),
-            float(np.mean([m.ratio_lower for m in measures])),
-            float(np.mean([m.ratio_upper for m in measures])),
-        ])
+    # capability metadata pick the algorithms that can play them.  All
+    # scenarios share one source + seed set, so run_many materialises the
+    # instances once and solves each offline bracket once.
+    scenarios = [
+        Scenario.workload(
+            source,
+            algorithm=name,
+            params={"T": args.T, "dim": args.dim, "D": args.D, "m": 1.0, **extra},
+            seeds=seeds,
+            delta=args.delta,
+            ratio="bracket",
+            name=f"compare/{name}",
+        )
+        for name in compatible_algorithms(dim=args.dim, moving_client=False)
+    ]
+    results = run_many(scenarios)
+    rows = [
+        [res.scenario.algorithm, res.mean_cost,
+         float(res.ratio_lower.mean()), float(res.ratio_upper.mean())]
+        for res in results
+    ]
     rows.sort(key=lambda r: r[3])
     batch_tag = f", batch={args.batch}" if args.batch > 1 else ""
     print(render_table(
@@ -104,15 +221,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from .adversaries import available_adversaries
     from .algorithms import available_algorithms
     from .experiments import EXPERIMENTS
-    from .workloads import standard_suite
+    from .workloads import available_workloads
 
     print("algorithms:")
     for name in available_algorithms():
         print(f"  {name}")
     print("workloads:")
-    for name in standard_suite():
+    for name in available_workloads():
+        print(f"  {name}")
+    print("adversaries:")
+    for name in available_adversaries():
         print(f"  {name}")
     print("experiments:")
     for eid in EXPERIMENTS:
@@ -143,7 +264,32 @@ def main(argv: list[str] | None = None) -> int:
                             "documents intent and labels the cache report)")
     p_exp.add_argument("--rerun", action="store_true",
                        help="recompute every work unit, overwriting store entries")
+    p_exp.add_argument("--store-gc", type=_parse_size, default=None, metavar="SIZE",
+                       help="after the run, evict least-recently-used store entries "
+                            "until the store fits SIZE (e.g. 500M, 2G, 120000 bytes); "
+                            "validated up front, requires --store")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_run = sub.add_parser("run", help="run one declarative scenario")
+    p_run.add_argument("--source", required=True,
+                       help="registered workload or adversary name (see 'list')")
+    p_run.add_argument("--algorithm", default="mtc", help="registered algorithm name")
+    p_run.add_argument("-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+                       help="source parameter (repeatable), e.g. -p T=200 -p D=4.0")
+    p_run.add_argument("--alg-param", action="append", default=[], metavar="KEY=VALUE",
+                       help="algorithm parameter (repeatable), e.g. --alg-param step_scale=0.5")
+    p_run.add_argument("--seeds", type=int, nargs="+", default=[0], help="seed sweep")
+    p_run.add_argument("--delta", type=float, default=0.0, help="resource augmentation")
+    p_run.add_argument("--cost-model", default=None, choices=["move-first", "answer-first"],
+                       help="override the instance cost model (workload sources only)")
+    p_run.add_argument("--ratio", default="auto", choices=["auto", "adversary", "bracket", "none"],
+                       help="certification mode")
+    p_run.add_argument("--engine", default="auto", choices=["auto", "scalar", "batched"],
+                       help="simulation engine (auto picks; both are bit-identical)")
+    p_run.add_argument("--store", type=str, default="", metavar="DIR",
+                       help="content-addressed result cache (same store the "
+                            "experiments orchestrator uses)")
+    p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare algorithms on a workload")
     p_cmp.add_argument("--workload", default="drift")
@@ -157,7 +303,7 @@ def main(argv: list[str] | None = None) -> int:
                             "engine pass and average the certified ratios")
     p_cmp.set_defaults(func=_cmd_compare)
 
-    p_list = sub.add_parser("list", help="list algorithms, workloads, experiments")
+    p_list = sub.add_parser("list", help="list algorithms, workloads, adversaries, experiments")
     p_list.set_defaults(func=_cmd_list)
 
     args = parser.parse_args(argv)

@@ -14,6 +14,13 @@ For sweeps over many instances, :mod:`repro.core.engine` provides
 :func:`~repro.core.engine.simulate_batch`, which plays ``B`` same-length
 instances in lock-step with vectorized accounting and reproduces this
 scalar loop bit-for-bit per lane.
+
+.. note::
+   Prefer the scenario layer (:func:`repro.api.run`) over calling this
+   module directly: anything expressible as *source × algorithm × seeds*
+   gets engine selection, capability validation and store caching there.
+   This entry point stays public for step-level custom loops (callbacks,
+   adaptive opponents).
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -31,6 +32,7 @@ import numpy as np
 from .io import decode_meta, encode_meta, npz_path
 
 __all__ = [
+    "GCStats",
     "ResultsStore",
     "digest_key",
     "load_payload",
@@ -151,6 +153,16 @@ def load_payload(path: str | Path) -> Any:
     return unpack_payload(skeleton, arrays)
 
 
+@dataclass(frozen=True)
+class GCStats:
+    """Outcome of one :meth:`ResultsStore.gc` pass."""
+
+    evicted: int
+    freed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+
+
 class ResultsStore:
     """A directory of content-addressed cell payloads.
 
@@ -173,7 +185,15 @@ class ResultsStore:
         return self.path_for(digest).exists()
 
     def load(self, digest: str) -> Any:
-        return load_payload(self.path_for(digest))
+        path = self.path_for(digest)
+        payload = load_payload(path)
+        # Bump the entry's mtime so :meth:`gc` sees it as recently used
+        # (atimes are unreliable under relatime/noatime mounts).
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return payload
 
     def save(self, digest: str, payload: Any, extra_meta: Mapping[str, Any] | None = None) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -198,3 +218,49 @@ class ResultsStore:
         if not self.root.exists():
             return 0
         return sum(1 for p in self.root.glob("*.npz") if not p.name.startswith("."))
+
+    def size_bytes(self) -> int:
+        """Total size of all entries (temporary files excluded)."""
+        if not self.root.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.root.glob("*.npz")
+                   if not p.name.startswith("."))
+
+    def gc(self, max_bytes: int) -> GCStats:
+        """Evict least-recently-used entries until the store fits ``max_bytes``.
+
+        Recency is tracked via entry mtimes: :meth:`save` stamps creation
+        and :meth:`load` re-stamps every cache hit, so eviction order is
+        true LRU over both writes and reads.  Entries vanishing mid-pass
+        (a concurrent run's own gc) are treated as already evicted by the
+        other party and skipped.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = []
+        if self.root.exists():
+            for path in self.root.glob("*.npz"):
+                if path.name.startswith("."):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        remaining = len(entries)
+        evicted = 0
+        freed = 0
+        for _, size, path in sorted(entries, key=lambda e: e[0]):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            evicted += 1
+            remaining -= 1
+        return GCStats(evicted=evicted, freed_bytes=freed,
+                       remaining_entries=remaining, remaining_bytes=total)

@@ -56,10 +56,19 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 #: Experiments declared as orchestrator sweeps (id → spec builder).
+#: E1/E2/E3/E6/E7/E12 build their cells as :class:`repro.api.Scenario`
+#: work units; the earlier migrations (E4/E5/E8/E13/E17) still use
+#: hand-written cell functions where they share offline brackets.
 SPECS: Dict[str, Callable[[float, int], SweepSpec]] = {
+    "E1": e1_thm1.build_spec,
+    "E2": e2_thm2.build_spec,
+    "E3": e3_thm3.build_spec,
     "E4": e4_mtc_line.build_spec,
     "E5": e5_mtc_plane.build_spec,
+    "E6": e6_answer_first.build_spec,
+    "E7": e7_moving_client_lb.build_spec,
     "E8": e8_moving_client_mtc.build_spec,
+    "E12": e12_ablation.build_spec,
     "E13": e13_baselines.build_spec,
     "E17": e17_dimension.build_spec,
 }

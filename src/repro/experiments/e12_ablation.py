@@ -12,87 +12,119 @@ definition:
 * the cap fraction (does MtC actually need the full ``(1+δ)m``? —
   using only ``1/(1+δ)`` of it removes the augmentation and Thm 1 bites).
 
-Each variant runs on a benign 1-D suite (certified vs DP) and on the
-Thm-2 adversarial instance.
+Each (workload | thm2, variant) point is one :class:`~repro.api.Scenario`
+cell: the variant is expressed as ``algorithm_params`` on the registered
+``mtc`` entry, the benign workloads certify against the bracketed DP
+optimum (``ratio="bracket"``), the adversarial cells against the thm2
+construction's own cost.
 """
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 import numpy as np
 
-from ..adversaries import build_thm2
-from ..algorithms import MoveToCenter
-from ..analysis import measure_ratio
-from ..core.simulator import simulate
-from ..workloads import DriftWorkload, RandomWalkWorkload
+from ..api import Scenario, scenario_unit
+from .orchestrator import SweepSpec, execute_spec
 from .runner import ExperimentResult, scaled, sweep_seeds
 
-__all__ = ["run"]
+__all__ = ["build_spec", "finalize", "run"]
+
+_MODULE = "repro.experiments.e12_ablation"
+DELTA = 0.5
+
+#: Variant name → MoveToCenter constructor parameters.
+VARIANTS: dict[str, dict[str, Any]] = {
+    "paper": {},
+    "undamped(scale=1)": {"step_scale": 1.0},
+    "overdamped(scale=.25)": {"step_scale": 0.25},
+    "tie=midpoint": {"tie_break": "midpoint"},
+    "no-augmentation": {"cap_fraction": 1.0 / (1.0 + DELTA)},
+}
+
+_WORKLOAD_PARAMS: dict[str, dict[str, Any]] = {
+    "random-walk": {"sigma": 0.3, "spread": 0.4, "requests_per_step": 2},
+    "drift": {"speed": 0.8, "spread": 0.2, "requests_per_step": 2},
+}
 
 
-def _variants(delta: float) -> dict[str, MoveToCenter]:
-    return {
-        "paper": MoveToCenter(),
-        "undamped(scale=1)": MoveToCenter(step_scale=1.0),
-        "overdamped(scale=.25)": MoveToCenter(step_scale=0.25),
-        "tie=midpoint": MoveToCenter(tie_break="midpoint"),
-        "no-augmentation": MoveToCenter(cap_fraction=1.0 / (1.0 + delta)),
-    }
+def _benign(workload: str, variant: str, T: int, n_seeds: int, seed: int) -> Scenario:
+    return Scenario.workload(
+        workload,
+        algorithm="mtc",
+        params={"T": T, "dim": 1, "D": 4.0, "m": 1.0, **_WORKLOAD_PARAMS[workload]},
+        algorithm_params=VARIANTS[variant],
+        seeds=sweep_seeds(seed, n_seeds),
+        delta=DELTA,
+        ratio="bracket",
+        name=f"E12/{workload}/{variant}",
+    )
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def _adversarial(variant: str, n_seeds: int, seed: int) -> Scenario:
+    return Scenario.adversary(
+        "thm2",
+        algorithm="mtc",
+        params={"delta": DELTA, "cycles": 4},
+        algorithm_params=VARIANTS[variant],
+        seeds=sweep_seeds(seed, n_seeds),
+        delta=DELTA,
+        ratio="adversary",
+        name=f"E12/thm2/{variant}",
+    )
+
+
+def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
     T = scaled(300, scale, minimum=100)
-    delta = 0.5
     n_seeds = scaled(3, scale, minimum=2)
-    workloads = {
-        "random-walk": RandomWalkWorkload(T, dim=1, D=4.0, m=1.0, sigma=0.3, spread=0.4,
-                                          requests_per_step=2),
-        "drift": DriftWorkload(T, dim=1, D=4.0, m=1.0, speed=0.8, spread=0.2,
-                               requests_per_step=2),
-    }
+    units = []
+    for workload in _WORKLOAD_PARAMS:
+        for variant in VARIANTS:
+            units.append(scenario_unit(
+                f"benign/{workload}/{variant}",
+                _benign(workload, variant, T, n_seeds, seed),
+            ))
+    for variant in VARIANTS:
+        units.append(scenario_unit(f"adversarial/{variant}", _adversarial(variant, n_seeds, seed)))
+    return SweepSpec("E12", tuple(units), finalize=f"{_MODULE}:finalize",
+                     scale=scale, seed=seed)
+
+
+def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
     rows = []
-    results: dict[tuple[str, str], float] = {}
-    for wl_name, wl in workloads.items():
-        for var_name in _variants(delta):
-            ratios = []
-            for cell_seed in sweep_seeds(seed, n_seeds):
-                inst = wl.generate(np.random.default_rng(cell_seed))
-                meas = measure_ratio(inst, _variants(delta)[var_name], delta=delta)
-                ratios.append(meas.ratio_upper)
-            mean = float(np.mean(ratios))
-            results[(wl_name, var_name)] = mean
-            rows.append([wl_name, var_name, mean])
-    # Adversarial: Thm 2 at this delta.
-    for var_name in _variants(delta):
-        ratios = []
-        for cell_seed in sweep_seeds(seed, n_seeds):
-            adv = build_thm2(delta, cycles=4, rng=np.random.default_rng(cell_seed))
-            tr = simulate(adv.instance, _variants(delta)[var_name], delta=delta)
-            ratios.append(adv.ratio_of(tr.total_cost))
-        mean = float(np.mean(ratios))
-        results[("thm2", var_name)] = mean
-        rows.append(["thm2-adversarial", var_name, mean])
+    table: dict[tuple[str, str], float] = {}
+    for workload in _WORKLOAD_PARAMS:
+        for variant in VARIANTS:
+            payload = results[f"benign/{workload}/{variant}"]
+            mean = float(np.mean(payload["measures"]["ratio_upper"]))
+            table[(workload, variant)] = mean
+            rows.append([workload, variant, mean])
+    for variant in VARIANTS:
+        mean = float(np.mean(np.asarray(results[f"adversarial/{variant}"]["ratios"])))
+        table[("thm2", variant)] = mean
+        rows.append(["thm2-adversarial", variant, mean])
 
     ok = True
     notes = ["criterion: the paper's choices are never dominated; removing augmentation "
              "or damping hurts where the theory says it must"]
     # Undamped must hurt on the expensive-movement random walk (D=4 > r=2).
-    if results[("random-walk", "undamped(scale=1)")] < results[("random-walk", "paper")] * 0.95:
+    if table[("random-walk", "undamped(scale=1)")] < table[("random-walk", "paper")] * 0.95:
         ok = False
         notes.append("UNEXPECTED: undamped variant beat the paper's damping on random-walk")
     else:
         notes.append(
-            f"damping helps when D>r: undamped {results[('random-walk', 'undamped(scale=1)')]:.2f} "
-            f"vs paper {results[('random-walk', 'paper')]:.2f} on random-walk"
+            f"damping helps when D>r: undamped {table[('random-walk', 'undamped(scale=1)')]:.2f} "
+            f"vs paper {table[('random-walk', 'paper')]:.2f} on random-walk"
         )
     # Removing augmentation must hurt on the adversarial instance.
-    if results[("thm2", "no-augmentation")] <= results[("thm2", "paper")]:
+    if table[("thm2", "no-augmentation")] <= table[("thm2", "paper")]:
         ok = False
         notes.append("UNEXPECTED: removing augmentation did not hurt on thm2")
     else:
         notes.append(
-            f"augmentation is load-bearing: no-aug {results[('thm2', 'no-augmentation')]:.2f} "
-            f"vs paper {results[('thm2', 'paper')]:.2f} on thm2"
+            f"augmentation is load-bearing: no-aug {table[('thm2', 'no-augmentation')]:.2f} "
+            f"vs paper {table[('thm2', 'paper')]:.2f} on thm2"
         )
     return ExperimentResult(
         experiment_id="E12",
@@ -102,3 +134,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         notes=notes,
         passed=ok,
     )
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    return execute_spec(build_spec(scale, seed))

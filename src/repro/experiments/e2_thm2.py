@@ -1,7 +1,9 @@
 """E2 — Theorem 2: with (1+δ)m augmentation the ratio is Ω((1/δ)·Rmax/Rmin).
 
 Sweeps δ (and the request-count skew) on the Theorem-2 construction and
-fits the growth in ``1/δ``.
+fits the growth in ``1/δ``.  Each (skew, δ) point is one
+:class:`~repro.api.Scenario` cell over the registered ``thm2``
+construction.
 
 Reproduction criterion: ratio grows ~ linearly in 1/δ (fitted log–log
 exponent of ratio vs 1/δ in [0.7, 1.3]) and increases with Rmax/Rmin.
@@ -9,35 +11,67 @@ exponent of ratio vs 1/δ in [0.7, 1.3]) and increases with Rmax/Rmin.
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 import numpy as np
 
-from ..adversaries import build_thm2
-from ..algorithms import MoveToCenter
-from ..analysis import fit_power_law, measure_adversarial_ratio
+from ..analysis import fit_power_law
+from ..api import Scenario, scenario_unit
+from .orchestrator import SweepSpec, execute_spec
 from .runner import ExperimentResult, scaled, sweep_seeds
 
-__all__ = ["run"]
+__all__ = ["build_spec", "finalize", "run"]
+
+_MODULE = "repro.experiments.e2_thm2"
+SKEWS = [(1, 1), (1, 4)]
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def _axes(scale: float) -> tuple[list[float], int, int]:
     deltas = [1.0, 0.5, 0.25, 0.125]
     if scale > 1.5:
         deltas.append(0.0625)
-    skews = [(1, 1), (1, 4)]
     n_seeds = scaled(6, scale, minimum=3)
     cycles = scaled(4, scale, minimum=2)
+    return deltas, n_seeds, cycles
+
+
+def _scenario(delta: float, r_min: int, r_max: int, cycles: int,
+              n_seeds: int, seed: int) -> Scenario:
+    return Scenario.adversary(
+        "thm2",
+        algorithm="mtc",
+        params={"delta": delta, "cycles": cycles, "r_min": r_min, "r_max": r_max},
+        seeds=sweep_seeds(seed, n_seeds, stride=1000),
+        delta=delta,
+        ratio="adversary",
+        name=f"E2/skew={r_min}:{r_max}/delta={delta:g}",
+    )
+
+
+def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
+    deltas, n_seeds, cycles = _axes(scale)
+    units = [
+        scenario_unit(
+            f"ratio/skew={r_min}-{r_max}/delta={delta:g}",
+            _scenario(delta, r_min, r_max, cycles, n_seeds, seed),
+        )
+        for r_min, r_max in SKEWS
+        for delta in deltas
+    ]
+    return SweepSpec("E2", tuple(units), finalize=f"{_MODULE}:finalize",
+                     scale=scale, seed=seed)
+
+
+def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+    deltas, _, _ = _axes(scale)
     rows = []
     fits = {}
-    for r_min, r_max in skews:
+    for r_min, r_max in SKEWS:
         means = []
         for delta in deltas:
-            seeds = sweep_seeds(seed, n_seeds, stride=1000)
-            mean, _ = measure_adversarial_ratio(
-                lambda rng, d=delta: build_thm2(d, cycles=cycles, r_min=r_min, r_max=r_max, rng=rng),
-                MoveToCenter,
-                delta=delta,
-                seeds=seeds,
-            )
+            mean = float(np.asarray(
+                results[f"ratio/skew={r_min}-{r_max}/delta={delta:g}"]["ratios"]
+            ).mean())
             rows.append([r_min, r_max, delta, 1.0 / delta, mean])
             means.append(mean)
         fits[(r_min, r_max)] = fit_power_law(1.0 / np.array(deltas), np.array(means))
@@ -67,3 +101,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         notes=notes,
         passed=ok,
     )
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    return execute_spec(build_spec(scale, seed))

@@ -2,7 +2,10 @@
 
 Sweeps ``T`` and ε on the Theorem-8 moving-client construction, measuring
 the moving-client MtC (which is optimal-in-spirit here: full-speed chase
-once behind) and fitting the growth exponent in ``T``.
+once behind) and fitting the growth exponent in ``T``.  Each (ε, T) point
+is one :class:`~repro.api.Scenario` cell over the registered ``thm8``
+construction (tagged moving-client, which is what licenses the
+``mtc-moving-client`` algorithm).
 
 Reproduction criterion: fitted exponent ≈ 0.5 at each ε, and at fixed T
 the ratio grows with ε/(1+ε).
@@ -10,34 +13,59 @@ the ratio grows with ε/(1+ε).
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 import numpy as np
 
-from ..adversaries import build_thm8
-from ..algorithms import MovingClientMtC
-from ..analysis import fit_power_law, measure_adversarial_ratio
+from ..analysis import fit_power_law
+from ..api import Scenario, scenario_unit
+from .orchestrator import SweepSpec, execute_spec
 from .runner import ExperimentResult, scaled, sweep_seeds
 
-__all__ = ["run"]
+__all__ = ["build_spec", "finalize", "run"]
+
+_MODULE = "repro.experiments.e7_moving_client_lb"
+EPSILONS = [0.25, 1.0]
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def _axes(scale: float) -> tuple[list[int], int]:
     Ts = [256, 1024, 4096]
     if scale > 1.5:
         Ts.append(16384)
-    epsilons = [0.25, 1.0]
-    n_seeds = scaled(6, scale, minimum=3)
+    return Ts, scaled(6, scale, minimum=3)
+
+
+def _scenario(T: int, eps: float, n_seeds: int, seed: int) -> Scenario:
+    return Scenario.adversary(
+        "thm8",
+        algorithm="mtc-moving-client",
+        params={"T": T, "epsilon": eps},
+        seeds=sweep_seeds(seed, n_seeds, stride=1000),
+        delta=0.0,
+        ratio="adversary",
+        name=f"E7/eps={eps:g}/T={T}",
+    )
+
+
+def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
+    Ts, n_seeds = _axes(scale)
+    units = [
+        scenario_unit(f"ratio/eps={eps:g}/T={T}", _scenario(T, eps, n_seeds, seed))
+        for eps in EPSILONS
+        for T in Ts
+    ]
+    return SweepSpec("E7", tuple(units), finalize=f"{_MODULE}:finalize",
+                     scale=scale, seed=seed)
+
+
+def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+    Ts, _ = _axes(scale)
     rows = []
     fits = {}
-    for eps in epsilons:
+    for eps in EPSILONS:
         means = []
         for T in Ts:
-            seeds = sweep_seeds(seed, n_seeds, stride=1000)
-            mean, _ = measure_adversarial_ratio(
-                lambda rng, T=T, eps=eps: build_thm8(T, epsilon=eps, rng=rng),
-                MovingClientMtC,
-                delta=0.0,
-                seeds=seeds,
-            )
+            mean = float(np.asarray(results[f"ratio/eps={eps:g}/T={T}"]["ratios"]).mean())
             rows.append([eps, T, mean, float(np.sqrt(T) * eps / (1 + eps))])
             means.append(mean)
         fits[eps] = fit_power_law(np.array(Ts, dtype=float), np.array(means))
@@ -53,9 +81,9 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             ok = False
     # Monotonicity in eps at the largest T.
     T_big = Ts[-1]
-    r_small = [r[2] for r in rows if r[0] == epsilons[0] and r[1] == T_big][0]
-    r_big = [r[2] for r in rows if r[0] == epsilons[-1] and r[1] == T_big][0]
-    notes.append(f"eps effect at T={T_big}: ratio {r_small:.2f} (eps={epsilons[0]}) vs {r_big:.2f} (eps={epsilons[-1]})")
+    r_small = [r[2] for r in rows if r[0] == EPSILONS[0] and r[1] == T_big][0]
+    r_big = [r[2] for r in rows if r[0] == EPSILONS[-1] and r[1] == T_big][0]
+    notes.append(f"eps effect at T={T_big}: ratio {r_small:.2f} (eps={EPSILONS[0]}) vs {r_big:.2f} (eps={EPSILONS[-1]})")
     if r_big <= r_small:
         ok = False
     return ExperimentResult(
@@ -66,3 +94,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         notes=notes,
         passed=ok,
     )
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    return execute_spec(build_spec(scale, seed))

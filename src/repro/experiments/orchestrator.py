@@ -32,6 +32,7 @@ relocatable across processes and cache entries exact.
 from __future__ import annotations
 
 import itertools
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from importlib import import_module
@@ -88,15 +89,29 @@ class SweepSpec:
 
 @dataclass
 class ExecutionReport:
-    """What :func:`execute` did: results plus cache accounting."""
+    """What :func:`execute` did: results plus cache and timing accounting."""
 
     results: list[ExperimentResult] = field(default_factory=list)
     computed: int = 0
     cached: int = 0
+    #: Wall-clock seconds per *computed* cell (cache hits don't appear),
+    #: keyed by the cell's namespaced key.  Under ``jobs>1`` these are the
+    #: in-worker durations, so they sum to total CPU-side work, not to the
+    #: elapsed wall-clock of the pooled run.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
         return self.computed + self.cached
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total seconds spent inside computed cells."""
+        return sum(self.timings.values())
+
+    def slowest(self, n: int = 3) -> list[tuple[str, float]]:
+        """The ``n`` slowest computed cells, slowest first."""
+        return sorted(self.timings.items(), key=lambda kv: kv[1], reverse=True)[:n]
 
 
 def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
@@ -122,6 +137,15 @@ def _run_cell(fn: str, params: Mapping[str, Any], deps: Mapping[str, Any] | None
     if deps is None:
         return func(**params)
     return func(**params, deps=dict(deps))
+
+
+def _run_cell_timed(
+    fn: str, params: Mapping[str, Any], deps: Mapping[str, Any] | None
+) -> tuple[Any, float]:
+    """Run a cell and measure its wall-clock inside the executing process."""
+    t0 = time.perf_counter()
+    payload = _run_cell(fn, params, deps)
+    return payload, time.perf_counter() - t0
 
 
 def _toposort(units: Sequence[tuple[str, WorkUnit]]) -> list[tuple[str, WorkUnit]]:
@@ -239,21 +263,23 @@ def execute(
             twins[digest] = []
             pending.append((full, unit))
 
-    def finish(full: str, unit: WorkUnit, payload: Any) -> None:
+    def finish(full: str, unit: WorkUnit, payload: Any, elapsed: float) -> None:
         payloads[full] = payload
         for twin in twins[digests[full]]:
             payloads[twin] = payload
         report.computed += 1
+        report.timings[full] = elapsed
         if store is not None:
-            store.save(digests[full], payload, extra_meta={"key": full, "fn": unit.fn})
+            store.save(digests[full], payload,
+                       extra_meta={"key": full, "fn": unit.fn, "elapsed": elapsed})
         if progress is not None:
-            progress(f"computed {full}")
+            progress(f"computed {full} ({elapsed:.2f}s)")
 
     if jobs == 1 or len(pending) <= 1:
         for full, unit in pending:
             deps = {dep_local: payloads[dep] for dep_local, dep in zip(unit.deps, _dep_keys(full, unit))} \
                 if unit.deps else None
-            finish(full, unit, _run_cell(unit.fn, dict(unit.params), deps))
+            finish(full, unit, *_run_cell_timed(unit.fn, dict(unit.params), deps))
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             waiting = dict(pending)
@@ -266,7 +292,7 @@ def execute(
                     if all(dep in payloads for dep in dep_fulls):
                         deps = {dep_local: payloads[dep]
                                 for dep_local, dep in zip(unit.deps, dep_fulls)} if unit.deps else None
-                        fut = pool.submit(_run_cell, unit.fn, dict(unit.params), deps)
+                        fut = pool.submit(_run_cell_timed, unit.fn, dict(unit.params), deps)
                         futures[fut] = (full, unit)
                         del waiting[full]
 
@@ -275,7 +301,7 @@ def execute(
                 done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
                 for fut in done:
                     full, unit = futures.pop(fut)
-                    finish(full, unit, fut.result())
+                    finish(full, unit, *fut.result())
                 launch_ready()
 
     for spec, prefix in zip(specs, prefixes):

@@ -12,9 +12,21 @@ from .disaster import PatrolAgentWorkload, random_waypoint_path
 from .drift import DriftWorkload
 from .mixtures import SpliceWorkload, splice, standard_suite
 from .random_walk import RandomWalkWorkload
+from .registry import (
+    SUITE_NAMES,
+    WORKLOADS,
+    WorkloadInfo,
+    available_workloads,
+    make_workload,
+    register_workload,
+    suite_entry,
+    workload_info,
+)
 from .vehicles import VehiclePlatoonWorkload
 
 __all__ = [
+    "SUITE_NAMES",
+    "WORKLOADS",
     "BurstyWorkload",
     "ClusteredWorkload",
     "DriftWorkload",
@@ -23,8 +35,14 @@ __all__ = [
     "SpliceWorkload",
     "VehiclePlatoonWorkload",
     "WorkloadGenerator",
+    "WorkloadInfo",
+    "available_workloads",
     "make_instance",
+    "make_workload",
     "random_waypoint_path",
+    "register_workload",
     "splice",
     "standard_suite",
+    "suite_entry",
+    "workload_info",
 ]

@@ -11,11 +11,6 @@ import numpy as np
 
 from ..core.instance import MSPInstance
 from .base import WorkloadGenerator
-from .bursty import BurstyWorkload
-from .clustered import ClusteredWorkload
-from .drift import DriftWorkload
-from .random_walk import RandomWalkWorkload
-from .vehicles import VehiclePlatoonWorkload
 
 __all__ = ["splice", "SpliceWorkload", "standard_suite"]
 
@@ -60,17 +55,16 @@ class SpliceWorkload(WorkloadGenerator):
 
 
 def standard_suite(T: int = 400, dim: int = 2, D: float = 4.0, m: float = 1.0) -> dict[str, WorkloadGenerator]:
-    """The named workload suite used by the comparison experiments."""
-    return {
-        "random-walk": RandomWalkWorkload(T, dim=dim, D=D, m=m, sigma=0.3, spread=0.5,
-                                          requests_per_step=4),
-        "drift": DriftWorkload(T, dim=dim, D=D, m=m, speed=0.8, spread=0.2,
-                               requests_per_step=4),
-        "drift-rotating": DriftWorkload(T, dim=dim, D=D, m=m, speed=0.8, rotate=0.03,
-                                        spread=0.2, requests_per_step=4)
-        if dim == 2
-        else DriftWorkload(T, dim=dim, D=D, m=m, speed=0.8, spread=0.2, requests_per_step=4),
-        "bursty": BurstyWorkload(T, dim=dim, D=D, m=m),
-        "clustered": ClusteredWorkload(T, dim=dim, D=D, m=m),
-        "vehicles": VehiclePlatoonWorkload(T, dim=dim, D=D, m=m),
-    }
+    """The named workload suite used by the comparison experiments.
+
+    Built through the workload registry (:func:`~repro.workloads.registry.suite_entry`),
+    so the suite's members and parameters are the same data the scenario
+    layer uses when it describes a suite cell by ``name + params``.
+    """
+    from .registry import SUITE_NAMES, make_workload, suite_entry
+
+    suite = {}
+    for name in SUITE_NAMES:
+        registered, params = suite_entry(name, dim)
+        suite[name] = make_workload(registered, T=T, dim=dim, D=D, m=m, **params)
+    return suite

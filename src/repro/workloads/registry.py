@@ -1,0 +1,184 @@
+"""Workload registry.
+
+Maps stable string names to workload factories so a request source is
+fully describable by ``name + JSON-able params`` — the property the
+scenario layer (:mod:`repro.api`) builds on: a registered workload can be
+embedded in a :class:`~repro.api.Scenario`, content-addressed through
+:mod:`repro.core.store`, and reconstructed in a worker process.
+
+Each entry carries capability metadata (:class:`WorkloadInfo`) mirroring
+the algorithm registry's :class:`~repro.algorithms.registry.AlgorithmInfo`:
+which dimensions the generator supports and whether it produces
+moving-client instances.
+
+The canonical comparison suite (historically ``standard_suite``) also
+lives here as data: :data:`SUITE_NAMES` + :func:`suite_entry` give, for
+every suite member, the registry name and parameter dict that reproduce
+exactly the generators the suite has always used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from .bursty import BurstyWorkload
+from .clustered import ClusteredWorkload
+from .disaster import PatrolAgentWorkload
+from .drift import DriftWorkload
+from .random_walk import RandomWalkWorkload
+from .vehicles import VehiclePlatoonWorkload
+
+__all__ = [
+    "SUITE_NAMES",
+    "WORKLOADS",
+    "WorkloadInfo",
+    "available_workloads",
+    "make_workload",
+    "register_workload",
+    "suite_entry",
+    "workload_info",
+]
+
+#: Any callable producing a generator object with ``generate(rng)`` —
+#: typically a :class:`~repro.workloads.base.WorkloadGenerator` subclass.
+WorkloadFactory = Callable[..., Any]
+
+
+def _make_splice(
+    T: int = 400,
+    dim: int = 2,
+    D: float = 4.0,
+    m: float = 1.0,
+    first: str = "random-walk",
+    second: str = "drift",
+) -> Any:
+    """Splice two registered workloads back to back (half the horizon each)."""
+    from .mixtures import SpliceWorkload  # lazy: mixtures imports this module
+
+    half = max(1, T // 2)
+    return SpliceWorkload(
+        make_workload(first, T=half, dim=dim, D=D, m=m),
+        make_workload(second, T=max(1, T - half), dim=dim, D=D, m=m),
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One registry entry: factory plus capability metadata.
+
+    Attributes
+    ----------
+    name, factory:
+        Registry key and factory; the factory accepts ``T``/``dim``/``D``
+        (and ``m`` or the moving-client speed pair) plus generator-specific
+        keywords.
+    supported_dims:
+        Dimensions the generator can produce; ``None`` means any.
+    moving_client:
+        Whether ``generate`` returns
+        :class:`~repro.core.instance.MovingClientInstance` objects.
+    """
+
+    name: str
+    factory: WorkloadFactory
+    supported_dims: tuple[int, ...] | None = None
+    moving_client: bool = False
+
+    def supports_dim(self, dim: int) -> bool:
+        return self.supported_dims is None or dim in self.supported_dims
+
+
+WORKLOADS: Dict[str, WorkloadInfo] = {}
+
+
+def register_workload(
+    name: str,
+    factory: WorkloadFactory,
+    overwrite: bool = False,
+    *,
+    supported_dims: tuple[int, ...] | None = None,
+    moving_client: bool = False,
+) -> None:
+    """Add a workload factory (plus capability limits) to the registry."""
+    if name in WORKLOADS and not overwrite:
+        raise KeyError(f"workload {name!r} already registered")
+    WORKLOADS[name] = WorkloadInfo(
+        name=name,
+        factory=factory,
+        supported_dims=tuple(supported_dims) if supported_dims is not None else None,
+        moving_client=moving_client,
+    )
+
+
+register_workload("random-walk", RandomWalkWorkload)
+register_workload("drift", DriftWorkload)
+register_workload(
+    "drift-rotating",
+    lambda T=400, dim=2, D=1.0, m=1.0, rotate=0.03, **kw: DriftWorkload(
+        T, dim=dim, D=D, m=m, rotate=rotate, **kw
+    ),
+    supported_dims=(2,),
+)
+register_workload("bursty", BurstyWorkload)
+register_workload("clustered", ClusteredWorkload)
+register_workload("vehicles", VehiclePlatoonWorkload)
+register_workload("patrol-agent", PatrolAgentWorkload, moving_client=True)
+register_workload("splice", _make_splice)
+
+
+def workload_info(name: str) -> WorkloadInfo:
+    """Registry entry for one workload name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+
+
+def make_workload(name: str, **params: Any) -> Any:
+    """Instantiate a registered workload generator by name."""
+    return workload_info(name).factory(**params)
+
+
+def available_workloads() -> list[str]:
+    """Sorted registry keys."""
+    return sorted(WORKLOADS)
+
+
+# -- the canonical comparison suite, as registry data ----------------------
+
+#: Members of the standard comparison suite, in presentation order.
+SUITE_NAMES: tuple[str, ...] = (
+    "random-walk",
+    "drift",
+    "drift-rotating",
+    "bursty",
+    "clustered",
+    "vehicles",
+)
+
+#: Suite parameter choices beyond ``T``/``dim``/``D``/``m`` (the values
+#: ``standard_suite`` has always baked in).
+_SUITE_PARAMS: Dict[str, Dict[str, Any]] = {
+    "random-walk": {"sigma": 0.3, "spread": 0.5, "requests_per_step": 4},
+    "drift": {"speed": 0.8, "spread": 0.2, "requests_per_step": 4},
+    "drift-rotating": {"speed": 0.8, "rotate": 0.03, "spread": 0.2, "requests_per_step": 4},
+    "bursty": {},
+    "clustered": {},
+    "vehicles": {},
+}
+
+
+def suite_entry(name: str, dim: int) -> tuple[str, Dict[str, Any]]:
+    """``(registry name, extra params)`` of one suite member at ``dim``.
+
+    ``drift-rotating`` requires two dimensions; elsewhere the suite has
+    always substituted the straight drift, which this helper preserves.
+    """
+    if name not in _SUITE_PARAMS:
+        raise KeyError(f"unknown suite workload {name!r}; available: {', '.join(SUITE_NAMES)}")
+    if name == "drift-rotating" and dim != 2:
+        return "drift", dict(_SUITE_PARAMS["drift"])
+    return name, dict(_SUITE_PARAMS[name])

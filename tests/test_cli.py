@@ -67,3 +67,87 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCLITiming:
+    def test_timing_line_reports_computed_cells(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "timing: 1 cells computed" in cold and "slowest:" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "timing:" not in warm  # pure cache hits compute nothing
+
+
+class TestCLIStoreGC:
+    def test_store_gc_reports_eviction(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        base = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--store-gc", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "store-gc: evicted 1 entries" in out
+        assert main(base) == 0  # store emptied: the cell recomputes
+        assert "1 computed" in capsys.readouterr().out
+
+    def test_store_gc_size_suffixes(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        base = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--store-gc", "1G"]) == 0
+        assert "store-gc: evicted 0 entries" in capsys.readouterr().out
+
+
+class TestCLIRun:
+    def test_run_adversary_scenario(self, capsys):
+        assert main(["run", "--source", "thm1", "-p", "T=32",
+                     "--algorithm", "mtc", "--seeds", "0", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "thm1/mtc" in out and "ratio >=" in out
+
+    def test_run_workload_with_bracket(self, capsys):
+        assert main(["run", "--source", "drift", "-p", "T=40", "-p", "dim=1",
+                     "--delta", "0.5", "--ratio", "bracket"]) == 0
+        out = capsys.readouterr().out
+        assert "certified ratio interval" in out
+
+    def test_run_store_caches(self, capsys, tmp_path):
+        argv = ["run", "--source", "thm1", "-p", "T=32", "--seeds", "0",
+                "--store", str(tmp_path / "store")]
+        assert main(argv) == 0
+        assert "engine" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_run_unknown_source(self, capsys):
+        assert main(["run", "--source", "nope"]) == 2
+        assert "unknown source" in capsys.readouterr().err
+
+    def test_run_algorithm_params(self, capsys):
+        assert main(["run", "--source", "drift", "-p", "T=30", "-p", "dim=1",
+                     "--algorithm", "mtc", "--alg-param", "step_scale=0.5",
+                     "--delta", "0.5"]) == 0
+        assert "scalar engine" in capsys.readouterr().out
+
+    def test_run_rejects_bad_scenario(self, capsys):
+        assert main(["run", "--source", "thm1", "-p", "T=16",
+                     "--cost-model", "answer-first"]) == 2
+        assert "bad scenario" in capsys.readouterr().err
+
+    def test_run_rejects_bad_source_param(self, capsys):
+        assert main(["run", "--source", "thm1", "-p", "bogus=1"]) == 2
+        assert "bad scenario" in capsys.readouterr().err
+
+    def test_run_rejects_incompatible_algorithm(self, capsys):
+        assert main(["run", "--source", "drift", "-p", "T=20", "-p", "dim=2",
+                     "--algorithm", "work-function"]) == 2
+        assert "bad scenario" in capsys.readouterr().err
+
+    def test_store_gc_requires_store(self, capsys):
+        assert main(["experiments", "--ids", "E9", "--scale", "0.05",
+                     "--store", "", "--store-gc", "1M"]) == 2
+        assert "--store-gc needs a persistent store" in capsys.readouterr().err

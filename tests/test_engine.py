@@ -16,6 +16,7 @@ from repro.algorithms import (
     VECTORIZED,
     OnlineAlgorithm,
     ScalarBatchAdapter,
+    algorithm_info,
     as_vectorized,
     available_algorithms,
     make_algorithm,
@@ -32,9 +33,11 @@ from repro.core import (
     simulate_batch,
 )
 
-# Algorithms whose registry entry only makes sense on special instances.
-DIM1_ONLY = {"work-function"}
-SKIP = {"mtc-moving-client"}  # requires a moving-client trajectory instance
+# Capability metadata decides which (algorithm, model, dim) combinations
+# make sense — moving-client algorithms need trajectory instances, some
+# algorithms are dimension- or cost-model-restricted.
+SKIP = {name for name in available_algorithms()
+        if algorithm_info(name).requires_moving_client}
 
 
 def _instances(dim: int, T: int, n: int, uniform: bool, seed: int = 7) -> list[MSPInstance]:
@@ -71,8 +74,11 @@ def _assert_traces_equal(batch_trace: BatchTrace, scalars: list[Trace]) -> None:
 @pytest.mark.parametrize("model", [CostModel.MOVE_FIRST, CostModel.ANSWER_FIRST])
 @pytest.mark.parametrize("dim,uniform", [(1, False), (2, True)])
 def test_batch_matches_scalar_bit_for_bit(name, model, dim, uniform):
-    if name in DIM1_ONLY and dim != 1:
-        pytest.skip(f"{name} is 1-D only")
+    info = algorithm_info(name)
+    if not info.supports_dim(dim):
+        pytest.skip(f"{name} does not support dim={dim}")
+    if not info.supports_cost_model(model):
+        pytest.skip(f"{name} does not play the {model.value} model")
     instances = [inst.with_cost_model(model) for inst in _instances(dim, T=40, n=4, uniform=uniform)]
     scalars = [simulate(inst, make_algorithm(name), delta=0.5) for inst in instances]
     batch = simulate_batch(instances, name, delta=0.5)

@@ -138,13 +138,11 @@ class TestPotentialIntegration:
 class TestWholeRegistryOnSuite:
     def test_every_algorithm_completes_standard_suite(self):
         suite = standard_suite(T=60, dim=1, D=4.0, m=1.0)
-        from repro.algorithms import available_algorithms
+        from repro.algorithms import compatible_algorithms
 
         for wl_name, wl in suite.items():
             inst = wl.generate(np.random.default_rng(0))
-            for name in available_algorithms():
-                if name == "mtc-moving-client":
-                    continue
+            for name in compatible_algorithms(dim=1, moving_client=False):
                 tr = simulate(inst, make_algorithm(name), delta=0.5)
                 assert np.isfinite(tr.total_cost)
                 tr.validate_against_cap(inst.online_cap(0.5))

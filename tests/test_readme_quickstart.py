@@ -1,0 +1,25 @@
+"""The README "Public API" quickstart must execute verbatim.
+
+The fenced code block under ``## Public API`` is extracted from
+README.md and ``exec``-ed — so the documented API cannot drift from the
+code.  CI runs the same extraction as a dedicated smoke job against the
+installed package.
+"""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def extract_quickstart(text: str) -> str:
+    match = re.search(r"## Public API.*?```python\n(.*?)```", text, re.S)
+    assert match, "README.md must keep a ```python block under '## Public API'"
+    return match.group(1)
+
+
+def test_public_api_quickstart_executes(capsys):
+    code = extract_quickstart(README.read_text())
+    exec(compile(code, "README-quickstart", "exec"), {"__name__": "__main__"})
+    out = capsys.readouterr().out
+    assert "mean cost" in out and "certified competitive ratio" in out

@@ -121,3 +121,46 @@ class TestCapabilities:
             ALGORITHMS["work-function"] = original
             if original_caps is not None:
                 _CAPABILITIES["work-function"] = original_caps
+
+
+class TestCostModelCapability:
+    def test_answer_first_entry_declared(self):
+        from repro.algorithms import algorithm_info
+
+        info = algorithm_info("mtc-answer-first")
+        assert info.cost_models == ("answer-first",)
+        assert info.supports_cost_model("answer-first")
+        assert not info.supports_cost_model("move-first")
+
+    def test_default_entries_support_all_models(self):
+        from repro.algorithms import algorithm_info
+        from repro.core import CostModel
+
+        info = algorithm_info("mtc")
+        assert info.supports_cost_model(CostModel.MOVE_FIRST)
+        assert info.supports_cost_model(CostModel.ANSWER_FIRST)
+
+    def test_compatible_filters_by_cost_model(self):
+        from repro.algorithms import compatible_algorithms
+
+        default = compatible_algorithms(dim=1, moving_client=False)
+        assert "mtc-answer-first" not in default  # move-first is the default
+        af = compatible_algorithms(dim=1, moving_client=False, cost_model="answer-first")
+        assert "mtc-answer-first" in af
+        assert "mtc-answer-first" in compatible_algorithms(dim=1, cost_model=None)
+
+
+class TestVectorizedFlag:
+    def test_flag_matches_vectorized_registry(self):
+        from repro.algorithms import VECTORIZED, algorithm_info, available_algorithms
+
+        for name in available_algorithms():
+            assert algorithm_info(name).vectorized == (name in VECTORIZED)
+
+    def test_parameterized_factory(self):
+        from repro.algorithms import MoveToCenter, make_algorithm
+
+        alg = make_algorithm("mtc", step_scale=0.25)
+        assert isinstance(alg, MoveToCenter) and alg.step_scale == 0.25
+        with pytest.raises(TypeError):
+            make_algorithm("lazy-aggressive", threshold_factor=0.5)  # lambda entry

@@ -1,5 +1,7 @@
 """Tests for the content-addressed results store (repro.core.store)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -134,3 +136,61 @@ class TestExperimentResultPersistence:
         back = ExperimentResult.load(path)
         assert back.render() == res.render()
         assert back.rows[0][2] == res.rows[0][2]  # float preserved to the last bit
+
+
+class TestStoreGC:
+    def _filled_store(self, tmp_path, n=4):
+        store = ResultsStore(tmp_path / "store")
+        digests = []
+        for i in range(n):
+            digest = digest_key("pkg.mod:fn", {"i": i})
+            store.save(digest, {"x": np.arange(100) + i})
+            # Distinct, strictly increasing mtimes so LRU order is exact.
+            entry = store.path_for(digest)
+            os.utime(entry, (1_000_000 + i, 1_000_000 + i))
+            digests.append(digest)
+        return store, digests
+
+    def test_size_bytes_counts_entries(self, tmp_path):
+        store, _ = self._filled_store(tmp_path)
+        assert store.size_bytes() > 0
+        assert ResultsStore(tmp_path / "nope").size_bytes() == 0
+
+    def test_gc_noop_when_under_budget(self, tmp_path):
+        store, digests = self._filled_store(tmp_path)
+        stats = store.gc(store.size_bytes())
+        assert stats.evicted == 0 and stats.freed_bytes == 0
+        assert all(d in store for d in digests)
+
+    def _budget_for(self, store, digests):
+        """A byte budget that fits exactly the given entries."""
+        return sum(store.path_for(d).stat().st_size for d in digests)
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        store, digests = self._filled_store(tmp_path)
+        stats = store.gc(self._budget_for(store, digests[2:]))
+        assert stats.evicted == 2
+        assert digests[0] not in store and digests[1] not in store
+        assert digests[2] in store and digests[3] in store
+        assert stats.remaining_entries == 2
+        assert stats.remaining_bytes == store.size_bytes()
+
+    def test_load_refreshes_recency(self, tmp_path):
+        store, digests = self._filled_store(tmp_path)
+        budget = self._budget_for(store, [digests[0], digests[3]])
+        store.load(digests[0])  # a cache hit makes the oldest entry newest
+        stats = store.gc(budget)
+        assert stats.evicted == 2
+        assert digests[0] in store
+        assert digests[1] not in store and digests[2] not in store
+
+    def test_gc_to_zero_clears_store(self, tmp_path):
+        store, _ = self._filled_store(tmp_path)
+        stats = store.gc(0)
+        assert stats.evicted == 4 and len(store) == 0
+        assert stats.remaining_bytes == 0
+
+    def test_gc_rejects_negative_budget(self, tmp_path):
+        store, _ = self._filled_store(tmp_path)
+        with pytest.raises(ValueError, match="non-negative"):
+            store.gc(-1)
