@@ -6,14 +6,11 @@ Kernel benchmarked: collapsing a 6-requests-per-step instance to centers.
 import numpy as np
 
 from repro.analysis import collapse_to_centers
-from repro.experiments import EXPERIMENTS
 from repro.workloads import RandomWalkWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e10_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E10"](scale=BENCH_SCALE, seed=0)
+def test_e10_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E10")
     emit(result)
 
     wl = RandomWalkWorkload(150, dim=2, D=2.0, m=1.0, sigma=0.3, spread=0.6,

@@ -8,15 +8,12 @@ import numpy as np
 from repro.algorithms import MoveToCenter
 from repro.analysis import collapse_to_centers, verify_potential_argument
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
 from repro.offline import solve_line
 from repro.workloads import DriftWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e11_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E11"](scale=BENCH_SCALE, seed=0)
+def test_e11_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E11")
     emit(result)
 
     wl = DriftWorkload(150, dim=1, D=2.0, m=1.0, speed=0.75, spread=0.3,

@@ -8,14 +8,11 @@ import numpy as np
 
 from repro.algorithms import MoveToCenter
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
 from repro.workloads import DriftWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e12_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E12"](scale=BENCH_SCALE, seed=0)
+def test_e12_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E12")
     emit(result)
 
     wl = DriftWorkload(200, dim=1, D=4.0, m=1.0, speed=0.8, spread=0.2,

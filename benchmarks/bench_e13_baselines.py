@@ -5,14 +5,11 @@ Kernel benchmarked: the exact page-migration node DP on a 16-node network.
 
 import numpy as np
 
-from repro.experiments import EXPERIMENTS
 from repro.pagemigration import complete_uniform, offline_page_migration
 
-from conftest import BENCH_SCALE
 
-
-def test_e13_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E13"](scale=BENCH_SCALE, seed=0)
+def test_e13_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E13")
     emit(result)
 
     net = complete_uniform(16)

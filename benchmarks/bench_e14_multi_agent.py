@@ -6,15 +6,12 @@ Kernel benchmarked: multi-agent MtC over 4 patrol agents on the line.
 import numpy as np
 
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
 from repro.extensions import MultiAgentInstance, MultiAgentMtC
 from repro.workloads import random_waypoint_path
 
-from conftest import BENCH_SCALE
 
-
-def test_e14_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E14"](scale=BENCH_SCALE, seed=0)
+def test_e14_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E14")
     emit(result)
 
     rng = np.random.default_rng(0)

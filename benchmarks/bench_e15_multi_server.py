@@ -5,15 +5,12 @@ Kernel benchmarked: the product-grid 2-server DP bracket.
 
 import numpy as np
 
-from repro.experiments import EXPERIMENTS
 from repro.experiments.e15_multi_server import _two_hotspot_batches
 from repro.extensions import solve_two_servers_line
 
-from conftest import BENCH_SCALE
 
-
-def test_e15_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E15"](scale=BENCH_SCALE, seed=0)
+def test_e15_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E15")
     emit(result)
 
     rng = np.random.default_rng(0)

@@ -5,15 +5,12 @@ Kernel benchmarked: one mobile-Meyerson run on a drifting workload.
 
 import numpy as np
 
-from repro.experiments import EXPERIMENTS
 from repro.experiments.e16_facility import _drift_batches
 from repro.extensions import MobileMeyerson, simulate_facilities
 
-from conftest import BENCH_SCALE
 
-
-def test_e16_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E16"](scale=BENCH_SCALE, seed=0)
+def test_e16_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E16")
     emit(result)
 
     batches = _drift_batches(150, np.random.default_rng(0))

@@ -7,14 +7,11 @@ import numpy as np
 
 from repro.algorithms import MoveToCenter
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
 from repro.workloads import RandomWalkWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e17_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E17"](scale=BENCH_SCALE, seed=0)
+def test_e17_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E17")
     emit(result)
 
     wl = RandomWalkWorkload(300, dim=8, D=2.0, m=1.0, sigma=0.3, spread=0.4,

@@ -8,13 +8,10 @@ import numpy as np
 from repro.adversaries import build_thm1
 from repro.algorithms import MoveToCenter
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
-
-from conftest import BENCH_SCALE
 
 
-def test_e1_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E1"](scale=BENCH_SCALE, seed=0)
+def test_e1_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E1")
     emit(result)
 
     adv = build_thm1(1024, rng=np.random.default_rng(0))

@@ -8,13 +8,10 @@ import numpy as np
 from repro.adversaries import build_thm2
 from repro.algorithms import MoveToCenter
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
-
-from conftest import BENCH_SCALE
 
 
-def test_e2_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E2"](scale=BENCH_SCALE, seed=0)
+def test_e2_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E2")
     emit(result)
 
     adv = build_thm2(0.25, cycles=4, rng=np.random.default_rng(0))

@@ -8,13 +8,10 @@ import numpy as np
 from repro.adversaries import build_thm3
 from repro.algorithms import AnswerFirstMoveToCenter
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
-
-from conftest import BENCH_SCALE
 
 
-def test_e3_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E3"](scale=BENCH_SCALE, seed=0)
+def test_e3_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E3")
     emit(result)
 
     adv = build_thm3(cycles=60, r=16, rng=np.random.default_rng(0))

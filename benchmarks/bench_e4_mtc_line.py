@@ -5,15 +5,12 @@ Kernel benchmarked: the exact 1-D DP bracket (the experiment's dominant cost).
 
 import numpy as np
 
-from repro.experiments import EXPERIMENTS
 from repro.offline import solve_line
 from repro.workloads import DriftWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e4_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E4"](scale=BENCH_SCALE, seed=0)
+def test_e4_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E4")
     emit(result)
 
     wl = DriftWorkload(200, dim=1, D=2.0, m=1.0, speed=0.8, spread=0.2,

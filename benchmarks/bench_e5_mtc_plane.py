@@ -5,15 +5,12 @@ Kernel benchmarked: the convex relaxation bracket on a 2-D instance.
 
 import numpy as np
 
-from repro.experiments import EXPERIMENTS
 from repro.offline import convex_bracket
 from repro.workloads import RandomWalkWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e5_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E5"](scale=BENCH_SCALE, seed=0)
+def test_e5_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E5")
     emit(result)
 
     wl = RandomWalkWorkload(100, dim=2, D=2.0, m=1.0, sigma=0.3, spread=0.4,

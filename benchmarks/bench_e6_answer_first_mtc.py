@@ -7,14 +7,11 @@ import numpy as np
 
 from repro.algorithms import MoveToCenter
 from repro.core import CostModel, simulate
-from repro.experiments import EXPERIMENTS
 from repro.workloads import DriftWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e6_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E6"](scale=BENCH_SCALE, seed=0)
+def test_e6_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E6")
     emit(result)
 
     wl = DriftWorkload(150, dim=1, D=4.0, m=1.0, speed=0.8, spread=0.2,

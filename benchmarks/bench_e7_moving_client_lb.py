@@ -8,13 +8,10 @@ import numpy as np
 from repro.adversaries import build_thm8
 from repro.algorithms import MovingClientMtC
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
-
-from conftest import BENCH_SCALE
 
 
-def test_e7_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E7"](scale=BENCH_SCALE, seed=0)
+def test_e7_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E7")
     emit(result)
 
     adv = build_thm8(2048, epsilon=1.0, rng=np.random.default_rng(0))

@@ -7,14 +7,11 @@ import numpy as np
 
 from repro.algorithms import MovingClientMtC
 from repro.core import simulate
-from repro.experiments import EXPERIMENTS
 from repro.workloads import PatrolAgentWorkload
 
-from conftest import BENCH_SCALE
 
-
-def test_e8_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E8"](scale=BENCH_SCALE, seed=0)
+def test_e8_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E8")
     emit(result)
 
     wl = PatrolAgentWorkload(T=300, dim=2, D=4.0, m_server=1.0, m_agent=1.0)

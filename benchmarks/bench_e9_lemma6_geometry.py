@@ -6,13 +6,10 @@ Kernel benchmarked: sampling 2000 premise-satisfying configurations.
 import numpy as np
 
 from repro.analysis import sample_lemma6
-from repro.experiments import EXPERIMENTS
-
-from conftest import BENCH_SCALE
 
 
-def test_e9_table_and_kernel(benchmark, emit):
-    result = EXPERIMENTS["E9"](scale=BENCH_SCALE, seed=0)
+def test_e9_table_and_kernel(benchmark, emit, exp_cache):
+    result = exp_cache.run("E9")
     emit(result)
 
     def kernel():

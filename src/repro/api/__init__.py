@@ -20,6 +20,16 @@ plain JSON (:meth:`Scenario.to_dict`) and carry a content address
 (:meth:`Scenario.digest`) in the persistent results store, shared with
 the experiment orchestrator's scenario cells.
 
+Sweeps are declarative too: :meth:`Scenario.grid` expands axis values
+(sources × algorithms × params × δ) into a
+:class:`~repro.api.grid.ScenarioGrid` whose cells keep their standalone
+content addresses (shared offline-bracket cells factor out as
+address-neutral soft dependencies); :func:`run_many` takes ``jobs=N``
+to fan a scenario list over the orchestrator's process pool; and an
+:class:`ExperimentSpec` pairs a grid with a registry-addressed reducer
+(:mod:`repro.api.reducers`) so a whole experiment is one object:
+grid + reducer name + formatting.
+
 Prefer this module over importing :mod:`repro.core.simulator` /
 :mod:`repro.core.engine` directly: the engines remain public for custom
 loops, but everything expressible as *source × algorithm × seeds* should
@@ -51,46 +61,77 @@ from ..workloads.registry import (
     register_workload,
     workload_info,
 )
+from .grid import ScenarioGrid, expand_axes, fixed
+from .reducers import (
+    REDUCERS,
+    Reduction,
+    ReducerInfo,
+    available_reducers,
+    reduce_cells,
+    reducer_info,
+    register_reducer,
+)
 from .runtime import (
+    BRACKET_FN,
     RunResult,
     build_instances,
+    cell_brackets,
     cell_run,
     resolve,
     run,
     run_many,
     scenario_unit,
+    scenario_units,
 )
 from .scenario import CELL_FN, Scenario, freeze_params, thaw_params
+from .spec import CellSpec, ExperimentSpec, cell_grid, finalize_spec
 
 __all__ = [
     "ADVERSARIES",
+    "BRACKET_FN",
     "CELL_FN",
+    "REDUCERS",
     "WORKLOADS",
     "AdaptiveGame",
     "AdversaryInfo",
     "AlgorithmInfo",
     "BoundAdversary",
+    "CellSpec",
+    "ExperimentSpec",
+    "Reduction",
+    "ReducerInfo",
     "RunResult",
     "Scenario",
+    "ScenarioGrid",
     "WorkloadInfo",
     "adversary_info",
     "algorithm_info",
     "available_adversaries",
     "available_algorithms",
+    "available_reducers",
     "available_workloads",
     "build_instances",
+    "cell_brackets",
+    "cell_grid",
     "cell_run",
     "compatible_algorithms",
+    "expand_axes",
+    "finalize_spec",
+    "fixed",
     "freeze_params",
     "make_adversary",
     "make_algorithm",
     "make_workload",
+    "reduce_cells",
+    "reducer_info",
     "register_adversary",
+    "register_reducer",
     "register_workload",
     "resolve",
     "run",
     "run_many",
     "scenario_unit",
+    "scenario_units",
     "thaw_params",
     "workload_info",
 ]

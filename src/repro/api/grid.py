@@ -1,0 +1,223 @@
+"""``Scenario.grid(...)`` — declarative sweep expansion.
+
+A *grid* is the shape every experiment in the paper reduces to: a
+Cartesian product of axes (sources × algorithms × parameters × δ …),
+each point a fully declarative :class:`~repro.api.scenario.Scenario`
+carrying its own seed sweep.  :func:`build_grid` (exposed as
+:meth:`Scenario.grid`) expands axis values into that product:
+
+* the top-level fields ``source``, ``algorithm``, ``delta`` and
+  ``cost_model`` become axes when given a sequence of values;
+* inside ``params`` / ``algorithm_params``, any sequence value becomes an
+  axis (wrap a literal list parameter in :func:`fixed` to opt out);
+* ``seeds`` is never an axis — it is the per-scenario lane sweep the
+  batched engine runs in lock-step.
+
+The result is a :class:`ScenarioGrid`: the scenarios in product order
+(first axis outermost), each paired with its axis coordinates, plus
+constructors for orchestrator work units.  :meth:`ScenarioGrid.units`
+factors shared work out automatically: scenarios that certify against a
+bracketed optimum and agree on (source, params, seeds, cost model) share
+one ephemeral offline-bracket cell, attached as a *soft* dependency so
+every scenario cell keeps the content address of its standalone
+:meth:`~repro.api.scenario.Scenario.digest` — grid sweeps, inline
+:func:`repro.api.run_many` calls and CLI runs all share cache entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from .scenario import Params, Scenario, freeze_params, thaw_params
+
+__all__ = ["ScenarioGrid", "build_grid", "expand_axes", "fixed", "point_label"]
+
+
+@dataclass(frozen=True)
+class _Fixed:
+    """Marker wrapping a literal sequence so it is *not* an axis."""
+
+    value: Any
+
+
+def fixed(value: Any) -> _Fixed:
+    """Escape hatch: pass a literal list parameter through grid expansion.
+
+    ``Scenario.grid(..., params={"waypoints": fixed([0.0, 1.0])})`` keeps
+    the list as one parameter value instead of turning it into an axis.
+    """
+    return _Fixed(value)
+
+
+def _is_axis(value: Any) -> bool:
+    return isinstance(value, (list, tuple, range)) and not isinstance(value, _Fixed)
+
+
+def expand_axes(entries: Mapping[str, Any]) -> tuple[list[str], list[dict[str, Any]]]:
+    """Split a mapping into axes and expand their Cartesian product.
+
+    Sequence values (list/tuple/range, unless wrapped in :func:`fixed`)
+    are axes; scalars are constants repeated across every point.  Returns
+    the axis names (declaration order, first axis outermost) and one dict
+    per grid point containing *all* entries (axes at their point value,
+    constants unwrapped).
+    """
+    axes: list[tuple[str, list[Any]]] = []
+    base: dict[str, Any] = {}
+    for key, value in entries.items():
+        if _is_axis(value):
+            values = list(value)
+            if not values:
+                raise ValueError(f"axis {key!r} has no values")
+            axes.append((key, values))
+        else:
+            base[key] = value.value if isinstance(value, _Fixed) else value
+    names = [name for name, _ in axes]
+    points = [
+        {**base, **dict(zip(names, combo))}
+        for combo in itertools.product(*(values for _, values in axes))
+    ]
+    return names, points
+
+
+def _source_kind(source: str, kind: str | None) -> str:
+    if kind is not None:
+        return kind
+    from ..adversaries.registry import ADVERSARIES
+    from ..workloads.registry import WORKLOADS
+
+    if source in WORKLOADS:
+        return "workload"
+    if source in ADVERSARIES:
+        return "adversary"
+    known = ", ".join(sorted(WORKLOADS) + sorted(ADVERSARIES))
+    raise KeyError(f"unknown source {source!r}; available: {known}")
+
+
+def point_label(point: Mapping[str, Any]) -> str:
+    """Canonical ``k=v/...`` label of axis coordinates — doubles as the
+    work-unit key of grid cells, so grid and function cells share one
+    format."""
+    return "/".join(f"{key}={value}" for key, value in point.items())
+
+
+def build_grid(
+    source: str | Sequence[str],
+    algorithm: str | Sequence[str],
+    params: Mapping[str, Any] | None = None,
+    algorithm_params: Mapping[str, Any] | None = None,
+    seeds: Iterable[int] = (0,),
+    delta: float | Sequence[float] = 0.0,
+    cost_model: str | None | Sequence[str | None] = None,
+    ratio: str = "auto",
+    engine: str = "auto",
+    kind: str | None = None,
+    name: str = "",
+) -> "ScenarioGrid":
+    """Expand axis values into a :class:`ScenarioGrid` (see module docs).
+
+    Axis order is ``source``, ``algorithm``, ``params`` entries
+    (declaration order), ``algorithm_params`` entries, ``delta``,
+    ``cost_model`` — outermost first.  ``kind=None`` resolves each source
+    against the workload registry first, then the adversaries.
+    """
+    top: dict[str, Any] = {"source": source, "algorithm": algorithm}
+    source_keys = list(params or {})
+    alg_keys = list(algorithm_params or {})
+    for key, value in (params or {}).items():
+        if key in top:
+            raise ValueError(f"source parameter {key!r} collides with a grid field")
+        top[key] = value
+    for key, value in (algorithm_params or {}).items():
+        if key in top:
+            raise ValueError(f"algorithm parameter {key!r} collides with another axis")
+        top[key] = value
+    for key, value in (("delta", delta), ("cost_model", cost_model)):
+        if key in top:
+            raise ValueError(f"parameter {key!r} collides with the scenario field")
+        top[key] = value
+
+    axes, point_dicts = expand_axes(top)
+    scenarios: list[Scenario] = []
+    points: list[Params] = []
+    for full in point_dicts:
+        point = {axis: full[axis] for axis in axes}
+        label = point_label(point)
+        scenarios.append(Scenario(
+            kind=_source_kind(full["source"], kind),
+            source=full["source"],
+            source_params=freeze_params({k: full[k] for k in source_keys}),
+            algorithm=full["algorithm"],
+            algorithm_params=freeze_params({k: full[k] for k in alg_keys}),
+            seeds=tuple(seeds),
+            delta=full["delta"],
+            cost_model=full["cost_model"],
+            ratio=ratio,
+            engine=engine,
+            name=f"{name}/{label}" if name and label else (name or label or "grid"),
+        ))
+        points.append(freeze_params(point, sort=False))
+    return ScenarioGrid(axes=tuple(axes), scenarios=tuple(scenarios),
+                        points=tuple(points))
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """An expanded sweep: scenarios aligned with their axis coordinates."""
+
+    axes: tuple[str, ...]
+    scenarios: tuple[Scenario, ...]
+    points: tuple[Params, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.scenarios) != len(self.points):
+            raise ValueError("one axis-coordinate point per scenario required")
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def point_dicts(self) -> list[dict[str, Any]]:
+        """Axis coordinates of each scenario, in grid order."""
+        return [thaw_params(point) for point in self.points]
+
+    def keys(self) -> list[str]:
+        """Stable per-scenario work-unit keys derived from the coordinates."""
+        if not self.axes:
+            return [f"s{i}" for i in range(len(self.scenarios))]
+        return [point_label(thaw_params(point)) for point in self.points]
+
+    def units(self, share_brackets: bool = True) -> list:
+        """Orchestrator work units, shared bracket cells factored out."""
+        from .runtime import scenario_units
+
+        return scenario_units(list(self.scenarios), keys=self.keys(),
+                              share_brackets=share_brackets)
+
+    def run(self, *, store=None, jobs: int = 1, keep_traces: bool = False) -> list:
+        """Execute the whole grid through :func:`repro.api.run_many`."""
+        from .runtime import run_many
+
+        return run_many(list(self.scenarios), store=store, jobs=jobs,
+                        keep_traces=keep_traces)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "axes": list(self.axes),
+            "scenarios": [sc.to_dict() for sc in self.scenarios],
+            "points": self.point_dicts(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioGrid":
+        return cls(
+            axes=tuple(payload["axes"]),
+            scenarios=tuple(Scenario.from_dict(p) for p in payload["scenarios"]),
+            points=tuple(freeze_params(p, sort=False) for p in payload["points"]),
+        )

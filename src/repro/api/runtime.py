@@ -46,14 +46,21 @@ from ..workloads.registry import make_workload, workload_info
 from .scenario import CELL_FN, Scenario
 
 __all__ = [
+    "BRACKET_FN",
     "RunResult",
     "build_instances",
+    "cell_brackets",
     "cell_run",
     "resolve",
     "run",
     "run_many",
     "scenario_unit",
+    "scenario_units",
 ]
+
+#: Dotted path of the ephemeral cell computing a share-group's offline
+#: brackets (factored out of scenario sweeps as a *soft* dependency).
+BRACKET_FN = "repro.api.runtime:cell_brackets"
 
 
 def resolve(name: str, **params: Any) -> Any:
@@ -139,6 +146,34 @@ class RunResult:
             raise ValueError(f"scenario {self.scenario.label()!r} has no bracket measurements")
         return np.array([m.ratio_upper for m in self.measurements])
 
+    def certified_ratio(self) -> float | None:
+        """The one certified mean ratio of this run, if any.
+
+        Adversary runs certify a lower bound (``mean_ratio``); bracket
+        runs certify an interval, whose conservative end is the upper
+        bracket mean; uncertified runs return ``None``.
+        """
+        if self.ratios is not None:
+            return self.mean_ratio
+        if self.measurements is not None:
+            return float(self.ratio_upper.mean())
+        return None
+
+    def table_columns(self) -> list:
+        """``[mean cost, ratio >=, ratio <=]`` in the shared table layout.
+
+        One definition of the certified-ratio column convention, used by
+        both the CLI ``run --grid`` table and the ``scenario-table``
+        reducer: adversary runs fill only the lower bound, bracket runs
+        fill the interval, uncertified runs leave both blank.
+        """
+        if self.ratios is not None:
+            return [self.mean_cost, self.mean_ratio, ""]
+        if self.measurements is not None:
+            return [self.mean_cost, float(self.ratio_lower.mean()),
+                    float(self.ratio_upper.mean())]
+        return [self.mean_cost, "", ""]
+
     def summary(self) -> str:
         parts = [
             f"{self.scenario.label()}: B={self.batch_size}",
@@ -191,6 +226,34 @@ def _source_info(scenario: Scenario):
     return adversary_info(scenario.source)
 
 
+def _materialise(
+    kind: str,
+    source_name: str,
+    source_params: Mapping[str, Any],
+    seeds: Sequence[int],
+    cost_model: str | None,
+) -> tuple[list[MSPInstance], list[AdversarialInstance] | None]:
+    """Shared instance materialisation for scenarios and bracket cells."""
+    source = resolve(source_name, **dict(source_params))
+    if isinstance(source, AdaptiveGame):
+        raise ValueError(
+            f"adaptive source {source_name!r} has no pre-built instances; "
+            "its instances exist only after the game is played"
+        )
+    if kind == "adversary":
+        advs = [source.build(np.random.default_rng(s)) for s in seeds]
+        return [adv.instance for adv in advs], advs
+    instances = []
+    for seed in seeds:
+        inst = source.generate(np.random.default_rng(seed))
+        if isinstance(inst, MovingClientInstance):
+            inst = inst.as_msp()
+        if cost_model is not None:
+            inst = inst.with_cost_model(_cost_model(cost_model))
+        instances.append(inst)
+    return instances, None
+
+
 def build_instances(
     scenario: Scenario,
 ) -> tuple[list[MSPInstance], list[AdversarialInstance] | None]:
@@ -202,24 +265,8 @@ def build_instances(
     Moving-client instances are lowered via ``as_msp()`` exactly as
     :func:`repro.core.simulator.simulate_moving_client` does.
     """
-    source = resolve(scenario.source, **scenario.source_kwargs())
-    if isinstance(source, AdaptiveGame):
-        raise ValueError(
-            f"adaptive source {scenario.source!r} has no pre-built instances; "
-            "its instances exist only after the game is played"
-        )
-    if scenario.kind == "adversary":
-        advs = [source.build(np.random.default_rng(s)) for s in scenario.seeds]
-        return [adv.instance for adv in advs], advs
-    instances = []
-    for seed in scenario.seeds:
-        inst = source.generate(np.random.default_rng(seed))
-        if isinstance(inst, MovingClientInstance):
-            inst = inst.as_msp()
-        if scenario.cost_model is not None:
-            inst = inst.with_cost_model(_cost_model(scenario.cost_model))
-        instances.append(inst)
-    return instances, None
+    return _materialise(scenario.kind, scenario.source, scenario.source_kwargs(),
+                        scenario.seeds, scenario.cost_model)
 
 
 def _cost_model(value: str):
@@ -404,11 +451,34 @@ def _share_key(scenario: Scenario) -> tuple:
             scenario.seeds, scenario.cost_model)
 
 
+def _run_many_pooled(
+    scenarios: Sequence[Scenario],
+    jobs: int,
+    store: ResultsStore | None,
+) -> list[RunResult]:
+    """Fan a scenario list out over the orchestrator's process pool.
+
+    Each scenario becomes a work unit with its standalone content address
+    (:meth:`Scenario.digest`), shared bracket cells factored out as soft
+    dependencies — exactly the plumbing orchestrated sweeps use, so the
+    pooled path inherits their caching, dedup and resume behaviour.
+    """
+    from ..experiments.orchestrator import SweepSpec, execute
+
+    keys = [f"s{i}" for i in range(len(scenarios))]
+    units = scenario_units(scenarios, keys=keys)
+    spec = SweepSpec("run-many", tuple(units),
+                     finalize="repro.api.runtime:_collect_payloads")
+    payloads = execute([spec], jobs=jobs, store=store).results[0]
+    return [RunResult.from_payload(payloads[key]) for key in keys]
+
+
 def run_many(
     scenarios: Sequence[Scenario],
     *,
     store: ResultsStore | None = None,
     keep_traces: bool = False,
+    jobs: int = 1,
 ) -> list[RunResult]:
     """Run several scenarios, sharing instances and offline brackets.
 
@@ -421,7 +491,21 @@ def run_many(
     first and fresh results are written back, so repeated comparisons are
     cache hits (the addresses are shared with orchestrator scenario
     cells).  Results loaded from the store carry no traces.
+
+    ``jobs > 1`` fans the scenarios out over the orchestrator's process
+    pool (same work-unit plumbing, same content addresses — results are
+    bit-identical to ``jobs=1``); bracket sharing then happens through
+    factored-out soft-dependency cells rather than in-process.  Worker
+    payloads carry only the scalar summaries, so ``keep_traces=True`` is
+    rejected with a ``ValueError`` when combined with ``jobs > 1``.
     """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if jobs > 1 and len(scenarios) > 1:
+        if keep_traces:
+            raise ValueError("keep_traces is unavailable with jobs > 1 "
+                             "(worker payloads carry only the scalar summaries)")
+        return _run_many_pooled(scenarios, jobs=jobs, store=store)
     cache: dict[tuple, tuple] = {}
     results: list[RunResult] = []
     for scenario in scenarios:
@@ -458,23 +542,121 @@ def run_many(
 # -- orchestrator integration ----------------------------------------------
 
 
-def cell_run(scenario: Mapping[str, Any]) -> dict[str, Any]:
+def cell_brackets(
+    kind: str,
+    source: str,
+    source_params: Mapping[str, Any],
+    seeds: Sequence[int],
+    cost_model: str | None,
+) -> dict[str, Any]:
+    """Ephemeral cell: offline brackets of one share-group's instances.
+
+    The payload is a deterministic function of the parameters (which are
+    a subset of every consuming scenario's own parameters), which is what
+    licenses attaching it as a *soft* dependency: scenario cells keep
+    their standalone content addresses whether or not the bracket cell
+    feeds them.
+    """
+    instances, _ = _materialise(kind, source, source_params, seeds, cost_model)
+    return {"brackets": [bracket_optimum(inst).as_payload() for inst in instances]}
+
+
+def _bracket_group(scenario: Scenario) -> dict[str, Any]:
+    """The bracket cell's parameters for ``scenario``'s share group."""
+    return {
+        "kind": scenario.kind,
+        "source": scenario.source,
+        "source_params": scenario.source_kwargs(),
+        "seeds": list(scenario.seeds),
+        "cost_model": scenario.cost_model,
+    }
+
+
+def cell_run(scenario: Mapping[str, Any], deps: Mapping[str, Any] | None = None) -> dict[str, Any]:
     """Generic orchestrator cell: execute one serialized scenario.
 
     The cell's content address (``fn`` + the scenario dict) equals
     :meth:`Scenario.digest`, so orchestrated sweeps and inline
-    :func:`run_many` calls share store entries.
+    :func:`run_many` calls share store entries.  A factored-out bracket
+    cell may feed in through ``deps`` (as a soft dependency — the
+    address does not change): its certified brackets are then reused
+    instead of re-solved.
     """
-    return run(Scenario.from_dict(scenario), keep_traces=False).as_payload()
+    brackets = None
+    if deps:
+        # Non-bracket dependencies (the public ``deps`` on scenario_unit)
+        # are simply not consumed here.
+        payload = next((p for p in deps.values() if "brackets" in p), None)
+        if payload is not None:
+            brackets = [OptBracket.from_payload(b) for b in payload["brackets"]]
+    return run(Scenario.from_dict(scenario), brackets=brackets,
+               keep_traces=False).as_payload()
 
 
-def scenario_unit(key: str, scenario: Scenario, deps: tuple[str, ...] = ()):
+def scenario_unit(key: str, scenario: Scenario, deps: tuple[str, ...] = (),
+                  soft_deps: tuple[str, ...] = ()):
     """A :class:`~repro.experiments.orchestrator.WorkUnit` running ``scenario``.
 
     The unit's parameters are :meth:`Scenario.cache_dict` (display name
     stripped), so its orchestrator content address equals
-    :meth:`Scenario.digest` — sweeps and inline runs share store entries.
+    :meth:`Scenario.digest` — sweeps and inline runs share store entries
+    (soft dependencies, e.g. a shared bracket cell, do not perturb it).
     """
     from ..experiments.orchestrator import WorkUnit
 
-    return WorkUnit(key=key, fn=CELL_FN, params={"scenario": scenario.cache_dict()}, deps=deps)
+    return WorkUnit(key=key, fn=CELL_FN, params={"scenario": scenario.cache_dict()},
+                    deps=deps, soft_deps=soft_deps)
+
+
+def scenario_units(
+    scenarios: Sequence[Scenario],
+    keys: Sequence[str] | None = None,
+    share_brackets: bool = True,
+):
+    """Work units for a scenario list, shared bracket cells factored out.
+
+    Scenarios certifying against a bracketed optimum that agree on
+    (source, params, seeds, cost model) get one ephemeral
+    :func:`cell_brackets` unit per group (only when the group has at
+    least two members — a lone scenario solves its brackets inline) and
+    consume it as a soft dependency, so the expensive offline solve runs
+    once per group instead of once per algorithm/δ cell.
+    """
+    from ..experiments.orchestrator import WorkUnit
+
+    if keys is not None and len(keys) != len(scenarios):
+        raise ValueError("need exactly one key per scenario")
+    if keys is None:
+        keys = [f"s{i}" for i in range(len(scenarios))]
+    if len(set(keys)) != len(keys):
+        raise ValueError("scenario unit keys must be unique")
+
+    def shareable(sc: Scenario) -> bool:
+        return (sc.effective_ratio() == "bracket"
+                and not (sc.kind == "adversary" and adversary_info(sc.source).adaptive))
+
+    group_sizes: dict[tuple, int] = {}
+    for sc in scenarios:
+        if shareable(sc):
+            key = _share_key(sc)
+            group_sizes[key] = group_sizes.get(key, 0) + 1
+
+    units = []
+    bracket_keys: dict[tuple, str] = {}
+    for key, sc in zip(keys, scenarios):
+        soft: tuple[str, ...] = ()
+        if share_brackets and shareable(sc) and group_sizes[_share_key(sc)] > 1:
+            skey = _share_key(sc)
+            if skey not in bracket_keys:
+                bracket_key = f"brackets/{len(bracket_keys)}"
+                bracket_keys[skey] = bracket_key
+                units.append(WorkUnit(key=bracket_key, fn=BRACKET_FN,
+                                      params=_bracket_group(sc), ephemeral=True))
+            soft = (bracket_keys[skey],)
+        units.append(scenario_unit(key, sc, soft_deps=soft))
+    return units
+
+
+def _collect_payloads(results: Mapping[str, Any], scale: float, seed: int) -> dict[str, Any]:
+    """Finalize hook for pooled :func:`run_many`: the raw payload map."""
+    return dict(results)

@@ -52,8 +52,14 @@ def _thaw_value(value: Any) -> Any:
     return value
 
 
-def freeze_params(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) -> Params:
-    """Canonicalize a parameter mapping into sorted hashable pairs."""
+def freeze_params(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None,
+                  sort: bool = True) -> Params:
+    """Canonicalize a parameter mapping into hashable pairs.
+
+    Pairs are sorted by key (the canonical content-address form) unless
+    ``sort=False``, which preserves declaration order — used for grid
+    axis coordinates, where the axis order *is* the table's row order.
+    """
     if params is None:
         return ()
     items = params.items() if isinstance(params, Mapping) else list(params)
@@ -65,7 +71,7 @@ def freeze_params(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) 
             raise ValueError(f"duplicate parameter {key!r}")
         seen.add(key)
         out.append((key, _freeze_value(value)))
-    return tuple(sorted(out))
+    return tuple(sorted(out)) if sort else tuple(out)
 
 
 def thaw_params(params: Params) -> dict[str, Any]:
@@ -209,6 +215,29 @@ class Scenario:
             engine=engine,
             name=name,
         )
+
+    @classmethod
+    def grid(cls, source, algorithm, **kwargs: Any):
+        """Expand axis values into a sweep (see :mod:`repro.api.grid`).
+
+        ``source``, ``algorithm``, ``delta``, ``cost_model`` and any value
+        inside ``params`` / ``algorithm_params`` become axes when given a
+        sequence; the Cartesian product (first axis outermost) is returned
+        as a :class:`~repro.api.grid.ScenarioGrid` of content-addressed
+        scenarios.  ``seeds`` stays the per-scenario lane sweep.  Wrap a
+        literal list parameter in :func:`repro.api.grid.fixed` to keep it
+        out of the product.
+
+        >>> g = Scenario.grid("drift", ["mtc", "greedy-centroid"],
+        ...                   params={"T": 100, "dim": 1, "D": 2.0},
+        ...                   delta=[0.25, 0.5], seeds=range(4),
+        ...                   ratio="bracket")
+        >>> len(g), g.axes
+        (4, ('algorithm', 'delta'))
+        """
+        from .grid import build_grid
+
+        return build_grid(source, algorithm, **kwargs)
 
     def with_(self, **changes: Any) -> "Scenario":
         """A copy with fields replaced (params accept plain dicts)."""

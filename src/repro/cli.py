@@ -96,18 +96,87 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
-def _parse_params(pairs: list[str]) -> dict:
-    """``KEY=VALUE`` pairs; values parse as JSON, falling back to strings."""
+def _parse_value(text: str):
+    """One value: JSON if it parses, plain string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_params(pairs: list[str], axes: bool = False) -> dict:
+    """``KEY=VALUE`` pairs; values parse as JSON, falling back to strings.
+
+    With ``axes=True`` (the ``run --grid`` syntax) a comma-separated
+    value like ``delta=0.1,0.2,0.5`` becomes a list — which
+    :meth:`repro.api.Scenario.grid` expands into an axis (as does a JSON
+    list value).
+    """
     params = {}
     for pair in pairs:
         key, sep, value = pair.partition("=")
         if not sep:
             raise ValueError(f"parameter {pair!r} must look like KEY=VALUE")
-        try:
-            params[key] = json.loads(value)
-        except json.JSONDecodeError:
-            params[key] = value
+        if axes and "," in value:
+            try:
+                params[key] = json.loads(value)
+            except json.JSONDecodeError:
+                params[key] = [_parse_value(part) for part in value.split(",")]
+        else:
+            params[key] = _parse_value(value)
     return params
+
+
+def _axis_arg(value: str, parse=str):
+    """A top-level CLI axis: ``a,b,c`` → list, single value → scalar."""
+    if "," in value:
+        return [parse(part) for part in value.split(",")]
+    return parse(value)
+
+
+def _cmd_run_grid(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .api import Scenario, run_many
+    from .core.store import ResultsStore
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        grid = Scenario.grid(
+            source=_axis_arg(args.source),
+            algorithm=_axis_arg(args.algorithm),
+            params=_parse_params(args.param, axes=True),
+            algorithm_params=_parse_params(args.alg_param, axes=True),
+            seeds=tuple(args.seeds),
+            delta=_axis_arg(args.delta, parse=float),
+            cost_model=args.cost_model,
+            ratio=args.ratio,
+            engine=args.engine,
+        )
+    except (ValueError, TypeError, KeyError) as exc:
+        print(f"bad grid: {exc}", file=sys.stderr)
+        return 2
+    store = ResultsStore(args.store) if args.store else None
+    hits = sum(sc.digest() in store for sc in grid) if store is not None else 0
+    try:
+        results = run_many(list(grid.scenarios), store=store, jobs=args.jobs)
+    except (ValueError, TypeError, KeyError) as exc:
+        print(f"bad grid: {exc}", file=sys.stderr)
+        return 2
+    headers = [*grid.axes, "mean cost", "ratio >=", "ratio <="]
+    rows = [[*point.values(), *res.table_columns()]
+            for point, res in zip(grid.point_dicts(), results)]
+    title = f"grid over {' x '.join(grid.axes) if grid.axes else '1 point'}, " \
+            f"{len(args.seeds)} seed(s)"
+    print(render_table(headers, rows, title=title))
+    computed = len(grid) - hits if store is not None else len(grid)
+    cache_tag = f"{hits} cached, " if store is not None else ""
+    print(f"  grid: {len(grid)} scenarios; {cache_tag}{computed} computed "
+          f"(jobs={args.jobs})")
+    if store is not None:
+        print(f"  store: {store.root}")
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -117,6 +186,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .core.store import ResultsStore
     from .workloads import WORKLOADS
 
+    if args.grid:
+        return _cmd_run_grid(args)
     if args.source in WORKLOADS:
         kind = "workload"
     elif args.source in ADVERSARIES:
@@ -133,7 +204,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             algorithm_params=_parse_params(args.alg_param),
             seeds=tuple(args.seeds),
-            delta=args.delta,
+            delta=float(args.delta),
             cost_model=args.cost_model,
             ratio=args.ratio,
             engine=args.engine,
@@ -223,6 +294,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     from .adversaries import available_adversaries
     from .algorithms import available_algorithms
+    from .api import available_reducers, reducer_info
     from .experiments import EXPERIMENTS
     from .workloads import available_workloads
 
@@ -238,6 +310,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("experiments:")
     for eid in EXPERIMENTS:
         print(f"  {eid}")
+    print("reducers:")
+    for name in available_reducers():
+        summary = reducer_info(name).summary
+        print(f"  {name}" + (f" — {summary}" if summary else ""))
     return 0
 
 
@@ -270,16 +346,28 @@ def main(argv: list[str] | None = None) -> int:
                             "validated up front, requires --store")
     p_exp.set_defaults(func=_cmd_experiments)
 
-    p_run = sub.add_parser("run", help="run one declarative scenario")
+    p_run = sub.add_parser("run", help="run one declarative scenario (or a --grid sweep)")
     p_run.add_argument("--source", required=True,
-                       help="registered workload or adversary name (see 'list')")
-    p_run.add_argument("--algorithm", default="mtc", help="registered algorithm name")
+                       help="registered workload or adversary name (see 'list'); "
+                            "with --grid, a comma list is a sweep axis")
+    p_run.add_argument("--algorithm", default="mtc",
+                       help="registered algorithm name; with --grid, a comma list "
+                            "is a sweep axis (e.g. --algorithm mtc,greedy-centroid)")
     p_run.add_argument("-p", "--param", action="append", default=[], metavar="KEY=VALUE",
-                       help="source parameter (repeatable), e.g. -p T=200 -p D=4.0")
+                       help="source parameter (repeatable), e.g. -p T=200 -p D=4.0; "
+                            "with --grid, comma values are an axis (-p D=2.0,4.0)")
     p_run.add_argument("--alg-param", action="append", default=[], metavar="KEY=VALUE",
                        help="algorithm parameter (repeatable), e.g. --alg-param step_scale=0.5")
-    p_run.add_argument("--seeds", type=int, nargs="+", default=[0], help="seed sweep")
-    p_run.add_argument("--delta", type=float, default=0.0, help="resource augmentation")
+    p_run.add_argument("--seeds", type=int, nargs="+", default=[0],
+                       help="seed sweep (per-scenario engine lanes, never a grid axis)")
+    p_run.add_argument("--delta", type=str, default="0.0",
+                       help="resource augmentation; with --grid, a comma list is an "
+                            "axis (e.g. --delta 0.1,0.2,0.5)")
+    p_run.add_argument("--grid", action="store_true",
+                       help="expand comma/list values into a Scenario.grid sweep and "
+                            "run every cell (one table row per grid point)")
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for a --grid sweep (default 1)")
     p_run.add_argument("--cost-model", default=None, choices=["move-first", "answer-first"],
                        help="override the instance cost model (workload sources only)")
     p_run.add_argument("--ratio", default="auto", choices=["auto", "adversary", "bracket", "none"],

@@ -3,12 +3,13 @@
 ``EXPERIMENTS`` maps experiment ids to their ``run(scale, seed)``
 callables; :func:`run_all` executes a subset and returns the results.
 
-Experiments migrated onto the declarative orchestrator additionally
-appear in ``SPECS`` (id → ``build_spec(scale, seed)``): their sweeps are
-flattened into work units that execute in parallel across processes and
-cache per-cell in a persistent results store.  Experiments not yet
-migrated are wrapped as single-unit specs, so the whole suite shares one
-scheduler, one cache and one ``--jobs`` fan-out.
+Every experiment appears in ``SPECS`` (id → ``build_spec(scale, seed)``):
+its sweep is flattened into work units that execute in parallel across
+processes and cache per-cell in a persistent results store, so the whole
+suite shares one scheduler, one cache and one ``--jobs`` fan-out.  The
+E9–E16 builders lower a declarative :class:`repro.api.ExperimentSpec`
+(grid + registry-addressed reducer); the rest declare their work units
+directly.
 """
 
 from typing import Callable, Dict
@@ -32,8 +33,46 @@ from . import (
     e16_facility,
     e17_dimension,
 )
-from .orchestrator import ExecutionReport, SweepSpec, execute, legacy_spec
+from .orchestrator import ExecutionReport, SweepSpec, execute, execute_spec, legacy_spec
 from .runner import ExperimentResult
+
+#: Every experiment declared as an orchestrator sweep (id → spec builder).
+#: E1/E2/E3/E6/E7/E12 build their cells as :class:`repro.api.Scenario`
+#: work units; E9/E10/E11/E14/E15/E16 are declarative
+#: :class:`repro.api.ExperimentSpec` grids (``build_spec`` lowers them);
+#: the earlier migrations (E4/E5/E8/E13/E17) still use hand-written cell
+#: functions where they share offline brackets.
+SPECS: Dict[str, Callable[[float, int], SweepSpec]] = {
+    "E1": e1_thm1.build_spec,
+    "E2": e2_thm2.build_spec,
+    "E3": e3_thm3.build_spec,
+    "E4": e4_mtc_line.build_spec,
+    "E5": e5_mtc_plane.build_spec,
+    "E6": e6_answer_first.build_spec,
+    "E7": e7_moving_client_lb.build_spec,
+    "E8": e8_moving_client_mtc.build_spec,
+    "E9": e9_lemma6.build_spec,
+    "E10": e10_lemma5.build_spec,
+    "E11": e11_potential.build_spec,
+    "E12": e12_ablation.build_spec,
+    "E13": e13_baselines.build_spec,
+    "E14": e14_multi_agent.build_spec,
+    "E15": e15_multi_server.build_spec,
+    "E16": e16_facility.build_spec,
+    "E17": e17_dimension.build_spec,
+}
+
+
+def _spec_runner(eid: str) -> Callable[..., ExperimentResult]:
+    """The canonical (non-deprecated) run entry for a spec-declared experiment."""
+
+    def _run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+        return execute_spec(SPECS[eid](scale, seed))
+
+    _run.__name__ = f"run_{eid.lower()}"
+    _run.__doc__ = f"Run {eid} through its declarative spec."
+    return _run
+
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E1": e1_thm1.run,
@@ -44,33 +83,17 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E6": e6_answer_first.run,
     "E7": e7_moving_client_lb.run,
     "E8": e8_moving_client_mtc.run,
-    "E9": e9_lemma6.run,
-    "E10": e10_lemma5.run,
-    "E11": e11_potential.run,
-    "E12": e12_ablation.run,
-    "E13": e13_baselines.run,
-    "E14": e14_multi_agent.run,
-    "E15": e15_multi_server.run,
-    "E16": e16_facility.run,
+    # E9–E16's module-level ``run`` functions are deprecation shims; the
+    # registry routes straight through their specs instead.
+    "E9": _spec_runner("E9"),
+    "E10": _spec_runner("E10"),
+    "E11": _spec_runner("E11"),
+    "E12": _spec_runner("E12"),
+    "E13": _spec_runner("E13"),
+    "E14": _spec_runner("E14"),
+    "E15": _spec_runner("E15"),
+    "E16": _spec_runner("E16"),
     "E17": e17_dimension.run,
-}
-
-#: Experiments declared as orchestrator sweeps (id → spec builder).
-#: E1/E2/E3/E6/E7/E12 build their cells as :class:`repro.api.Scenario`
-#: work units; the earlier migrations (E4/E5/E8/E13/E17) still use
-#: hand-written cell functions where they share offline brackets.
-SPECS: Dict[str, Callable[[float, int], SweepSpec]] = {
-    "E1": e1_thm1.build_spec,
-    "E2": e2_thm2.build_spec,
-    "E3": e3_thm3.build_spec,
-    "E4": e4_mtc_line.build_spec,
-    "E5": e5_mtc_plane.build_spec,
-    "E6": e6_answer_first.build_spec,
-    "E7": e7_moving_client_lb.build_spec,
-    "E8": e8_moving_client_mtc.build_spec,
-    "E12": e12_ablation.build_spec,
-    "E13": e13_baselines.build_spec,
-    "E17": e17_dimension.build_spec,
 }
 
 

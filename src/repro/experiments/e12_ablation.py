@@ -21,6 +21,7 @@ construction's own cost.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping
 
 import numpy as np
@@ -137,4 +138,10 @@ def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentR
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    warnings.warn(
+        "repro.experiments.e12_ablation.run() is deprecated; E12 is declared as an "
+        "orchestrator spec — use build_spec(scale, seed) or "
+        "repro.experiments.run_all(['E12'])",
+        DeprecationWarning, stacklevel=2,
+    )
     return execute_spec(build_spec(scale, seed))

@@ -24,6 +24,7 @@ both networks draw from a single RNG stream).
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping
 
 import numpy as np
@@ -200,4 +201,10 @@ def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentR
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    warnings.warn(
+        "repro.experiments.e13_baselines.run() is deprecated; E13 is declared as an "
+        "orchestrator spec — use build_spec(scale, seed) or "
+        "repro.experiments.run_all(['E13'])",
+        DeprecationWarning, stacklevel=2,
+    )
     return execute_spec(build_spec(scale, seed))

@@ -11,12 +11,21 @@ DP bracket:
   drags *both* neighbours towards every request and the cap never lets
   them return, exactly the failure mode the conclusion hints at when it
   says standard solutions "do not apply".
+
+Declared as an :class:`~repro.api.ExperimentSpec`: one function cell per
+(regime, seed) grid point — the expensive product-grid DP is solved once
+per cell and certifies all three strategies — folded by the
+``e15/k-server`` reducer.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Any, Mapping
+
 import numpy as np
 
+from ..api import ExperimentSpec, Reduction, cell_grid, register_reducer
 from ..extensions import (
     CappedDoubleCoverage,
     KGreedyCenters,
@@ -26,7 +35,14 @@ from ..extensions import (
 )
 from .runner import ExperimentResult, scaled, sweep_seeds
 
-__all__ = ["run"]
+__all__ = ["build_spec", "cell_regime", "run", "spec"]
+
+_MODULE = "repro.experiments.e15_multi_server"
+#: regime label → hotspot speed
+REGIMES = {"slow (0.2)": 0.2, "fast (0.8)": 0.8}
+DELTA = 0.5
+D = 2.0
+M = 1.0
 
 
 def _two_hotspot_batches(T: int, speed: float, gap: float, amplitude: float,
@@ -46,36 +62,39 @@ def _two_hotspot_batches(T: int, speed: float, gap: float, amplitude: float,
     return batches
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    T = scaled(120, scale, minimum=50)
-    D = 2.0
-    m = 1.0
-    delta = 0.5
-    cap = (1.0 + delta) * m
-    n_seeds = scaled(3, scale, minimum=2)
-    regimes = [("slow (0.2)", 0.2), ("fast (0.8)", 0.8)]
-    rows = []
+def cell_regime(regime: str, cell_seed: int, T: int, grid_size: int) -> dict:
+    """One seed's hotspot instance: exact 2-server DP + all three strategies."""
+    rng = np.random.default_rng(cell_seed)
+    batches = _two_hotspot_batches(T, REGIMES[regime], gap=6.0, amplitude=4.0,
+                                   spread=0.2, rng=rng)
+    starts = np.array([[-3.0], [3.0]])
+    dp = solve_two_servers_line(starts, batches, m=M, D=D, grid_size=grid_size)
+    cap = (1.0 + DELTA) * M
+    ratios = []
+    for alg_factory in (lambda: KMoveToCenter(2), lambda: KGreedyCenters(2),
+                        lambda: CappedDoubleCoverage(2)):
+        alg = alg_factory()
+        tr = simulate_k_servers(starts, batches, alg, cap=cap, D=D)
+        ratios.append([alg.name, tr.total_cost / max(dp.lower_bound, 1e-12)])
+    return {"ratios": ratios}
+
+
+@register_reducer("e15/k-server", "per-(regime, algorithm) mean certified ratios + DC degradation check")
+def _reduce(cells: Mapping[str, Any], *, points, config, scale: float,
+            seed: int) -> Reduction:
+    rows: list[list[Any]] = []
     results: dict[tuple[str, str], float] = {}
-    for regime_name, speed in regimes:
+    for regime in REGIMES:
         per_alg: dict[str, list[float]] = {}
-        for cell_seed in sweep_seeds(seed, n_seeds):
-            rng = np.random.default_rng(cell_seed)
-            batches = _two_hotspot_batches(T, speed, gap=6.0, amplitude=4.0,
-                                           spread=0.2, rng=rng)
-            starts = np.array([[-3.0], [3.0]])
-            dp = solve_two_servers_line(starts, batches, m=m, D=D,
-                                        grid_size=scaled(160, scale, minimum=128))
-            for alg_factory in (lambda: KMoveToCenter(2), lambda: KGreedyCenters(2),
-                                lambda: CappedDoubleCoverage(2)):
-                alg = alg_factory()
-                tr = simulate_k_servers(starts, batches, alg, cap=cap, D=D)
-                per_alg.setdefault(alg.name, []).append(
-                    tr.total_cost / max(dp.lower_bound, 1e-12)
-                )
+        for key, point in points:
+            if point["regime"] != regime:
+                continue
+            for name, ratio in cells[key]["ratios"]:
+                per_alg.setdefault(name, []).append(ratio)
         for name, vals in per_alg.items():
             mean = float(np.mean(vals))
-            results[(regime_name, name)] = mean
-            rows.append([regime_name, name, mean])
+            results[(regime, name)] = mean
+            rows.append([regime, name, mean])
 
     ok = True
     notes = [
@@ -93,11 +112,33 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             f"capped DC degrades on fast drift: {results[('fast (0.8)', 'capped-dc')]:.2f} "
             f"vs k-mtc {results[('fast (0.8)', 'k-mtc')]:.2f}"
         )
-    return ExperimentResult(
+    return Reduction(rows=rows, notes=notes, passed=ok)
+
+
+def spec(scale: float = 1.0, seed: int = 0) -> ExperimentSpec:
+    T = scaled(120, scale, minimum=50)
+    n_seeds = scaled(3, scale, minimum=2)
+    return ExperimentSpec(
         experiment_id="E15",
         title="Extension: two capped mobile servers vs exact 2-server DP",
         headers=["regime", "algorithm", "certified ratio"],
-        rows=rows,
-        notes=notes,
-        passed=ok,
+        reducer="e15/k-server",
+        cells=cell_grid(f"{_MODULE}:cell_regime",
+                        axes={"regime": list(REGIMES),
+                              "cell_seed": sweep_seeds(seed, n_seeds)},
+                        common={"T": T, "grid_size": scaled(160, scale, minimum=128)}),
+        scale=scale, seed=seed,
     )
+
+
+def build_spec(scale: float = 1.0, seed: int = 0):
+    return spec(scale, seed).to_sweep()
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    warnings.warn(
+        "repro.experiments.e15_multi_server.run() is deprecated; E15 is declared as an "
+        "ExperimentSpec — use spec(scale, seed).run() or repro.experiments.run_all(['E15'])",
+        DeprecationWarning, stacklevel=2,
+    )
+    return spec(scale, seed).run()

@@ -68,23 +68,47 @@ class WorkUnit:
         parameter belong here — they form the cell's content address.
     deps:
         Keys of units (same spec) whose payloads this cell consumes.
+        Dependency digests enter this cell's content address.
+    soft_deps:
+        Like ``deps`` (payloads delivered, execution ordered after them)
+        but **excluded from the content address**.  Only valid when the
+        dependency's payload is a deterministic function of this cell's
+        own parameters — e.g. offline brackets derived from the same
+        source parameters and seeds — so a cached payload computed
+        without the dependency is interchangeable with one computed with
+        it.  This is what lets shared-bracket cells be factored out of a
+        scenario sweep while every scenario cell keeps the address of its
+        standalone :meth:`repro.api.Scenario.digest`.
     """
 
     key: str
     fn: str
     params: Mapping[str, Any] = field(default_factory=dict)
     deps: tuple[str, ...] = ()
+    soft_deps: tuple[str, ...] = ()
+    #: Ephemeral units exist only to feed other units (e.g. factored-out
+    #: shared brackets): they are not handed to finalize, and when every
+    #: unit that would consume them is already cached they are skipped
+    #: entirely instead of computed.
+    ephemeral: bool = False
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A declarative experiment: work units plus a finalize function."""
+    """A declarative experiment: work units plus a finalize function.
+
+    ``meta`` is an optional opaque object handed to the finalize function
+    as an extra ``meta=`` keyword (omitted when ``None``); the declarative
+    :class:`repro.api.ExperimentSpec` uses it to route every experiment
+    through one generic finalize.
+    """
 
     experiment_id: str
     units: tuple[WorkUnit, ...]
     finalize: str
     scale: float = 1.0
     seed: int = 0
+    meta: Any = None
 
 
 @dataclass
@@ -94,6 +118,8 @@ class ExecutionReport:
     results: list[ExperimentResult] = field(default_factory=list)
     computed: int = 0
     cached: int = 0
+    #: Ephemeral units skipped because every consumer was already cached.
+    skipped: int = 0
     #: Wall-clock seconds per *computed* cell (cache hits don't appear),
     #: keyed by the cell's namespaced key.  Under ``jobs>1`` these are the
     #: in-worker durations, so they sum to total CPU-side work, not to the
@@ -192,9 +218,14 @@ def _spec_prefixes(specs: Sequence[SweepSpec]) -> list[str]:
     return prefixes
 
 
-def _dep_keys(full_key: str, unit: WorkUnit) -> list[str]:
+def _prefixed(full_key: str, deps: tuple[str, ...]) -> list[str]:
     prefix = full_key[: full_key.index("/") + 1] if "/" in full_key else ""
-    return [prefix + dep for dep in unit.deps]
+    return [prefix + dep for dep in deps]
+
+
+def _dep_keys(full_key: str, unit: WorkUnit) -> list[str]:
+    """All execution-order dependencies (hard first, then soft)."""
+    return _prefixed(full_key, unit.deps + unit.soft_deps)
 
 
 def execute(
@@ -236,7 +267,10 @@ def execute(
 
     digests: dict[str, str] = {}
     for full, unit in ordered:
-        dep_digests = {dep: digests[dep] for dep in _dep_keys(full, unit)}
+        # Only hard deps enter the address: soft deps are by contract a
+        # deterministic function of the unit's own params, so a payload
+        # computed with or without them is the same payload.
+        dep_digests = {dep: digests[dep] for dep in _prefixed(full, unit.deps)}
         digests[full] = digest_key(unit.fn, dict(unit.params), dep_digests)
 
     report = ExecutionReport()
@@ -263,6 +297,22 @@ def execute(
             twins[digest] = []
             pending.append((full, unit))
 
+    # Prune ephemeral units nothing pending consumes (all their dependents
+    # were cache hits): a warm sweep must not re-derive shared brackets.
+    while True:
+        needed: set[str] = set()
+        for full, unit in pending:
+            needed.update(_dep_keys(full, unit))
+        drop = {
+            full for full, unit in pending
+            if unit.ephemeral and full not in needed
+            and not any(twin in needed for twin in twins.get(digests[full], []))
+        }
+        if not drop:
+            break
+        pending = [(full, unit) for full, unit in pending if full not in drop]
+        report.skipped += len(drop)
+
     def finish(full: str, unit: WorkUnit, payload: Any, elapsed: float) -> None:
         payloads[full] = payload
         for twin in twins[digests[full]]:
@@ -275,11 +325,17 @@ def execute(
         if progress is not None:
             progress(f"computed {full} ({elapsed:.2f}s)")
 
+    def dep_payloads(full: str, unit: WorkUnit) -> dict[str, Any] | None:
+        locals_ = unit.deps + unit.soft_deps
+        if not locals_:
+            return None
+        return {dep_local: payloads[dep]
+                for dep_local, dep in zip(locals_, _dep_keys(full, unit))}
+
     if jobs == 1 or len(pending) <= 1:
         for full, unit in pending:
-            deps = {dep_local: payloads[dep] for dep_local, dep in zip(unit.deps, _dep_keys(full, unit))} \
-                if unit.deps else None
-            finish(full, unit, *_run_cell_timed(unit.fn, dict(unit.params), deps))
+            finish(full, unit, *_run_cell_timed(unit.fn, dict(unit.params),
+                                                dep_payloads(full, unit)))
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             waiting = dict(pending)
@@ -288,11 +344,9 @@ def execute(
             def launch_ready() -> None:
                 for full in list(waiting):
                     unit = waiting[full]
-                    dep_fulls = _dep_keys(full, unit)
-                    if all(dep in payloads for dep in dep_fulls):
-                        deps = {dep_local: payloads[dep]
-                                for dep_local, dep in zip(unit.deps, dep_fulls)} if unit.deps else None
-                        fut = pool.submit(_run_cell_timed, unit.fn, dict(unit.params), deps)
+                    if all(dep in payloads for dep in _dep_keys(full, unit)):
+                        fut = pool.submit(_run_cell_timed, unit.fn, dict(unit.params),
+                                          dep_payloads(full, unit))
                         futures[fut] = (full, unit)
                         del waiting[full]
 
@@ -305,8 +359,12 @@ def execute(
                 launch_ready()
 
     for spec, prefix in zip(specs, prefixes):
-        local = {unit.key: payloads[f"{prefix}/{unit.key}"] for unit in spec.units}
-        result = _resolve(spec.finalize)(local, scale=spec.scale, seed=spec.seed)
+        local = {unit.key: payloads[f"{prefix}/{unit.key}"]
+                 for unit in spec.units if not unit.ephemeral}
+        kwargs: dict[str, Any] = {"scale": spec.scale, "seed": spec.seed}
+        if spec.meta is not None:
+            kwargs["meta"] = spec.meta
+        result = _resolve(spec.finalize)(local, **kwargs)
         report.results.append(result)
     return report
 

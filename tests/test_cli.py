@@ -24,10 +24,10 @@ class TestCLI:
         argv = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
         assert main(argv) == 0
         cold = capsys.readouterr().out
-        assert "store: 0/1 work units cached, 1 computed" in cold
+        assert "store: 0/15 work units cached, 15 computed" in cold
         assert main(argv) == 0
         warm = capsys.readouterr().out
-        assert "store: 1/1 work units cached, 0 computed" in warm
+        assert "store: 15/15 work units cached, 0 computed" in warm
         assert warm.split("store:")[0] == cold.split("store:")[0]
 
     def test_experiments_rerun_recomputes(self, capsys, tmp_path):
@@ -36,7 +36,7 @@ class TestCLI:
         assert main(base) == 0
         capsys.readouterr()
         assert main(base + ["--rerun"]) == 0
-        assert "1 computed" in capsys.readouterr().out
+        assert "15 computed" in capsys.readouterr().out
 
     def test_experiments_resume_label(self, capsys, tmp_path):
         store = str(tmp_path / "store")
@@ -75,7 +75,7 @@ class TestCLITiming:
         argv = ["experiments", "--ids", "E9", "--scale", "0.05", "--store", store]
         assert main(argv) == 0
         cold = capsys.readouterr().out
-        assert "timing: 1 cells computed" in cold and "slowest:" in cold
+        assert "timing: 15 cells computed" in cold and "slowest:" in cold
         assert main(argv) == 0
         warm = capsys.readouterr().out
         assert "timing:" not in warm  # pure cache hits compute nothing
@@ -89,9 +89,9 @@ class TestCLIStoreGC:
         capsys.readouterr()
         assert main(base + ["--store-gc", "0"]) == 0
         out = capsys.readouterr().out
-        assert "store-gc: evicted 1 entries" in out
-        assert main(base) == 0  # store emptied: the cell recomputes
-        assert "1 computed" in capsys.readouterr().out
+        assert "store-gc: evicted 15 entries" in out
+        assert main(base) == 0  # store emptied: the cells recompute
+        assert "15 computed" in capsys.readouterr().out
 
     def test_store_gc_size_suffixes(self, capsys, tmp_path):
         store = str(tmp_path / "store")
@@ -132,6 +132,43 @@ class TestCLIRun:
                      "--algorithm", "mtc", "--alg-param", "step_scale=0.5",
                      "--delta", "0.5"]) == 0
         assert "scalar engine" in capsys.readouterr().out
+
+    def test_run_grid_sweep(self, capsys):
+        assert main(["run", "--grid", "--source", "drift",
+                     "--algorithm", "mtc,greedy-centroid",
+                     "-p", "T=30", "-p", "dim=1", "-p", "D=2.0", "-p", "m=1.0",
+                     "--delta", "0.25,0.5", "--seeds", "0", "1",
+                     "--ratio", "bracket"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "delta" in out
+        assert "grid: 4 scenarios" in out and "4 computed" in out
+
+    def test_run_grid_param_axis(self, capsys):
+        assert main(["run", "--grid", "--source", "drift",
+                     "-p", "T=20,30", "-p", "dim=1", "-p", "D=2.0", "-p", "m=1.0",
+                     "--ratio", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "grid: 2 scenarios" in out
+
+    def test_run_grid_store_caches_second_pass(self, capsys, tmp_path):
+        argv = ["run", "--grid", "--source", "drift", "--algorithm", "mtc",
+                "-p", "T=20", "-p", "dim=1", "-p", "D=2.0", "-p", "m=1.0",
+                "--delta", "0.25,0.5", "--ratio", "bracket",
+                "--store", str(tmp_path / "store")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cached, 2 computed" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 cached, 0 computed" in second
+
+    def test_run_grid_unknown_source(self, capsys):
+        assert main(["run", "--grid", "--source", "nope,drift"]) == 2
+        assert "bad grid" in capsys.readouterr().err
+
+    def test_run_grid_jobs_validation(self, capsys):
+        assert main(["run", "--grid", "--source", "drift", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
 
     def test_run_rejects_bad_scenario(self, capsys):
         assert main(["run", "--source", "thm1", "-p", "T=16",

@@ -1,12 +1,14 @@
-"""Golden-table parity for the scenario-migrated experiments.
+"""Golden-table parity for the migrated experiments.
 
 ``tests/data/golden_migrated.json`` was captured from the pre-migration
-(PR 2) code at ``scale=0.15, seed=1``: the hand-rolled per-seed loops of
-E1, E2, E3, E6, E7 and E12.  These experiments now build their cells as
-:class:`repro.api.Scenario` work units and run through the unified
-dispatcher — and must reproduce the captured tables *exactly* (every
-float rendered at 10 digits, every note string), which is the
-acceptance criterion for the migration.
+code at ``scale=0.15, seed=1``, always *before* the corresponding
+refactor landed: the hand-rolled per-seed loops of E1, E2, E3, E6, E7 and
+E12 (PR 2 state, migrated to scenario cells in PR 3), and of E9, E10,
+E11, E14, E15 and E16 (PR 3 state, migrated to declarative
+``ExperimentSpec`` grids in PR 4).  The migrated experiments must
+reproduce the captured tables *exactly* (every float rendered at 10
+digits, every note string), which is the acceptance criterion for each
+migration.
 """
 
 import json
@@ -17,7 +19,8 @@ import pytest
 from repro.experiments import EXPERIMENTS, SPECS
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_migrated.json"
-MIGRATED = ["E1", "E2", "E3", "E6", "E7", "E12"]
+MIGRATED = ["E1", "E2", "E3", "E6", "E7", "E12",
+            "E9", "E10", "E11", "E14", "E15", "E16"]
 
 with GOLDEN_PATH.open() as fh:
     GOLDEN = json.load(fh)

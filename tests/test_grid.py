@@ -1,0 +1,180 @@
+"""Tests for ``Scenario.grid`` and the pooled ``run_many(jobs=N)``.
+
+The two invariants that make the sweep constructor composable:
+
+* every grid cell keeps the content address of its standalone scenario
+  (bracket sharing rides on *soft* dependencies), so grids, inline
+  ``run_many`` calls and CLI runs share store entries;
+* ``jobs=N`` fan-out is bit-identical to the inline path.  This
+  container is single-CPU (``os.cpu_count() == 1`` in CI images too), so
+  the asserted win is parity-through-the-store, not wall-clock speedup.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import BRACKET_FN, Scenario, expand_axes, fixed, run_many
+from repro.core.store import ResultsStore, digest_key
+
+
+def _grid(seeds=(0, 1), ratio="bracket"):
+    return Scenario.grid(
+        "drift", ["mtc", "greedy-centroid"],
+        params={"T": 40, "dim": 1, "D": 2.0, "m": 1.0},
+        delta=[0.25, 0.5], seeds=seeds, ratio=ratio,
+    )
+
+
+class TestExpandAxes:
+    def test_product_order_first_axis_outermost(self):
+        names, points = expand_axes({"a": [1, 2], "b": "x", "c": [10, 20]})
+        assert names == ["a", "c"]
+        assert [(p["a"], p["c"]) for p in points] == [(1, 10), (1, 20), (2, 10), (2, 20)]
+        assert all(p["b"] == "x" for p in points)
+
+    def test_scalar_only_is_single_point(self):
+        names, points = expand_axes({"a": 1})
+        assert names == [] and points == [{"a": 1}]
+
+    def test_fixed_escapes_a_literal_list(self):
+        names, points = expand_axes({"a": fixed([1, 2])})
+        assert names == [] and points == [{"a": [1, 2]}]
+
+    def test_range_is_an_axis(self):
+        names, points = expand_axes({"a": range(3)})
+        assert names == ["a"] and len(points) == 3
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_axes({"a": []})
+
+
+class TestScenarioGrid:
+    def test_expansion_and_axis_coords(self):
+        g = _grid()
+        assert len(g) == 4
+        assert g.axes == ("algorithm", "delta")
+        assert g.point_dicts()[0] == {"algorithm": "mtc", "delta": 0.25}
+        assert [sc.algorithm for sc in g] == ["mtc", "mtc", "greedy-centroid",
+                                              "greedy-centroid"]
+        # axis coordinates are reflected in the scenario, not just the point
+        for sc, point in zip(g.scenarios, g.point_dicts()):
+            assert sc.algorithm == point["algorithm"]
+            assert sc.delta == point["delta"]
+
+    def test_params_may_be_axes(self):
+        g = Scenario.grid("drift", "mtc", params={"T": [20, 40], "dim": 1})
+        assert g.axes == ("T",)
+        assert [dict(sc.source_params)["T"] for sc in g] == [20, 40]
+
+    def test_source_axis_resolves_kind_per_source(self):
+        g = Scenario.grid(["drift", "thm2"], "mtc")
+        kinds = {sc.source: sc.kind for sc in g}
+        assert kinds["drift"] == "workload" and kinds["thm2"] == "adversary"
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(KeyError, match="unknown source"):
+            Scenario.grid("no-such-source", "mtc")
+
+    def test_param_colliding_with_field_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            Scenario.grid("drift", "mtc", params={"source": [1, 2]})
+
+    def test_seeds_are_lanes_not_axes(self):
+        g = _grid(seeds=range(5))
+        assert len(g) == 4
+        assert all(sc.seeds == (0, 1, 2, 3, 4) for sc in g)
+
+    def test_round_trip(self):
+        g = _grid()
+        g2 = type(g).from_dict(g.to_dict())
+        assert g2 == g
+
+
+class TestGridUnits:
+    def test_bracket_cell_factored_once_per_share_group(self):
+        units = _grid().units()
+        brackets = [u for u in units if u.fn == BRACKET_FN]
+        cells = [u for u in units if u.fn != BRACKET_FN]
+        assert len(brackets) == 1 and brackets[0].ephemeral
+        assert len(cells) == 4
+        assert all(u.soft_deps == (brackets[0].key,) for u in cells)
+        assert all(u.deps == () for u in cells)
+
+    def test_cell_address_equals_standalone_scenario_digest(self):
+        """Soft deps keep every cell on its Scenario.digest() address."""
+        g = _grid()
+        units = [u for u in g.units() if u.fn != BRACKET_FN]
+        for unit, sc in zip(units, g.scenarios):
+            assert digest_key(unit.fn, dict(unit.params)) == sc.digest()
+
+    def test_no_factoring_without_bracket_certification(self):
+        units = _grid(ratio="none").units()
+        assert all(u.fn != BRACKET_FN for u in units)
+
+    def test_no_factoring_for_single_member_groups(self):
+        g = Scenario.grid("drift", "mtc", params={"T": [20, 30]},
+                          seeds=(0,), ratio="bracket")
+        # distinct T => distinct share groups of size 1: solve inline
+        assert all(u.fn != BRACKET_FN for u in g.units())
+
+
+class TestRunManyJobs:
+    def test_jobs_parity_with_inline(self, tmp_path):
+        """run_many(jobs=2) == run_many(jobs=1), bit for bit.
+
+        Recorded alongside (single-CPU container): parity through the
+        store is the asserted win, not speedup.
+        """
+        g = _grid()
+        pooled = run_many(list(g), jobs=2, store=ResultsStore(tmp_path / "a"))
+        inline = run_many(list(g), jobs=1)
+        assert isinstance(os.cpu_count(), int)
+        for rp, ri in zip(pooled, inline):
+            assert np.array_equal(rp.costs, ri.costs)
+            assert np.array_equal(rp.ratio_lower, ri.ratio_lower)
+            assert np.array_equal(rp.ratio_upper, ri.ratio_upper)
+
+    def test_pooled_results_cache_for_inline_runs(self, tmp_path):
+        """Pooled and inline paths share content addresses in the store."""
+        g = _grid()
+        store = ResultsStore(tmp_path / "store")
+        cold = run_many(list(g), jobs=2, store=store)
+        assert all(sc.digest() in store for sc in g)
+        warm = run_many(list(g), jobs=1, store=store)
+        for rc, rw in zip(cold, warm):
+            assert np.array_equal(rc.costs, rw.costs)
+            assert rw.traces is None  # loaded from the store, not recomputed
+
+    def test_grid_run_helper(self, tmp_path):
+        g = _grid()
+        results = g.run(store=ResultsStore(tmp_path / "store"), jobs=2)
+        assert len(results) == len(g)
+
+    def test_jobs_validation_and_trace_restriction(self):
+        g = _grid()
+        with pytest.raises(ValueError, match="at least 1"):
+            run_many(list(g), jobs=0)
+        with pytest.raises(ValueError, match="keep_traces"):
+            run_many(list(g), jobs=2, keep_traces=True)
+
+    def test_scenario_unit_with_non_bracket_hard_dep(self):
+        """cell_run ignores dep payloads that carry no brackets."""
+        from repro.api import Scenario, scenario_unit
+        from repro.experiments.orchestrator import SweepSpec, execute
+
+        sc1 = Scenario.workload("drift", "mtc",
+                                params={"T": 20, "dim": 1, "D": 2.0, "m": 1.0})
+        units = (scenario_unit("a", sc1),
+                 scenario_unit("b", sc1.with_(delta=0.5), deps=("a",)))
+        spec = SweepSpec("EX", units, finalize="repro.api.runtime:_collect_payloads")
+        payloads = execute([spec]).results[0]
+        assert sorted(payloads) == ["a", "b"]
+
+    def test_single_scenario_jobs_falls_back_inline(self):
+        sc = Scenario.workload("drift", "mtc",
+                               params={"T": 30, "dim": 1, "D": 2.0, "m": 1.0})
+        (res,) = run_many([sc], jobs=4, keep_traces=True)
+        assert res.traces is not None  # inline path keeps traces

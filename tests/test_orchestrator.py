@@ -45,6 +45,23 @@ def finalize_sum(results: dict, scale: float, seed: int) -> ExperimentResult:
                             notes=["criterion: synthetic"], passed=True)
 
 
+def cell_soft_source(value: float, workdir: str) -> dict:
+    _mark(workdir, f"softsrc-{value}")
+    return {"value": value}
+
+
+def cell_soft_consumer(value: float, workdir: str, deps: dict | None = None) -> dict:
+    """Same payload with or without the soft dep — the soft-dep contract."""
+    _mark(workdir, f"softcons-{value}")
+    base = deps["src"]["value"] if deps else value
+    return {"value": 10 * base}
+
+
+def finalize_first(results: dict, scale: float, seed: int) -> ExperimentResult:
+    value = next(iter(results.values()))["value"]
+    return ExperimentResult("EX", "soft", ["v"], [[value]], notes=["n"], passed=True)
+
+
 def _spec(workdir: str, values=(1.0, 2.0, 3.0)) -> SweepSpec:
     units = []
     for v in values:
@@ -166,6 +183,55 @@ class TestParallelExecution:
                sorted(p.name for p in store2.root.glob("*.npz"))
 
 
+class TestSoftDeps:
+    def _soft_spec(self, workdir: str, with_dep: bool) -> SweepSpec:
+        units = []
+        consumer_kwargs = {}
+        if with_dep:
+            units.append(WorkUnit("src", f"{_MODULE}:cell_soft_source",
+                                  {"value": 7.0, "workdir": workdir}, ephemeral=True))
+            consumer_kwargs["soft_deps"] = ("src",)
+        units.append(WorkUnit("consume", f"{_MODULE}:cell_soft_consumer",
+                              {"value": 7.0, "workdir": workdir}, **consumer_kwargs))
+        return SweepSpec("EX", tuple(units), f"{_MODULE}:finalize_first")
+
+    def test_soft_dep_payload_delivered(self, tmp_path):
+        report = execute([self._soft_spec(str(tmp_path), with_dep=True)])
+        assert report.results[0].rows == [[70.0]]
+        assert (tmp_path / "softsrc-7.0").exists()
+
+    def test_soft_deps_do_not_change_the_address(self, tmp_path):
+        """A cell computed with a soft dep is a cache hit for one without."""
+        store = ResultsStore(tmp_path / "store")
+        execute([self._soft_spec(str(tmp_path), with_dep=True)], store=store)
+        report = execute([self._soft_spec(str(tmp_path), with_dep=False)], store=store)
+        assert (report.computed, report.cached) == (0, 1)
+
+    def test_ephemeral_excluded_from_finalize(self, tmp_path):
+        report = execute([self._soft_spec(str(tmp_path), with_dep=True)])
+        # finalize_first saw only the consumer (rows came out of its payload)
+        assert report.results[0].rows == [[70.0]]
+
+    def test_ephemeral_skipped_when_consumers_cached(self, tmp_path):
+        """A warm sweep must not re-derive shared ephemeral cells."""
+        store = ResultsStore(tmp_path / "store")
+        # Seed the store through the dep-free variant: only the consumer lands.
+        execute([self._soft_spec(str(tmp_path), with_dep=False)], store=store)
+        (tmp_path / "softcons-7.0").unlink()
+        report = execute([self._soft_spec(str(tmp_path), with_dep=True)], store=store)
+        assert (report.computed, report.cached, report.skipped) == (0, 1, 1)
+        assert not (tmp_path / "softsrc-7.0").exists()
+        assert not (tmp_path / "softcons-7.0").exists()
+
+    def test_soft_dep_missing_unit_rejected(self, tmp_path):
+        spec = SweepSpec("EX", (WorkUnit("consume", f"{_MODULE}:cell_soft_consumer",
+                                         {"value": 1.0, "workdir": str(tmp_path)},
+                                         soft_deps=("nope",)),),
+                         f"{_MODULE}:finalize_first")
+        with pytest.raises(KeyError, match="unknown unit"):
+            execute([spec])
+
+
 class TestLegacyWrapping:
     def test_legacy_spec_roundtrip(self, tmp_path):
         store = ResultsStore(tmp_path / "store")
@@ -177,10 +243,11 @@ class TestLegacyWrapping:
         assert report2.cached == 1 and report2.computed == 0
         assert report2.results[0].render() == direct.render()
 
-    def test_build_specs_mixes_migrated_and_legacy(self):
+    def test_build_specs_all_multi_cell(self):
+        """Every experiment is a real sweep now — no one-cell wrappers left."""
         specs = build_specs(["E4", "E9"], scale=0.1, seed=0)
         assert specs[0].experiment_id == "E4" and len(specs[0].units) > 1
-        assert specs[1].experiment_id == "E9" and len(specs[1].units) == 1
+        assert specs[1].experiment_id == "E9" and len(specs[1].units) > 1
 
     def test_run_all_unknown_id_still_rejected(self):
         with pytest.raises(KeyError, match="unknown experiment"):
@@ -192,8 +259,8 @@ class TestLegacyWrapping:
         report = run_all_detailed(["E9", "E9"], scale=0.1, seed=0, store=store)
         assert len(report.results) == 2
         assert report.results[0].render() == report.results[1].render()
-        # second spec's cell shares the first's content address: pure cache hit
-        assert (report.computed, report.cached) == (1, 1)
+        # second spec's cells share the first's content addresses: pure cache hits
+        assert report.computed == report.cached > 0
 
 
 class TestSweepSeeds:

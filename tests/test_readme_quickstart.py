@@ -23,3 +23,14 @@ def test_public_api_quickstart_executes(capsys):
     exec(compile(code, "README-quickstart", "exec"), {"__name__": "__main__"})
     out = capsys.readouterr().out
     assert "mean cost" in out and "certified competitive ratio" in out
+
+
+def test_authoring_an_experiment_executes(capsys):
+    """The '## Authoring an experiment' ExperimentSpec block runs verbatim."""
+    match = re.search(r"## Authoring an experiment.*?```python\n(.*?)```",
+                      README.read_text(), re.S)
+    assert match, "README.md must keep a ```python block under '## Authoring an experiment'"
+    exec(compile(match.group(1), "README-authoring", "exec"), {"__name__": "__main__"})
+    out = capsys.readouterr().out
+    assert "[EX1]" in out and "greedy-centroid" in out
+    assert "reproduced: YES" in out
