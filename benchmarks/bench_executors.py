@@ -1,0 +1,140 @@
+"""Executor backends head-to-head: inline vs process vs spool.
+
+Runs the same experiment grid through each execution backend and writes
+machine-readable wall-clocks to ``BENCH_executors.json``:
+
+* ``cold_inline`` — everything in this process (the baseline);
+* ``cold_process`` — a local 2-worker process pool;
+* ``cold_spool`` — the distributed path with **one** worker subprocess
+  draining the spool (measures the full task-file + store round-trip
+  overhead, not parallelism);
+* ``warm`` — a second inline pass over the spool run's store: every
+  cell a cache hit, proving the distributed payloads are first-class
+  store entries.
+
+``os.cpu_count()`` is recorded alongside: on a single-CPU container the
+point of the process/spool rows is *parity* (identical tables, bounded
+overhead), not speedup — multi-worker wins need multi-core hardware,
+which is what the CI ``distributed-smoke`` job exercises.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_executors.py \
+        [--ids E4 E13] [--scale 0.4] [--out BENCH_executors.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.store import ResultsStore
+from repro.experiments import run_all_detailed
+from repro.experiments.executors import Spool, SpoolExecutor
+
+
+def _timed_run(ids, scale, seed, store, **kwargs):
+    start = time.perf_counter()
+    report = run_all_detailed(ids, scale=scale, seed=seed, store=store, **kwargs)
+    return time.perf_counter() - start, report
+
+
+def _start_worker(spool_dir: Path, store_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(p for p in (src, env.get("PYTHONPATH")) if p)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--spool", str(spool_dir), "--store", str(store_dir),
+         "--poll", "0.02", "--worker-id", "bench-w1"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ids", nargs="+", default=["E4", "E13"])
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="workload scale (0.4 matches the bench suite)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default="BENCH_executors.json")
+    args = parser.parse_args(argv)
+
+    runs = {}
+    renders = {}
+    with tempfile.TemporaryDirectory(prefix="bench-executors-") as tmp:
+        tmp = Path(tmp)
+
+        elapsed, report = _timed_run(args.ids, args.scale, args.seed,
+                                     ResultsStore(tmp / "store-inline"))
+        runs["cold_inline"] = {"seconds": elapsed, "units_computed": report.computed}
+        renders["inline"] = [res.render() for res in report.results]
+        print(f"cold inline : {elapsed:7.2f}s ({report.computed} units)")
+
+        elapsed, report = _timed_run(args.ids, args.scale, args.seed,
+                                     ResultsStore(tmp / "store-process"),
+                                     executor="process", jobs=2)
+        runs["cold_process"] = {"seconds": elapsed, "jobs": 2,
+                                "units_computed": report.computed}
+        renders["process"] = [res.render() for res in report.results]
+        print(f"cold process: {elapsed:7.2f}s (2-worker pool)")
+
+        spool_dir = tmp / "spool"
+        spool_store = ResultsStore(tmp / "store-spool")
+        worker = _start_worker(spool_dir, spool_store.root)
+        try:
+            elapsed, report = _timed_run(
+                args.ids, args.scale, args.seed, spool_store,
+                executor=SpoolExecutor(spool_dir, poll=0.02, timeout=3600))
+        finally:
+            Spool(spool_dir).request_stop()
+            worker.wait(timeout=60)
+        runs["cold_spool"] = {"seconds": elapsed, "workers": 1,
+                              "units_computed": report.computed}
+        renders["spool"] = [res.render() for res in report.results]
+        print(f"cold spool  : {elapsed:7.2f}s (1 worker subprocess)")
+
+        for name, tables in renders.items():
+            assert tables == renders["inline"], f"{name} diverged from inline"
+
+        # Warm pass over the *distributed* store: worker payloads are
+        # ordinary cache entries.
+        elapsed, report = _timed_run(args.ids, args.scale, args.seed, spool_store)
+        runs["warm"] = {"seconds": elapsed, "units_cached": report.cached,
+                        "units_computed": report.computed}
+        print(f"warm inline : {elapsed:7.2f}s ({report.cached} cached)")
+
+    cold = runs["cold_inline"]["seconds"]
+    summary = {
+        "process_vs_inline": cold / runs["cold_process"]["seconds"],
+        "spool_vs_inline": cold / runs["cold_spool"]["seconds"],
+        "spool_overhead_seconds": runs["cold_spool"]["seconds"] - cold,
+        "warm_fraction_of_cold": runs["warm"]["seconds"] / cold,
+        "tables_identical_across_backends": True,
+    }
+    payload = {
+        "benchmark": "executor-backends",
+        "ids": args.ids,
+        "scale": args.scale,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "runs": runs,
+        "summary": summary,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for key, value in summary.items():
+        print(f"  {key}: {value if isinstance(value, bool) else round(value, 3)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

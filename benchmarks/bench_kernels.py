@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.adversaries import build_thm2
 from repro.algorithms import MoveToCenter
-from repro.core import MSPInstance, RequestSequence, simulate
+from repro.core import simulate
 from repro.median import weiszfeld
 from repro.offline import solve_grid, solve_line
 from repro.workloads import RandomWalkWorkload

@@ -107,6 +107,9 @@ class RunResult:
         ``"scalar"`` or ``"batched"`` — which path actually ran.
     elapsed:
         Wall-clock seconds of the run (0.0 for cache hits).
+    cached:
+        Whether this result came out of the store instead of being
+        computed by this call (transient — not part of the payload).
     """
 
     scenario: Scenario
@@ -116,6 +119,7 @@ class RunResult:
     traces: list[Trace] | None = None
     engine: str = "scalar"
     elapsed: float = 0.0
+    cached: bool = False
 
     @property
     def batch_size(self) -> int:
@@ -455,13 +459,16 @@ def _run_many_pooled(
     scenarios: Sequence[Scenario],
     jobs: int,
     store: ResultsStore | None,
+    executor: Any = None,
 ) -> list[RunResult]:
-    """Fan a scenario list out over the orchestrator's process pool.
+    """Fan a scenario list out over an orchestrator execution backend.
 
     Each scenario becomes a work unit with its standalone content address
     (:meth:`Scenario.digest`), shared bracket cells factored out as soft
     dependencies — exactly the plumbing orchestrated sweeps use, so the
-    pooled path inherits their caching, dedup and resume behaviour.
+    pooled path inherits their caching, dedup and resume behaviour
+    whether the cells run in a local process pool or on remote spool
+    workers.
     """
     from ..experiments.orchestrator import SweepSpec, execute
 
@@ -469,8 +476,16 @@ def _run_many_pooled(
     units = scenario_units(scenarios, keys=keys)
     spec = SweepSpec("run-many", tuple(units),
                      finalize="repro.api.runtime:_collect_payloads")
-    payloads = execute([spec], jobs=jobs, store=store).results[0]
-    return [RunResult.from_payload(payloads[key]) for key in keys]
+    report = execute([spec], jobs=jobs, store=store, executor=executor)
+    payloads = report.results[0]
+    results = []
+    for key in keys:
+        result = RunResult.from_payload(payloads[key])
+        # Timings list exactly the cells computed this run; everything
+        # else was a (validity-checked) cache hit or an in-run twin.
+        result.cached = f"run-many/{key}" not in report.timings
+        results.append(result)
+    return results
 
 
 def run_many(
@@ -479,6 +494,7 @@ def run_many(
     store: ResultsStore | None = None,
     keep_traces: bool = False,
     jobs: int = 1,
+    executor: Any = None,
 ) -> list[RunResult]:
     """Run several scenarios, sharing instances and offline brackets.
 
@@ -495,24 +511,44 @@ def run_many(
     ``jobs > 1`` fans the scenarios out over the orchestrator's process
     pool (same work-unit plumbing, same content addresses — results are
     bit-identical to ``jobs=1``); bracket sharing then happens through
-    factored-out soft-dependency cells rather than in-process.  Worker
-    payloads carry only the scalar summaries, so ``keep_traces=True`` is
-    rejected with a ``ValueError`` when combined with ``jobs > 1``.
+    factored-out soft-dependency cells rather than in-process.  An
+    explicit ``executor`` (``"inline"``, ``"process"``, or an
+    :class:`~repro.experiments.executors.Executor` instance — the spool
+    backend needs its directory, so pass a constructed
+    :class:`~repro.experiments.executors.SpoolExecutor`, not the name)
+    routes through the same plumbing regardless of ``jobs``.  Worker
+    payloads carry only the scalar summaries, so ``keep_traces=True``
+    is rejected with a ``ValueError`` on any non-inline path.
     """
+    from ..experiments.executors import InlineExecutor, make_executor
+
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
-    if jobs > 1 and len(scenarios) > 1:
+    if executor is not None:
+        backend = make_executor(executor, jobs=jobs)
+        if isinstance(backend, InlineExecutor) and jobs > 1:
+            raise ValueError("executor='inline' runs scenarios sequentially; "
+                             "drop jobs or pick another executor")
+        pooled = not isinstance(backend, InlineExecutor) and len(scenarios) > 0
+    else:
+        backend = None
+        pooled = jobs > 1 and len(scenarios) > 1
+    if pooled:
         if keep_traces:
-            raise ValueError("keep_traces is unavailable with jobs > 1 "
-                             "(worker payloads carry only the scalar summaries)")
-        return _run_many_pooled(scenarios, jobs=jobs, store=store)
+            raise ValueError("keep_traces is unavailable with jobs > 1 or a "
+                             "non-inline executor (worker payloads carry only "
+                             "the scalar summaries)")
+        return _run_many_pooled(scenarios, jobs=jobs, store=store, executor=backend)
     cache: dict[tuple, tuple] = {}
     results: list[RunResult] = []
     for scenario in scenarios:
         if store is not None:
             digest = scenario.digest()
-            if digest in store:
-                results.append(RunResult.from_payload(store.load(digest)))
+            payload = store.load_or_none(digest)
+            if payload is not None:
+                result = RunResult.from_payload(payload)
+                result.cached = True
+                results.append(result)
                 continue
         adaptive = scenario.kind == "adversary" and adversary_info(scenario.source).adaptive
         if adaptive:

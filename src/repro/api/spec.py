@@ -172,11 +172,20 @@ class ExperimentSpec:
                          finalize=FINALIZE_FN, scale=self.scale, seed=self.seed,
                          meta=self)
 
-    def run(self, *, jobs: int = 1, store=None, rerun: bool = False):
-        """Execute through the orchestrator; returns the ExperimentResult."""
+    def run(self, *, jobs: int = 1, store=None, rerun: bool = False,
+            executor=None, spool=None, spool_timeout=None):
+        """Execute through the orchestrator; returns the ExperimentResult.
+
+        ``executor``/``spool``/``spool_timeout`` select an execution
+        backend exactly as :func:`repro.experiments.orchestrator.execute`
+        does — e.g. ``executor="spool"`` hands the spec's cells to
+        external ``mobile-server worker`` processes.
+        """
         from ..experiments.orchestrator import execute_spec
 
-        return execute_spec(self.to_sweep(), jobs=jobs, store=store, rerun=rerun)
+        return execute_spec(self.to_sweep(), jobs=jobs, store=store, rerun=rerun,
+                            executor=executor, spool=spool,
+                            spool_timeout=spool_timeout)
 
     # -- serialization -----------------------------------------------------
 

@@ -56,6 +56,70 @@ def _fmt_bytes(n: int) -> str:
     return f"{n}B"
 
 
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """The execution-backend flags shared by ``experiments`` and ``run``."""
+    parser.add_argument("--executor", choices=["inline", "process", "spool"],
+                        default=None,
+                        help="execution backend (default: inline, or a local "
+                             "process pool when --jobs > 1); 'spool' hands "
+                             "cells to external 'mobile-server worker' "
+                             "processes via --spool + --store")
+    parser.add_argument("--spool", type=str, default="", metavar="DIR",
+                        help="task directory for --executor spool (shared "
+                             "with the workers)")
+    parser.add_argument("--spool-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail a spool run when no worker makes progress "
+                             "for this long (default: wait forever)")
+
+
+def _run_distributed(call):
+    """Run a sweep callable, mapping distributed failures to exit code 1.
+
+    Returns ``(result, None)`` on success, ``(None, 1)`` after printing
+    the one-line operational error (a worker's cell raised, or no worker
+    made progress within ``--spool-timeout``) — not crashes, not usage
+    errors.
+    """
+    from .experiments.executors import SpoolTaskError
+
+    try:
+        return call(), None
+    except (SpoolTaskError, TimeoutError) as exc:
+        print(f"distributed run failed: {exc}", file=sys.stderr)
+        return None, 1
+
+
+def _resolve_executor(args: argparse.Namespace, has_store: bool):
+    """Build the executor for a ``--executor`` flag; (executor, error).
+
+    The spool backend is the only one needing extra wiring: a spool
+    directory shared with the workers and a persistent store for the
+    payloads to travel through.
+    """
+    if args.executor != "spool":
+        if args.spool or args.spool_timeout is not None:
+            return None, ("--spool/--spool-timeout have no effect without "
+                          "--executor spool (did you mean --executor spool?)")
+        if args.executor == "inline" and args.jobs > 1:
+            return None, "--executor inline runs cells sequentially; drop --jobs"
+        if args.executor == "process" and args.jobs < 2:
+            return None, ("--executor process needs a pool size: pass "
+                          "--jobs N (N >= 2), or drop --executor for the "
+                          "sequential default")
+        return args.executor, None
+    if args.jobs > 1:
+        return None, ("--jobs has no effect with --executor spool "
+                      "(parallelism = how many workers you start)")
+    if not args.spool:
+        return None, "--executor spool needs a task directory (--spool DIR)"
+    if not has_store:
+        return None, "--executor spool needs a persistent store (--store DIR)"
+    from .experiments.executors import SpoolExecutor
+
+    return SpoolExecutor(args.spool, timeout=args.spool_timeout), None
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .core.store import ResultsStore
     from .experiments import EXPERIMENTS, run_all_detailed
@@ -66,10 +130,18 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.store_gc is not None and not args.store:
         print("--store-gc needs a persistent store (--store DIR)", file=sys.stderr)
         return 2
+    executor, error = _resolve_executor(args, has_store=bool(args.store))
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     ids = args.ids if args.ids else list(EXPERIMENTS)
     store = ResultsStore(args.store) if args.store else None
-    report = run_all_detailed(ids, scale=args.scale, seed=args.seed,
-                              jobs=args.jobs, store=store, rerun=args.rerun)
+    report, error_code = _run_distributed(
+        lambda: run_all_detailed(ids, scale=args.scale, seed=args.seed,
+                                 jobs=args.jobs, store=store, rerun=args.rerun,
+                                 executor=executor))
+    if error_code:
+        return error_code
     results = report.results
     all_ok = True
     for res in results:
@@ -157,20 +229,30 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
     except (ValueError, TypeError, KeyError) as exc:
         print(f"bad grid: {exc}", file=sys.stderr)
         return 2
+    executor, error = _resolve_executor(args, has_store=bool(args.store))
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     store = ResultsStore(args.store) if args.store else None
-    hits = sum(sc.digest() in store for sc in grid) if store is not None else 0
     try:
-        results = run_many(list(grid.scenarios), store=store, jobs=args.jobs)
+        results, error_code = _run_distributed(
+            lambda: run_many(list(grid.scenarios), store=store, jobs=args.jobs,
+                             executor=executor))
     except (ValueError, TypeError, KeyError) as exc:
         print(f"bad grid: {exc}", file=sys.stderr)
         return 2
+    if error_code:
+        return error_code
     headers = [*grid.axes, "mean cost", "ratio >=", "ratio <="]
     rows = [[*point.values(), *res.table_columns()]
             for point, res in zip(grid.point_dicts(), results)]
     title = f"grid over {' x '.join(grid.axes) if grid.axes else '1 point'}, " \
             f"{len(args.seeds)} seed(s)"
     print(render_table(headers, rows, title=title))
-    computed = len(grid) - hits if store is not None else len(grid)
+    # Accounting comes from the run itself (RunResult.cached), so torn
+    # entries that were silently recomputed never report as hits.
+    hits = sum(res.cached for res in results)
+    computed = len(grid) - hits
     cache_tag = f"{hits} cached, " if store is not None else ""
     print(f"  grid: {len(grid)} scenarios; {cache_tag}{computed} computed "
           f"(jobs={args.jobs})")
@@ -188,6 +270,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.grid:
         return _cmd_run_grid(args)
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
     if args.source in WORKLOADS:
         kind = "workload"
     elif args.source in ADVERSARIES:
@@ -212,15 +297,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (ValueError, TypeError) as exc:
         print(f"bad scenario: {exc}", file=sys.stderr)
         return 2
+    executor, error = _resolve_executor(args, has_store=bool(args.store))
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     store = ResultsStore(args.store) if args.store else None
-    cached = store is not None and scenario.digest() in store
     try:
-        result = run_many([scenario], store=store)[0]
+        results, error_code = _run_distributed(
+            lambda: run_many([scenario], store=store, executor=executor,
+                             jobs=args.jobs))
     except (ValueError, TypeError, KeyError) as exc:
         # Capability mismatches, unknown algorithm names, bad source or
         # algorithm parameters — user input errors, not crashes.
         print(f"bad scenario: {exc}", file=sys.stderr)
         return 2
+    if error_code:
+        return error_code
+    result = results[0]
+    cached = result.cached
     headers = ["seed", "cost"]
     rows: list[list] = [[s, float(c)] for s, c in zip(scenario.seeds, result.costs)]
     if result.ratios is not None:
@@ -291,6 +385,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .core.store import ResultsStore
+    from .experiments.executors import default_worker_id, run_worker
+
+    wid = args.worker_id or default_worker_id()
+    print(f"worker {wid}: draining {args.spool} -> {args.store}", flush=True)
+    stats = run_worker(
+        args.spool,
+        ResultsStore(args.store),
+        worker_id=wid,
+        poll=args.poll,
+        max_tasks=args.max_tasks,
+        idle_exit=args.idle_exit,
+        progress=lambda message: print(f"worker {wid}: {message}", flush=True),
+    )
+    print(f"worker {wid}: exiting — {stats.completed} completed, "
+          f"{stats.skipped} skipped, {stats.failed} failed", flush=True)
+    return 0 if stats.failed == 0 else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from .adversaries import available_adversaries
     from .algorithms import available_algorithms
@@ -344,6 +458,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="after the run, evict least-recently-used store entries "
                             "until the store fits SIZE (e.g. 500M, 2G, 120000 bytes); "
                             "validated up front, requires --store")
+    _add_executor_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_run = sub.add_parser("run", help="run one declarative scenario (or a --grid sweep)")
@@ -377,7 +492,33 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--store", type=str, default="", metavar="DIR",
                        help="content-addressed result cache (same store the "
                             "experiments orchestrator uses)")
+    _add_executor_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_wrk = sub.add_parser(
+        "worker",
+        help="drain orchestrator tasks from a shared spool directory",
+        description="Standalone distributed worker: claims task files from "
+                    "--spool (atomic rename locking), computes each cell, "
+                    "delivers the payload through the shared content-addressed "
+                    "--store, and acks.  Run any number of these, on any "
+                    "machines sharing the two directories, against a sweep "
+                    "submitted with '--executor spool'.")
+    p_wrk.add_argument("--spool", required=True, metavar="DIR",
+                       help="task directory shared with the submitting sweep")
+    p_wrk.add_argument("--store", required=True, metavar="DIR",
+                       help="results store shared with the submitting sweep")
+    p_wrk.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                       help="sleep between scans of an empty spool (default 0.1)")
+    p_wrk.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                       help="exit after claiming N tasks (default: unbounded)")
+    p_wrk.add_argument("--idle-exit", type=float, default=None, metavar="SECONDS",
+                       help="exit after this long without finding a task "
+                            "(default: wait forever; a STOP file in the spool "
+                            "always ends the loop)")
+    p_wrk.add_argument("--worker-id", type=str, default=None,
+                       help="name used in claim/ack files (default: hostname-pid)")
+    p_wrk.set_defaults(func=_cmd_worker)
 
     p_cmp = sub.add_parser("compare", help="compare algorithms on a workload")
     p_cmp.add_argument("--workload", default="drift")

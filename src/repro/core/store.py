@@ -23,6 +23,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
@@ -33,13 +35,30 @@ from .io import decode_meta, encode_meta, npz_path
 
 __all__ = [
     "GCStats",
+    "MISSING",
     "ResultsStore",
+    "StoreFormatError",
     "digest_key",
     "load_payload",
     "pack_payload",
     "save_payload",
     "unpack_payload",
 ]
+
+
+class StoreFormatError(ValueError):
+    """A *valid* entry this code version cannot read (kind/format mismatch).
+
+    Distinct from corruption: on a store shared between machines running
+    different code versions the entry must be left in place for the
+    writers who can read it, never deleted.
+    """
+
+#: Sentinel distinguishing "no (readable) entry" from a stored ``None``
+#: payload — ``None`` is a perfectly legal payload value.  Pass as the
+#: ``default`` of :meth:`ResultsStore.load_or_none` wherever that
+#: distinction matters (cache scans, worker skip shortcuts).
+MISSING = object()
 
 _STORE_VERSION = 1
 
@@ -141,9 +160,9 @@ def load_payload(path: str | Path) -> Any:
     with np.load(Path(path)) as data:
         meta = decode_meta(data)
         if meta.get("kind") != "payload":
-            raise ValueError(f"expected a saved payload, found {meta.get('kind')!r}")
+            raise StoreFormatError(f"expected a saved payload, found {meta.get('kind')!r}")
         if meta.get("format_version") != _STORE_VERSION:
-            raise ValueError(f"unsupported store format version {meta.get('format_version')}")
+            raise StoreFormatError(f"unsupported store format version {meta.get('format_version')}")
         skeleton = meta["skeleton"]
         arrays = []
         i = 0
@@ -195,6 +214,47 @@ class ResultsStore:
             pass
         return payload
 
+    def load_or_none(self, digest: str, default: Any = None) -> Any:
+        """:meth:`load`, except missing/corrupt entries return ``default``.
+
+        ``save`` renames complete files into place, so a corrupt entry
+        can only come from outside the normal write path (a truncating
+        filesystem, a partial copy between machines, manual tampering).
+        Such an entry is deleted so the caller — the orchestrator's
+        cache scan, a spool worker resolving dependencies — treats it as
+        a plain cache miss and recomputes the cell instead of crashing
+        the run.  Since ``None`` is itself a storable payload, callers
+        that must tell the two apart pass :data:`MISSING` as ``default``.
+        """
+        path = self.path_for(digest)
+        try:
+            return self.load(digest)
+        except OSError:
+            # Missing entry or a *transient* I/O failure (stale NFS
+            # handle, fd exhaustion): a plain miss, never a deletion —
+            # the entry may be perfectly valid.
+            return default
+        except StoreFormatError:
+            # Another code version's valid entry (shared store): miss,
+            # but never delete what its writer can still read.  (This
+            # guard is best-effort defense in depth — a format change
+            # also changes every content address via digest_key's
+            # version field, so same-digest cross-version reads should
+            # not occur in the first place.)
+            return default
+        except (ValueError, KeyError, EOFError, zipfile.BadZipFile,
+                zlib.error, json.JSONDecodeError):
+            # Content corruption — a torn mid-file copy surfaces as
+            # zlib.error/EOFError with the zip directory still intact,
+            # garbage bytes as BadZipFile/ValueError.  Drop the entry so
+            # it recomputes (best effort: a read-only share still gets
+            # the miss, the recompute simply overwrites later).
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return default
+
     def save(self, digest: str, payload: Any, extra_meta: Mapping[str, Any] | None = None) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         final = self.path_for(digest)
@@ -218,6 +278,20 @@ class ResultsStore:
         if not self.root.exists():
             return 0
         return sum(1 for p in self.root.glob("*.npz") if not p.name.startswith("."))
+
+    def entry_digests(self) -> set[str]:
+        """Digests of every entry, from one directory scan.
+
+        For polling loops (the spool executor) that would otherwise
+        probe the store once per in-flight cell per tick — one scandir
+        replaces O(cells) ``exists`` calls on the shared filesystem.
+        """
+        try:
+            return {entry.name[:-4] for entry in os.scandir(self.root)
+                    if entry.name.endswith(".npz")
+                    and not entry.name.startswith(".")}
+        except FileNotFoundError:
+            return set()
 
     def size_bytes(self) -> int:
         """Total size of all entries (temporary files excluded)."""

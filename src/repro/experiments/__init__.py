@@ -118,16 +118,24 @@ def run_all_detailed(
     jobs: int = 1,
     store=None,
     rerun: bool = False,
+    executor=None,
+    spool=None,
+    spool_timeout=None,
 ) -> ExecutionReport:
     """Run experiments through the orchestrator; report includes cache stats.
 
     ``store`` is a :class:`repro.core.store.ResultsStore` (or ``None`` to
     compute everything); ``jobs`` fans the pooled work units of *all*
     requested experiments out across processes; ``rerun`` recomputes and
-    overwrites cached cells.
+    overwrites cached cells.  ``executor``/``spool``/``spool_timeout``
+    select an explicit execution backend (see
+    :func:`repro.experiments.orchestrator.execute`) — e.g.
+    ``executor="spool"`` with a spool directory drained by external
+    ``mobile-server worker`` processes.
     """
     specs = build_specs(ids, scale=scale, seed=seed)
-    return execute(specs, jobs=jobs, store=store, rerun=rerun)
+    return execute(specs, jobs=jobs, store=store, rerun=rerun,
+                   executor=executor, spool=spool, spool_timeout=spool_timeout)
 
 
 def run_all(
@@ -137,10 +145,14 @@ def run_all(
     jobs: int = 1,
     store=None,
     rerun: bool = False,
+    executor=None,
+    spool=None,
+    spool_timeout=None,
 ) -> list[ExperimentResult]:
     """Run the named experiments (all by default) and return their results."""
     return run_all_detailed(ids, scale=scale, seed=seed, jobs=jobs, store=store,
-                            rerun=rerun).results
+                            rerun=rerun, executor=executor, spool=spool,
+                            spool_timeout=spool_timeout).results
 
 
 __all__ = [

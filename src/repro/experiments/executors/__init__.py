@@ -1,0 +1,41 @@
+"""Pluggable execution backends for the experiment orchestrator.
+
+``inline`` runs cells in-process, ``process`` fans them out over a local
+pool, and ``spool`` hands them to external ``mobile-server worker``
+processes through a shared task directory plus the content-addressed
+results store.  All three are bit-identical; see
+:mod:`repro.experiments.executors.base` for the contract.
+"""
+
+from .base import (
+    EXECUTOR_NAMES,
+    ExecutionContext,
+    Executor,
+    InlineExecutor,
+    ProcessExecutor,
+    make_executor,
+    resolve_callable,
+    run_cell,
+    run_cell_timed,
+)
+from .spool import ClaimedTask, Spool, SpoolExecutor, SpoolTaskError
+from .worker import WorkerStats, default_worker_id, run_worker
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ClaimedTask",
+    "ExecutionContext",
+    "Executor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "Spool",
+    "SpoolExecutor",
+    "SpoolTaskError",
+    "WorkerStats",
+    "default_worker_id",
+    "make_executor",
+    "resolve_callable",
+    "run_cell",
+    "run_cell_timed",
+    "run_worker",
+]

@@ -1,0 +1,233 @@
+"""Executor abstraction: pluggable backends draining orchestrator cells.
+
+The orchestrator (:mod:`repro.experiments.orchestrator`) reduces a sweep
+to a topologically ordered list of *pending* work units (cache hits and
+within-run twins already removed) and hands it to an :class:`Executor`
+wrapped in an :class:`ExecutionContext`.  The executor's only obligation
+is to call ``ctx.finish(key, unit, payload, elapsed)`` exactly once per
+pending unit, respecting dependency order (``ctx.ready`` tells it when a
+unit's dependency payloads have landed).
+
+Three backends ship:
+
+* :class:`InlineExecutor` — run every cell in this process, in order;
+* :class:`ProcessExecutor` — fan ready cells out over a local
+  ``ProcessPoolExecutor`` (the former ``jobs > 1`` path);
+* :class:`~repro.experiments.executors.spool.SpoolExecutor` — serialize
+  ready cells as JSON task files into a shared *spool* directory and let
+  any number of ``mobile-server worker`` processes (on any machines
+  sharing the filesystem) compute them, delivering payloads through the
+  content-addressed :class:`~repro.core.store.ResultsStore`.
+
+All three are bit-identical: a cell is a pure function of its parameters
+and dependency payloads, and the store round-trip is exact.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from importlib import import_module
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+if TYPE_CHECKING:  # avoid a cycle: the orchestrator imports this package
+    from ...core.store import ResultsStore
+    from ..orchestrator import WorkUnit
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutionContext",
+    "Executor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "resolve_callable",
+    "run_cell",
+    "run_cell_timed",
+]
+
+#: The names ``make_executor`` (and the ``--executor`` CLI flags) accept.
+EXECUTOR_NAMES = ("inline", "process", "spool")
+
+
+def resolve_callable(fn: str) -> Callable[..., Any]:
+    """Import a cell/finalize function from its ``"module:function"`` path."""
+    module_name, _, func_name = fn.partition(":")
+    if not func_name:
+        raise ValueError(f"cell path {fn!r} must look like 'package.module:function'")
+    return getattr(import_module(module_name), func_name)
+
+
+def run_cell(fn: str, params: Mapping[str, Any], deps: Mapping[str, Any] | None) -> Any:
+    """Worker entry point: import the cell function and call it."""
+    func = resolve_callable(fn)
+    if deps is None:
+        return func(**params)
+    return func(**params, deps=dict(deps))
+
+
+def run_cell_timed(
+    fn: str, params: Mapping[str, Any], deps: Mapping[str, Any] | None
+) -> tuple[Any, float]:
+    """Run a cell and measure its wall-clock inside the executing process."""
+    t0 = time.perf_counter()
+    payload = run_cell(fn, params, deps)
+    return payload, time.perf_counter() - t0
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a backend needs to drain one batch of pending units.
+
+    Attributes
+    ----------
+    pending:
+        Topologically ordered ``(key, unit)`` pairs still to compute
+        (cache hits and within-run duplicates already removed).
+    digests:
+        Content address of every unit in the run, pending or not — spool
+        tasks reference dependency payloads by these store keys.
+    payloads:
+        Shared key → payload map, pre-populated with cache hits;
+        :meth:`finish` adds each computed cell, which is what makes
+        dependents :meth:`ready`.
+    store:
+        The persistent results store, or ``None`` (the spool backend
+        requires one — workers deliver payloads through it).
+    dep_keys / dep_payloads:
+        Resolve a unit's dependencies to full keys / to the payload
+        mapping its cell function receives (``None`` when it has none).
+    finish:
+        ``finish(key, unit, payload, elapsed, persist=True)`` — record a
+        computed cell (store write, report accounting, progress).  Pass
+        ``persist=False`` when the payload is already in the store (the
+        spool path, where the worker saved it).
+    rerun:
+        The run ignored existing store entries; distributed backends
+        must tell their workers to recompute-and-overwrite rather than
+        short-circuit on a stored payload.
+    """
+
+    pending: list[tuple[str, "WorkUnit"]]
+    digests: Mapping[str, str]
+    payloads: dict[str, Any]
+    store: "ResultsStore | None"
+    dep_keys: Callable[[str, "WorkUnit"], list[str]]
+    dep_payloads: Callable[[str, "WorkUnit"], dict[str, Any] | None]
+    finish: Callable[..., None]
+    rerun: bool = False
+
+    def ready(self, key: str, unit: "WorkUnit") -> bool:
+        """Whether every dependency payload of ``unit`` has landed."""
+        return all(dep in self.payloads for dep in self.dep_keys(key, unit))
+
+
+class Executor(abc.ABC):
+    """One strategy for computing the pending cells of a sweep."""
+
+    #: Registry name (what ``--executor`` calls this backend).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def drain(self, ctx: ExecutionContext) -> None:
+        """Compute every pending unit, calling ``ctx.finish`` for each."""
+
+
+class InlineExecutor(Executor):
+    """Run every cell in this process, in dependency order."""
+
+    name = "inline"
+
+    def drain(self, ctx: ExecutionContext) -> None:
+        for key, unit in ctx.pending:
+            payload, elapsed = run_cell_timed(unit.fn, dict(unit.params),
+                                              ctx.dep_payloads(key, unit))
+            ctx.finish(key, unit, payload, elapsed)
+
+
+@dataclass
+class ProcessExecutor(Executor):
+    """Fan ready cells out over a local process pool of ``jobs`` workers."""
+
+    jobs: int = 2
+
+    name = "process"
+
+    def drain(self, ctx: ExecutionContext) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.jobs == 1 or len(ctx.pending) <= 1:
+            # A pool of one (or for one cell) buys nothing but pickling.
+            InlineExecutor().drain(ctx)
+            return
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            waiting = dict(ctx.pending)
+            futures: dict[Any, tuple[str, "WorkUnit"]] = {}
+
+            def launch_ready() -> None:
+                for key in list(waiting):
+                    unit = waiting[key]
+                    if ctx.ready(key, unit):
+                        fut = pool.submit(run_cell_timed, unit.fn, dict(unit.params),
+                                          ctx.dep_payloads(key, unit))
+                        futures[fut] = (key, unit)
+                        del waiting[key]
+
+            launch_ready()
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    key, unit = futures.pop(fut)
+                    ctx.finish(key, unit, *fut.result())
+                launch_ready()
+
+
+def make_executor(
+    executor: "str | Executor | None",
+    jobs: int = 1,
+    spool: Any = None,
+    timeout: float | None = None,
+) -> Executor:
+    """Resolve an executor request to a backend instance.
+
+    ``None`` preserves the historic ``jobs`` semantics: inline for
+    ``jobs=1``, a process pool otherwise.  A string picks a backend by
+    name (``"spool"`` additionally needs the ``spool`` directory); an
+    :class:`Executor` instance passes through untouched.  ``"process"``
+    honours ``jobs`` exactly — with ``jobs=1`` its drain degenerates to
+    the (bit-identical) inline path rather than paying for a one-slot
+    pool.
+    """
+    if isinstance(executor, Executor):
+        if spool is not None or timeout is not None:
+            # Pre-built instances carry their own configuration; extra
+            # spool/timeout arguments would be silently dead (and with a
+            # non-spool instance the caller would believe the sweep was
+            # distributed while it ran locally).
+            raise ValueError(
+                "spool/timeout arguments cannot be combined with an "
+                "Executor instance — configure the instance directly")
+        return executor
+    if executor is None:
+        executor = "process" if jobs > 1 else "inline"
+    if executor == "spool":
+        from .spool import SpoolExecutor
+
+        if spool is None:
+            raise ValueError("the spool executor needs a spool directory "
+                             "(spool=DIR, shared with the workers)")
+        return SpoolExecutor(spool, timeout=timeout)
+    if spool is not None or timeout is not None:
+        # A spool directory with a non-spool backend would silently run
+        # locally while the caller believes the sweep was distributed.
+        raise ValueError(
+            f"spool/timeout arguments apply only to executor='spool' "
+            f"(got executor={executor!r})")
+    if executor == "inline":
+        return InlineExecutor()
+    if executor == "process":
+        return ProcessExecutor(jobs=jobs)
+    raise ValueError(
+        f"unknown executor {executor!r}; available: {', '.join(EXECUTOR_NAMES)}")

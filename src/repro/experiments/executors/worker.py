@@ -1,0 +1,243 @@
+"""Standalone spool worker: claim tasks, run cells, deliver via the store.
+
+This is the long-running side of the distributed executor — what
+``mobile-server worker --spool DIR --store DIR`` runs.  A worker needs
+nothing but the two shared directories: tasks are claimed with an atomic
+rename (see :mod:`repro.experiments.executors.spool`), the cell function
+is resolved from its dotted path through the same registries every other
+executor uses, dependency payloads are loaded from the store by digest,
+and the computed payload is written back with one atomic
+content-addressed save before the task is acked.
+
+Failure containment: a cell that raises poisons *its task*, not the
+worker — the traceback is acked back to the submitting orchestrator as a
+``.failed.json`` file and the loop keeps draining.  A worker killed
+mid-cell leaves only its claim file behind (the store save is atomic, so
+no partial payload can exist); the claim is reclaimable.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ...core.store import MISSING, ResultsStore
+from .base import run_cell_timed
+from .spool import TASK_VERSION, Spool
+
+#: How often a computing worker freshens its claim file's mtime.  The
+#: submitter reads this as liveness: a fresh claim defers its
+#: no-progress timeout even when a cell outlasts it.
+HEARTBEAT_SECONDS = 0.5
+
+#: Fleet-wide cap on per-task hand-backs (the count travels in the task
+#: file): past this, a dependency that never became readable fails the
+#: task instead of bouncing it between workers forever.
+MAX_HAND_BACKS = 50
+
+__all__ = [
+    "WorkerStats",
+    "default_worker_id",
+    "run_worker",
+]
+
+
+@dataclass
+class WorkerStats:
+    """What one :func:`run_worker` loop did before exiting."""
+
+    completed: int = 0
+    failed: int = 0
+    #: Tasks acked without computing (their payload was already stored).
+    skipped: int = 0
+    #: Tasks handed back (reclaimed) because a dependency payload was not
+    #: readable from the store yet — the submitter re-publishes missing
+    #: dependency entries, so these come around again.
+    retried: int = 0
+
+    @property
+    def claimed(self) -> int:
+        return self.completed + self.failed + self.skipped
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    spool: str | Path | Spool,
+    store: str | Path | ResultsStore,
+    *,
+    worker_id: str | None = None,
+    poll: float = 0.1,
+    max_tasks: int | None = None,
+    idle_exit: float | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> WorkerStats:
+    """Drain tasks from ``spool`` until told (or timed out) to stop.
+
+    Parameters
+    ----------
+    worker_id:
+        Name under which claims and acks are filed (default:
+        ``hostname-pid``).
+    poll:
+        Seconds to sleep between scans of an empty spool.
+    max_tasks:
+        Exit after claiming this many tasks (``None``: unbounded).
+    idle_exit:
+        Exit after this many consecutive seconds without finding a task
+        (``None``: wait forever).  A ``STOP`` file in the spool directory
+        (:meth:`Spool.request_stop`) always ends the loop.
+    progress:
+        Optional callback for human-readable per-task status lines.
+    """
+    spool = spool if isinstance(spool, Spool) else Spool(spool)
+    store = store if isinstance(store, ResultsStore) else ResultsStore(store)
+    wid = worker_id or default_worker_id()
+    say = progress or (lambda message: None)
+    stats = WorkerStats()
+    idle_since = time.monotonic()
+    # Honour only STOPs requested after (or just before) this worker came
+    # up: a stale STOP from a previous sweep's shutdown must not kill a
+    # freshly started fleet.  The reference time comes from the spool's
+    # own filesystem clock (skew-free on network mounts); the 1s grace
+    # absorbs coarse mtime granularity.
+    started_at = spool.timestamp() - 1.0
+
+    while True:
+        if spool.stop_requested(since=started_at):
+            say("stop requested; exiting")
+            break
+        # The idle budget runs from the last *productive* action (a task
+        # acked, or startup) — handed-back tasks do not reset it, so an
+        # orphaned task whose submitter died cannot keep a worker
+        # claim/reclaim-looping past --idle-exit.
+        if idle_exit is not None and time.monotonic() - idle_since > idle_exit:
+            say(f"idle for {idle_exit:.0f}s; exiting")
+            break
+        # The claim budget is enforced *before* claiming, so max_tasks=0
+        # really claims nothing (hand-backs count toward it too: an
+        # orphan task must not loop a bounded worker forever).
+        if max_tasks is not None and stats.claimed + stats.retried >= max_tasks:
+            say(f"claimed {stats.claimed + stats.retried} task(s); exiting")
+            break
+        claimed = spool.claim(wid)
+        if claimed is None:
+            time.sleep(poll)
+            continue
+        acked = _process(claimed, spool, store, wid, stats, say)
+        if acked:
+            # Idleness starts *after* the task finishes — a long cell
+            # must not eat into the idle budget of the following poll.
+            idle_since = time.monotonic()
+        else:
+            # The task went back to pending (dependency not readable
+            # yet): give the submitter a beat to republish the missing
+            # entry rather than spinning hot on the same claim.
+            time.sleep(poll)
+    return stats
+
+
+def _process(claimed, spool: Spool, store: ResultsStore, wid: str,
+             stats: WorkerStats, say: Callable[[str], None]) -> bool:
+    """Run one claimed task; acked (``True``) or handed back (``False``).
+
+    Every path either writes exactly one ack or reclaims the task: a
+    dependency whose store entry is unreadable (e.g. a torn copy that
+    :meth:`~repro.core.store.ResultsStore.load_or_none` just dropped) is
+    *retryable* — the submitter holds the payload in memory and
+    republishes the entry — so it must not fail the sweep.
+    """
+    version = claimed.task.get("version")
+    if version != TASK_VERSION:
+        # A mixed-version fleet: computing a payload under semantics we
+        # do not understand would poison the shared store under a valid
+        # content address — fail the task cleanly instead.
+        spool.ack_failed(
+            claimed,
+            error=f"task format version {version!r}; this worker understands "
+                  f"{TASK_VERSION} — upgrade the older side of the fleet",
+            worker_id=wid)
+        stats.failed += 1
+        say(f"failed {claimed.key}: task format version {version!r}")
+        return True
+    if not claimed.overwrite and store.load_or_none(claimed.digest, MISSING) is not MISSING:
+        # Another worker (or a previous run) already delivered this cell
+        # (--rerun submissions skip this shortcut: they must recompute).
+        spool.ack_done(claimed, elapsed=0.0, worker_id=wid)
+        stats.skipped += 1
+        say(f"skipped {claimed.key} (already in store)")
+        return True
+    try:
+        deps = None
+        if claimed.deps:
+            deps = {}
+            for local, dep_digest in claimed.deps.items():
+                dep_payload = store.load_or_none(dep_digest, MISSING)
+                if dep_payload is MISSING:
+                    if claimed.retries >= MAX_HAND_BACKS:
+                        # Nobody managed to (re)publish the dep across
+                        # many hand-backs — e.g. a corrupt entry on a
+                        # share this worker cannot repair.  Fail the
+                        # task visibly rather than bouncing it forever.
+                        raise LookupError(
+                            f"dependency {local!r} of {claimed.key!r} "
+                            f"({dep_digest[:12]}…) still unreadable after "
+                            f"{claimed.retries} hand-backs")
+                    spool.hand_back(claimed)
+                    stats.retried += 1
+                    say(f"waiting on dependency {local!r} of {claimed.key} "
+                        f"({dep_digest[:12]}…); task handed back")
+                    return False
+                deps[local] = dep_payload
+        payload, elapsed = _compute_with_heartbeat(claimed, deps)
+        store.save(claimed.digest, payload,
+                   extra_meta={"key": claimed.key, "fn": claimed.fn,
+                               "elapsed": elapsed, "worker": wid})
+        spool.ack_done(claimed, elapsed=elapsed, worker_id=wid)
+        stats.completed += 1
+        say(f"completed {claimed.key} ({elapsed:.2f}s)")
+        return True
+    except (KeyboardInterrupt, SystemExit):
+        # Interactive shutdown: hand the task back instead of failing it.
+        spool.reclaim(claimed.path)
+        raise
+    except Exception as exc:
+        spool.ack_failed(claimed, error=traceback.format_exc(), worker_id=wid)
+        stats.failed += 1
+        say(f"failed {claimed.key}: {exc}")
+        return True
+
+
+def _compute_with_heartbeat(claimed, deps) -> tuple:
+    """Run the cell while freshening the claim file's mtime.
+
+    The claim's mtime is the worker's liveness signal: the submitter's
+    no-progress timeout is deferred while it stays fresh, so a cell that
+    legitimately outlasts ``--spool-timeout`` does not fail the run —
+    while a killed worker's claim goes stale and the timeout still
+    fires.
+    """
+    done = threading.Event()
+
+    def beat() -> None:
+        while not done.wait(HEARTBEAT_SECONDS):
+            try:
+                os.utime(claimed.path)
+            except OSError:
+                return
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        return run_cell_timed(claimed.fn, claimed.params, deps)
+    finally:
+        done.set()
+        thread.join(timeout=5)

@@ -12,11 +12,14 @@ path plus JSON-able parameters, optionally depending on other cells
 2. units already present in the :class:`~repro.core.store.ResultsStore`
    are loaded instead of recomputed (cache hits double as ``--resume``:
    an interrupted grid continues from its last persisted cell);
-3. remaining units run in dependency order — inline for ``jobs=1``,
-   fanned out over a ``ProcessPoolExecutor`` for ``jobs>1``.  Each cell
-   internally dispatches its seed sweep through the batched engine
-   (:func:`repro.core.engine.simulate_batch`), so processes multiply the
-   single-core win of vectorized lanes;
+3. remaining units run in dependency order through a pluggable
+   :class:`~repro.experiments.executors.Executor` backend — inline for
+   ``jobs=1``, a local process pool for ``jobs>1``, or a spool directory
+   drained by external ``mobile-server worker`` processes (any number,
+   on any machines sharing the filesystem) for ``executor="spool"``.
+   Each cell internally dispatches its seed sweep through the batched
+   engine (:func:`repro.core.engine.simulate_batch`), so workers
+   multiply the single-core win of vectorized lanes;
 4. per spec, a *finalize* function assembles the cells into the familiar
    :class:`~repro.experiments.runner.ExperimentResult` table.
 
@@ -32,13 +35,12 @@ relocatable across processes and cache entries exact.
 from __future__ import annotations
 
 import itertools
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from importlib import import_module
 from typing import Any, Callable, Mapping, Sequence
 
-from ..core.store import ResultsStore, digest_key
+from ..core.store import MISSING, ResultsStore, digest_key
+from .executors import ExecutionContext, Executor, make_executor
+from .executors.base import resolve_callable as _resolve
 from .runner import ExperimentResult
 
 __all__ = [
@@ -150,30 +152,6 @@ def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
     return [dict(zip(names, values)) for values in itertools.product(*axes.values())]
 
 
-def _resolve(fn: str) -> Callable[..., Any]:
-    module_name, _, func_name = fn.partition(":")
-    if not func_name:
-        raise ValueError(f"cell path {fn!r} must look like 'package.module:function'")
-    return getattr(import_module(module_name), func_name)
-
-
-def _run_cell(fn: str, params: Mapping[str, Any], deps: Mapping[str, Any] | None) -> Any:
-    """Worker entry point: import the cell function and call it."""
-    func = _resolve(fn)
-    if deps is None:
-        return func(**params)
-    return func(**params, deps=dict(deps))
-
-
-def _run_cell_timed(
-    fn: str, params: Mapping[str, Any], deps: Mapping[str, Any] | None
-) -> tuple[Any, float]:
-    """Run a cell and measure its wall-clock inside the executing process."""
-    t0 = time.perf_counter()
-    payload = _run_cell(fn, params, deps)
-    return payload, time.perf_counter() - t0
-
-
 def _toposort(units: Sequence[tuple[str, WorkUnit]]) -> list[tuple[str, WorkUnit]]:
     """Kahn's algorithm, stable with respect to declaration order."""
     order: list[tuple[str, WorkUnit]] = []
@@ -234,6 +212,9 @@ def execute(
     store: ResultsStore | None = None,
     rerun: bool = False,
     progress: Callable[[str], None] | None = None,
+    executor: str | Executor | None = None,
+    spool: Any = None,
+    spool_timeout: float | None = None,
 ) -> ExecutionReport:
     """Run the specs' work units (cache-aware, optionally in parallel).
 
@@ -250,9 +231,23 @@ def execute(
         overwriting the stored payloads.
     progress:
         Optional callback for human-readable status lines.
+    executor:
+        Execution backend: an :class:`~repro.experiments.executors.Executor`
+        instance, a name (``"inline"``, ``"process"``, ``"spool"``), or
+        ``None`` to derive one from ``jobs`` (inline for ``jobs=1``, a
+        process pool otherwise).  The spool backend additionally needs
+        ``spool`` (the task directory shared with the workers) and a
+        persistent ``store``.
+    spool:
+        Spool directory for ``executor="spool"``.
+    spool_timeout:
+        For ``executor="spool"``: fail when no worker makes progress
+        for this many seconds (default ``None`` — wait forever).
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    backend = make_executor(executor, jobs=jobs, spool=spool,
+                            timeout=spool_timeout)
     prefixes = _spec_prefixes(specs)
     flat: list[tuple[str, WorkUnit]] = []
     seen: set[str] = set()
@@ -277,8 +272,12 @@ def execute(
     payloads: dict[str, Any] = {}
     if store is not None and not rerun:
         for full, unit in ordered:
-            if digests[full] in store:
-                payloads[full] = store.load(digests[full])
+            # load_or_none drops corrupt entries (e.g. an interrupted
+            # copy between machines) so they recompute as cache misses;
+            # the MISSING sentinel keeps stored None payloads cacheable.
+            payload = store.load_or_none(digests[full], MISSING)
+            if payload is not MISSING:
+                payloads[full] = payload
                 report.cached += 1
 
     # Within-run dedup: units with identical content addresses (e.g. the
@@ -313,13 +312,14 @@ def execute(
         pending = [(full, unit) for full, unit in pending if full not in drop]
         report.skipped += len(drop)
 
-    def finish(full: str, unit: WorkUnit, payload: Any, elapsed: float) -> None:
+    def finish(full: str, unit: WorkUnit, payload: Any, elapsed: float,
+               persist: bool = True) -> None:
         payloads[full] = payload
         for twin in twins[digests[full]]:
             payloads[twin] = payload
         report.computed += 1
         report.timings[full] = elapsed
-        if store is not None:
+        if store is not None and persist:
             store.save(digests[full], payload,
                        extra_meta={"key": full, "fn": unit.fn, "elapsed": elapsed})
         if progress is not None:
@@ -332,31 +332,16 @@ def execute(
         return {dep_local: payloads[dep]
                 for dep_local, dep in zip(locals_, _dep_keys(full, unit))}
 
-    if jobs == 1 or len(pending) <= 1:
-        for full, unit in pending:
-            finish(full, unit, *_run_cell_timed(unit.fn, dict(unit.params),
-                                                dep_payloads(full, unit)))
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            waiting = dict(pending)
-            futures: dict[Any, tuple[str, WorkUnit]] = {}
-
-            def launch_ready() -> None:
-                for full in list(waiting):
-                    unit = waiting[full]
-                    if all(dep in payloads for dep in _dep_keys(full, unit)):
-                        fut = pool.submit(_run_cell_timed, unit.fn, dict(unit.params),
-                                          dep_payloads(full, unit))
-                        futures[fut] = (full, unit)
-                        del waiting[full]
-
-            launch_ready()
-            while futures:
-                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-                for fut in done:
-                    full, unit = futures.pop(fut)
-                    finish(full, unit, *fut.result())
-                launch_ready()
+    backend.drain(ExecutionContext(
+        pending=pending,
+        digests=digests,
+        payloads=payloads,
+        store=store,
+        dep_keys=_dep_keys,
+        dep_payloads=dep_payloads,
+        finish=finish,
+        rerun=rerun,
+    ))
 
     for spec, prefix in zip(specs, prefixes):
         local = {unit.key: payloads[f"{prefix}/{unit.key}"]

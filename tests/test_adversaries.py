@@ -221,8 +221,6 @@ class TestAdaptiveAdversary:
             GreedyEscapeAdversary(requests_per_step=0)
 
     def test_replay_matches_recorded_cost(self):
-        from repro.core import replay_cost
-
         res = GreedyEscapeAdversary().run(MoveToCenter(), T=30, delta=0.5)
         # Replaying the materialised instance with the same algorithm gives
         # the same cost (the adversary was oblivious *given* the trace).

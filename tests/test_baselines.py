@@ -15,7 +15,7 @@ from repro.algorithms import (
     StaticServer,
     WorkFunctionLine,
 )
-from repro.core import MSPInstance, RequestBatch, RequestSequence, simulate
+from repro.core import MSPInstance, RequestSequence, simulate
 
 
 def _instance(pts, D=2.0, m=1.0):

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core.geometry import (
-    EPS,
     as_point,
     as_points,
     bounding_box,

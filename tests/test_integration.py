@@ -5,7 +5,6 @@ live in benchmarks/ — asserting the *direction* of every headline result.
 """
 
 import numpy as np
-import pytest
 
 from repro.adversaries import build_thm1, build_thm2, build_thm3, build_thm8
 from repro.algorithms import (

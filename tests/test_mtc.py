@@ -10,7 +10,6 @@ from repro.algorithms import (
 )
 from repro.core import (
     CostModel,
-    MovingClientInstance,
     MSPInstance,
     RequestBatch,
     RequestSequence,
