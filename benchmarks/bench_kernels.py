@@ -68,3 +68,35 @@ def test_thm2_generation_throughput(benchmark):
         return build_thm2(0.125, cycles=4, rng=np.random.default_rng(3)).instance.length
 
     assert benchmark(kernel) > 0
+
+
+def _fused_batch(B=64, T=256):
+    wl = RandomWalkWorkload(T, dim=2, D=2.0, m=1.0, sigma=0.3, spread=0.4,
+                            requests_per_step=2)
+    return [wl.generate(np.random.default_rng(100 + s)) for s in range(B)]
+
+
+def test_fused_kernel_throughput(benchmark):
+    """The fused step-kernel path (decide+clamp+validate+account per block)."""
+    from repro.core import simulate_batch
+
+    instances = _fused_batch()
+
+    def kernel():
+        return simulate_batch(instances, "greedy-centroid", delta=0.5,
+                              fuse=True).total_costs.sum()
+
+    assert benchmark(kernel) > 0
+
+
+def test_batched_loop_throughput(benchmark):
+    """The per-step batched loop on the same workload (fused's baseline)."""
+    from repro.core import simulate_batch
+
+    instances = _fused_batch()
+
+    def kernel():
+        return simulate_batch(instances, "greedy-centroid", delta=0.5,
+                              fuse=False).total_costs.sum()
+
+    assert benchmark(kernel) > 0

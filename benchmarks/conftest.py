@@ -80,6 +80,16 @@ def exp_cache(results_dir):
         "total_cached": sum(s["cached"] for s in cache.stats.values()),
         "store_entries": len(cache.store),
     }
+    if CACHE_REPORT.exists():
+        # Hand-recorded sections (e.g. the E5 mega-batch migration
+        # timings) survive regeneration of the cache accounting.
+        try:
+            previous = json.loads(CACHE_REPORT.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        for key in ("e5_migration",):
+            if key in previous:
+                payload[key] = previous[key]
     CACHE_REPORT.write_text(json.dumps(payload, indent=2) + "\n")
 
 

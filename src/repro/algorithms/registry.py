@@ -112,6 +112,20 @@ class AlgorithmInfo:
 
         return self.name in VECTORIZED
 
+    @property
+    def kernel(self) -> bool:
+        """Whether a fused step kernel replays this algorithm's decisions.
+
+        True when the vectorized implementation advertises a kernel
+        registered in :data:`repro.core.kernels.KERNELS` — the engine
+        then fuses decide/clamp/validate/accounting into block-wise
+        passes over the packed request stack (bit-identical to the
+        per-step loop; see :mod:`repro.core.kernels`).
+        """
+        from ..core.kernels import KERNELS
+
+        return self.vectorized and self.name in KERNELS
+
 
 def algorithm_info(name: str) -> AlgorithmInfo:
     """Factory plus capabilities for one registered name."""

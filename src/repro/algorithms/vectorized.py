@@ -95,6 +95,7 @@ class BatchedStatic(VectorizedAlgorithm):
     """Vectorized :class:`~repro.algorithms.lazy.StaticServer`: never moves."""
 
     name = "static"
+    kernel = "static"
 
     def decide_batch(
         self, t: int, positions: np.ndarray, step: BatchStepRequests
@@ -111,6 +112,7 @@ class BatchedGreedyCentroid(VectorizedAlgorithm):
     """
 
     name = "greedy-centroid"
+    kernel = "greedy-centroid"
 
     def decide_batch(
         self, t: int, positions: np.ndarray, step: BatchStepRequests
@@ -130,6 +132,7 @@ class BatchedNearestChaser(VectorizedAlgorithm):
     """Vectorized :class:`~repro.algorithms.greedy.NearestRequestChaser`."""
 
     name = "nearest-chaser"
+    kernel = "nearest-chaser"
 
     def decide_batch(
         self, t: int, positions: np.ndarray, step: BatchStepRequests

@@ -18,6 +18,16 @@ digest.
 :func:`cell_run` is the orchestrator work-unit entry point: experiments
 that declare their sweeps as scenarios get content-addressed caching and
 process fan-out without any experiment-specific cell code.
+
+Both entry points *mega-batch*: scenario cells that run on the batched
+engine under the same algorithm and instance shape — differing only in
+seed, source, δ or cost model — are packed into one wide
+:func:`~repro.core.engine.simulate_batch` call and split back per cell
+(:func:`_execute_scenarios`).  Every lane computes bit-identically to its
+standalone run (the engine's arithmetic is per-lane), so each cell keeps
+its standalone store digest, payload and cache address; ``--no-fuse``
+(:func:`repro.core.kernels.set_fusion`) disables the packing together
+with the fused kernels.
 """
 
 from __future__ import annotations
@@ -374,6 +384,28 @@ def _bracket_measurements(
     return out
 
 
+def _certify(
+    scenario: Scenario,
+    instances: Sequence[MSPInstance],
+    adversarials: Sequence[AdversarialInstance] | None,
+    brackets: Sequence[OptBracket] | None,
+    costs: np.ndarray,
+    algorithm_name: str,
+) -> tuple[np.ndarray | None, list[RatioMeasurement] | None]:
+    """The scenario's requested certification of its per-seed costs."""
+    ratio_mode = scenario.effective_ratio()
+    if ratio_mode == "adversary":
+        if adversarials is None:
+            raise ValueError(
+                f"scenario {scenario.label()!r} asks for adversary certification "
+                "but its source is a workload (use ratio='bracket' or 'none')"
+            )
+        return np.array([adv.ratio_of(float(c)) for adv, c in zip(adversarials, costs)]), None
+    if ratio_mode == "bracket":
+        return None, _bracket_measurements(scenario, instances, costs, algorithm_name, brackets)
+    return None, None
+
+
 def run(
     scenario: Scenario,
     *,
@@ -425,18 +457,8 @@ def run(
         algorithm_name = traces_all[0].algorithm
         traces = traces_all if keep_traces else None
 
-    ratio_mode = scenario.effective_ratio()
-    ratios = None
-    measurements = None
-    if ratio_mode == "adversary":
-        if adversarials is None:
-            raise ValueError(
-                f"scenario {scenario.label()!r} asks for adversary certification "
-                "but its source is a workload (use ratio='bracket' or 'none')"
-            )
-        ratios = np.array([adv.ratio_of(float(c)) for adv, c in zip(adversarials, costs)])
-    elif ratio_mode == "bracket":
-        measurements = _bracket_measurements(scenario, instances, costs, algorithm_name, brackets)
+    ratios, measurements = _certify(scenario, instances, adversarials, brackets,
+                                    costs, algorithm_name)
 
     return RunResult(
         scenario=scenario,
@@ -453,6 +475,131 @@ def _share_key(scenario: Scenario) -> tuple:
     """Scenarios agreeing on this key see identical instances."""
     return (scenario.kind, scenario.source, scenario.source_params,
             scenario.seeds, scenario.cost_model)
+
+
+# -- cross-cell mega-batching ----------------------------------------------
+
+
+def _mega_key(scenario: Scenario, instances: Sequence[MSPInstance]) -> tuple | None:
+    """Grouping key for one wide ``simulate_batch`` call, or ``None``.
+
+    Cells agreeing on this key — same algorithm, same instance shape —
+    can run as lanes of a single batched-engine pass: the engine's
+    arithmetic is strictly per-lane (source, seed, δ and cost model all
+    become per-lane data), so each cell's slice of the wide trace is
+    bit-identical to its standalone run.  ``None`` means the cell cannot
+    join a group (non-uniform dims would not survive the engine anyway).
+    """
+    dims = {inst.dim for inst in instances}
+    if len(dims) != 1:
+        return None
+    return (scenario.algorithm, instances[0].length, next(iter(dims)))
+
+
+def _run_mega_group(
+    entries: Sequence[tuple[int, Scenario, list[MSPInstance],
+                            "list[AdversarialInstance] | None",
+                            "Sequence[OptBracket] | None"]],
+    keep_traces: bool = False,
+) -> list[tuple[int, RunResult]]:
+    """One wide ``simulate_batch`` pass over several compatible cells.
+
+    Lanes are the concatenated per-cell instances with a per-lane δ
+    vector; the trace is split back at the cell offsets.  Costs, ratios
+    and bracket measurements are computed per cell exactly as
+    :func:`run` would, so payloads (and therefore store entries) match
+    the unbatched path bit-for-bit; only ``elapsed`` (wall-clock, a
+    proportional share of the group pass) differs.
+    """
+    t0 = perf_counter()
+    all_instances = [inst for _, _, instances, _, _ in entries for inst in instances]
+    deltas = np.concatenate([
+        np.full(len(instances), scenario.delta)
+        for _, scenario, instances, _, _ in entries
+    ])
+    batch = simulate_batch(all_instances, entries[0][1].algorithm, delta=deltas)
+    elapsed = perf_counter() - t0
+    share = elapsed / len(all_instances)
+
+    out: list[tuple[int, RunResult]] = []
+    offset = 0
+    for index, scenario, instances, adversarials, brackets in entries:
+        n = len(instances)
+        lanes = slice(offset, offset + n)
+        offset += n
+        costs = np.asarray(batch.total_costs[lanes], dtype=np.float64)
+        ratios, measurements = _certify(scenario, instances, adversarials,
+                                        brackets, costs, batch.algorithm)
+        traces = [batch.trace(lane) for lane in range(lanes.start, lanes.stop)] \
+            if keep_traces else None
+        out.append((index, RunResult(
+            scenario=scenario,
+            costs=costs,
+            ratios=ratios,
+            measurements=measurements,
+            traces=traces,
+            engine="batched",
+            elapsed=share * n,
+        )))
+    return out
+
+
+def _execute_scenarios(
+    pending: Sequence[tuple[int, Scenario]],
+    keep_traces: bool = False,
+    brackets: Mapping[int, "Sequence[OptBracket]"] | None = None,
+) -> dict[int, RunResult]:
+    """Run index-tagged scenarios, mega-batching compatible cells.
+
+    The shared entry point behind inline :func:`run_many` and the
+    orchestrator's grouped scenario cells (:func:`_cell_run_group`):
+    materialises instances (shared across scenarios with equal
+    :func:`_share_key`, solving each bracket group once), then packs
+    cells that would run on the batched engine into one
+    :func:`simulate_batch` call per :func:`_mega_key` group.  ``brackets``
+    optionally injects pre-solved brackets per index (the orchestrator's
+    soft-dependency payloads).  Results are bit-identical to per-scenario
+    :func:`run` calls in any order; fusion off
+    (:func:`repro.core.kernels.fusion_enabled`) disables the packing.
+    """
+    from ..core.kernels import fusion_enabled
+
+    overrides = dict(brackets or {})
+    share: dict[tuple, tuple] = {}
+    groups: dict[tuple, list] = {}
+    singles: list[tuple] = []
+    out: dict[int, RunResult] = {}
+    for index, scenario in pending:
+        if scenario.kind == "adversary" and adversary_info(scenario.source).adaptive:
+            out[index] = run(scenario, keep_traces=keep_traces)
+            continue
+        key = _share_key(scenario)
+        if key not in share:
+            share[key] = (*build_instances(scenario), None)
+        instances, advs, shared_brackets = share[key]
+        cell_brackets = overrides.get(index)
+        if cell_brackets is None and scenario.effective_ratio() == "bracket":
+            if shared_brackets is None:
+                shared_brackets = [bracket_optimum(inst) for inst in instances]
+                share[key] = (instances, advs, shared_brackets)
+            cell_brackets = shared_brackets
+        entry = (index, scenario, instances, advs, cell_brackets)
+        mega = _mega_key(scenario, instances) if fusion_enabled() else None
+        if mega is not None and _choose_engine(
+                scenario, algorithm_info(scenario.algorithm), instances) == "batched":
+            groups.setdefault(mega, []).append(entry)
+        else:
+            singles.append(entry)
+    for group in groups.values():
+        if len(group) == 1:
+            singles.append(group[0])
+            continue
+        for index, result in _run_mega_group(group, keep_traces=keep_traces):
+            out[index] = result
+    for index, scenario, instances, advs, cell_brackets in singles:
+        out[index] = run(scenario, instances=instances, adversarials=advs,
+                         brackets=cell_brackets, keep_traces=keep_traces)
+    return out
 
 
 def _run_many_pooled(
@@ -539,39 +686,24 @@ def run_many(
                              "non-inline executor (worker payloads carry only "
                              "the scalar summaries)")
         return _run_many_pooled(scenarios, jobs=jobs, store=store, executor=backend)
-    cache: dict[tuple, tuple] = {}
-    results: list[RunResult] = []
-    for scenario in scenarios:
+    results: list[RunResult | None] = [None] * len(scenarios)
+    pending: list[tuple[int, Scenario]] = []
+    for i, scenario in enumerate(scenarios):
         if store is not None:
-            digest = scenario.digest()
-            payload = store.load_or_none(digest)
+            payload = store.load_or_none(scenario.digest())
             if payload is not None:
                 result = RunResult.from_payload(payload)
                 result.cached = True
-                results.append(result)
+                results[i] = result
                 continue
-        adaptive = scenario.kind == "adversary" and adversary_info(scenario.source).adaptive
-        if adaptive:
-            result = run(scenario, keep_traces=keep_traces)
-        else:
-            key = _share_key(scenario)
-            if key not in cache:
-                cache[key] = (*build_instances(scenario), None)
-            instances, advs, brackets = cache[key]
-            if scenario.effective_ratio() == "bracket" and brackets is None:
-                brackets = [bracket_optimum(inst) for inst in instances]
-                cache[key] = (instances, advs, brackets)
-            result = run(
-                scenario,
-                instances=instances,
-                adversarials=advs,
-                brackets=brackets,
-                keep_traces=keep_traces,
-            )
+        pending.append((i, scenario))
+    executed = _execute_scenarios(pending, keep_traces=keep_traces)
+    for i, scenario in pending:
+        result = executed[i]
         if store is not None:
             store.save(scenario.digest(), result.as_payload(),
                        extra_meta={"kind": "scenario", "label": scenario.label()})
-        results.append(result)
+        results[i] = result
     return results
 
 
@@ -618,15 +750,44 @@ def cell_run(scenario: Mapping[str, Any], deps: Mapping[str, Any] | None = None)
     address does not change): its certified brackets are then reused
     instead of re-solved.
     """
-    brackets = None
-    if deps:
-        # Non-bracket dependencies (the public ``deps`` on scenario_unit)
-        # are simply not consumed here.
-        payload = next((p for p in deps.values() if "brackets" in p), None)
-        if payload is not None:
-            brackets = [OptBracket.from_payload(b) for b in payload["brackets"]]
-    return run(Scenario.from_dict(scenario), brackets=brackets,
+    # Non-bracket dependencies (the public ``deps`` on scenario_unit)
+    # are simply not consumed here.
+    return run(Scenario.from_dict(scenario), brackets=_cell_brackets_of(deps),
                keep_traces=False).as_payload()
+
+
+def _cell_brackets_of(deps: Mapping[str, Any] | None):
+    """The bracket soft-dependency payload of one scenario cell, if any."""
+    if not deps:
+        return None
+    payload = next((p for p in deps.values() if "brackets" in p), None)
+    if payload is None:
+        return None
+    return [OptBracket.from_payload(b) for b in payload["brackets"]]
+
+
+def _cell_run_group(calls: Sequence[tuple[Mapping[str, Any], Mapping[str, Any] | None]]):
+    """Grouped executor entry point: several :func:`cell_run` cells at once.
+
+    The inline executor hands over the ready scenario cells of a sweep as
+    ``(params, deps)`` pairs; compatible cells are mega-batched through
+    one :func:`simulate_batch` call per group.  Payloads come back in
+    call order and are bit-identical to per-cell :func:`cell_run` (which
+    is what licenses the grouping: every cell keeps its standalone
+    content address).
+    """
+    pending: list[tuple[int, Scenario]] = []
+    overrides: dict[int, Any] = {}
+    for i, (params, deps) in enumerate(calls):
+        pending.append((i, Scenario.from_dict(params["scenario"])))
+        brackets = _cell_brackets_of(deps)
+        if brackets is not None:
+            overrides[i] = brackets
+    executed = _execute_scenarios(pending, keep_traces=False, brackets=overrides)
+    return [executed[i].as_payload() for i in range(len(calls))]
+
+
+cell_run.group_runner = _cell_run_group
 
 
 def scenario_unit(key: str, scenario: Scenario, deps: tuple[str, ...] = (),

@@ -56,6 +56,20 @@ def _fmt_bytes(n: int) -> str:
     return f"{n}B"
 
 
+def _add_no_fuse_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-fuse", action="store_true",
+                        help="disable the fused step kernels and cross-cell "
+                             "mega-batching (the bit-identical reference path; "
+                             "results are byte-for-byte the same either way)")
+
+
+def _apply_no_fuse(args: argparse.Namespace) -> None:
+    if getattr(args, "no_fuse", False):
+        from .core import set_fusion
+
+        set_fusion(False)
+
+
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     """The execution-backend flags shared by ``experiments`` and ``run``."""
     parser.add_argument("--executor", choices=["inline", "process", "spool"],
@@ -124,6 +138,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from .core.store import ResultsStore
     from .experiments import EXPERIMENTS, run_all_detailed
 
+    _apply_no_fuse(args)
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
@@ -268,6 +283,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .core.store import ResultsStore
     from .workloads import WORKLOADS
 
+    _apply_no_fuse(args)
     if args.grid:
         return _cmd_run_grid(args)
     if args.jobs < 1:
@@ -344,6 +360,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .api import Scenario, run_many
     from .workloads import SUITE_NAMES, suite_entry
 
+    _apply_no_fuse(args)
     if args.batch < 1:
         print("--batch must be at least 1", file=sys.stderr)
         return 2
@@ -458,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="after the run, evict least-recently-used store entries "
                             "until the store fits SIZE (e.g. 500M, 2G, 120000 bytes); "
                             "validated up front, requires --store")
+    _add_no_fuse_flag(p_exp)
     _add_executor_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
@@ -492,6 +510,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--store", type=str, default="", metavar="DIR",
                        help="content-addressed result cache (same store the "
                             "experiments orchestrator uses)")
+    _add_no_fuse_flag(p_run)
     _add_executor_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -530,6 +549,7 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument("--batch", type=int, default=1, metavar="B",
                        help="play B seeded instances per algorithm in one batched "
                             "engine pass and average the certified ratios")
+    _add_no_fuse_flag(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_list = sub.add_parser("list", help="list algorithms, workloads, adversaries, experiments")

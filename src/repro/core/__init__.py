@@ -4,14 +4,16 @@ Exports the containers (:class:`RequestBatch`, :class:`RequestSequence`,
 :class:`MSPInstance`, :class:`MovingClientInstance`), the cost models, the
 scalar simulation engine (:func:`simulate`, :func:`replay_cost`), the
 batched engine (:func:`simulate_batch` with :class:`BatchTrace` /
-:class:`BatchState` and the :class:`VectorizedAlgorithm` protocol) and the
-trace type.
+:class:`BatchState` and the :class:`VectorizedAlgorithm` protocol), the
+fused-kernel fast path controls (:func:`fusion`, :func:`set_fusion`,
+:func:`fusion_enabled`) and the trace type.
 """
 
 from .costs import CostAccumulator, CostModel, StepCost, step_cost
 from .engine import BatchState, BatchStepRequests, BatchTrace, VectorizedAlgorithm, simulate_batch
 from .instance import MovingClientInstance, MSPInstance
 from .io import load_instance, load_trace, save_instance, save_trace
+from .kernels import KERNELS, StepKernel, fusion, fusion_enabled, set_fusion
 from .requests import RequestBatch, RequestSequence
 from .simulator import replay_cost, simulate, simulate_moving_client
 from .trace import Trace
@@ -23,14 +25,19 @@ __all__ = [
     "BatchTrace",
     "CostAccumulator",
     "CostModel",
+    "KERNELS",
     "MSPInstance",
     "MovementCapViolation",
     "MovingClientInstance",
     "RequestBatch",
     "RequestSequence",
     "StepCost",
+    "StepKernel",
     "Trace",
     "VectorizedAlgorithm",
+    "fusion",
+    "fusion_enabled",
+    "set_fusion",
     "simulate_batch",
     "load_instance",
     "load_trace",

@@ -256,6 +256,13 @@ class VectorizedAlgorithm(abc.ABC):
     #: Identifier recorded in traces; mirrors the scalar algorithm's name.
     name: str = "vectorized-algorithm"
 
+    #: Name of a fused step kernel (:data:`repro.core.kernels.KERNELS`)
+    #: that replays this algorithm's decision rule, or ``None``.  Only
+    #: decisions that are pure functions of ``(positions, step.points,
+    #: caps)`` may advertise one; the engine then skips the per-step
+    #: ``decide_batch`` loop entirely when the request stack packs.
+    kernel: str | None = None
+
     def __init__(self) -> None:
         self.instances: list[MSPInstance] = []
         self.caps: np.ndarray = np.zeros(0)
@@ -305,6 +312,19 @@ def _resolve_algorithm(algorithm: AlgorithmSpec) -> VectorizedAlgorithm:
     return as_vectorized(algorithm)
 
 
+def _packed_stack(sequences: Sequence[RequestSequence]) -> np.ndarray | None:
+    """The ``(B, T, r, d)`` request stack when every lane packs uniformly.
+
+    ``None`` when any lane is ragged or the lanes disagree on the per-step
+    request count — the conditions under which both the engine's gather
+    fast path and the fused kernels fall back to per-step assembly.
+    """
+    packed = [seq.packed for seq in sequences]
+    if all(p is not None for p in packed) and len({p.shape[1] for p in packed}) == 1:
+        return np.stack(packed)
+    return None
+
+
 def _gather_steps(instances: Sequence[MSPInstance], T: int) -> list[BatchStepRequests]:
     """Pre-assemble the per-step cross-lane request views."""
     sequences = [inst.requests for inst in instances]
@@ -312,18 +332,21 @@ def _gather_steps(instances: Sequence[MSPInstance], T: int) -> list[BatchStepReq
     steps: list[BatchStepRequests] = []
     # Fast path: every lane uniform with the same request count — one big
     # (B, T, r, d) stack, sliced per step without copying.
-    packed = [seq.packed for seq in sequences]
-    if all(p is not None for p in packed) and len({p.shape[1] for p in packed}) == 1:
-        big = np.stack(packed)  # (B, T, r, d)
+    big = _packed_stack(sequences)
+    if big is not None:
         for t in range(T):
             steps.append(BatchStepRequests(sequences, t, counts[:, t], big[:, t]))
         return steps
+    # Ragged path: hoist each lane's per-step point arrays out of the loop
+    # once, so steps with uniform counts stack plain ndarrays instead of
+    # re-materializing RequestBatch views T × B times.
+    lane_points = [[batch.points for batch in seq] for seq in sequences]
     for t in range(T):
         col = counts[:, t]
         points = None
         r = int(col[0])
         if r > 0 and np.all(col == r):
-            points = np.stack([seq[t].points for seq in sequences])
+            points = np.stack([pts[t] for pts in lane_points])
         steps.append(BatchStepRequests(sequences, t, col, points))
     return steps
 
@@ -354,7 +377,9 @@ def _batch_service_costs(
 def simulate_batch(
     instances: Sequence[MSPInstance],
     algorithm: AlgorithmSpec,
-    delta: float = 0.0,
+    delta: "float | Sequence[float] | np.ndarray" = 0.0,
+    *,
+    fuse: bool | None = None,
 ) -> BatchTrace:
     """Run one algorithm on ``B`` same-length instances in lock-step.
 
@@ -369,13 +394,23 @@ def simulate_batch(
         truly vectorized implementation when one exists and the scalar
         adapter otherwise), or a zero-arg scalar-algorithm factory.
     delta:
-        Resource-augmentation factor applied to every lane.
+        Resource-augmentation factor: a scalar applied to every lane, or
+        a ``(B,)`` per-lane sweep (what lets cross-cell mega-batching
+        pack cells with different δ into one engine pass).
+    fuse:
+        Force the fused-kernel fast path on/off; ``None`` (default)
+        follows the global :func:`repro.core.kernels.fusion_enabled`
+        toggle.  The fused path engages only when the algorithm
+        advertises a kernel and the request stack packs; either path
+        produces bit-identical traces.
 
     Returns
     -------
     BatchTrace
         Full trajectories and per-step cost breakdowns for every lane.
     """
+    from .kernels import fusion_enabled, kernel_for, run_fused
+
     instances = list(instances)
     if not instances:
         raise ValueError("simulate_batch needs at least one instance")
@@ -393,7 +428,9 @@ def simulate_batch(
                 f"lane {i} has d={inst.dim}"
             )
     B = len(instances)
-    caps = np.array([inst.online_cap(delta) for inst in instances])
+    deltas = np.broadcast_to(np.asarray(delta, dtype=np.float64), (B,))
+    caps = np.array([inst.online_cap(float(dl))
+                     for inst, dl in zip(instances, deltas)])
     D = np.array([inst.D for inst in instances])
     serve_after_move = np.array(
         [inst.cost_model.serves_after_move for inst in instances], dtype=bool
@@ -401,6 +438,16 @@ def simulate_batch(
     tol = caps + cap_tolerance(caps)  # cap_tolerance broadcasts elementwise
 
     algo = _resolve_algorithm(algorithm)
+    if (fusion_enabled() if fuse is None else fuse) and T > 0:
+        kernel = kernel_for(algo)
+        if kernel is not None:
+            big = _packed_stack([inst.requests for inst in instances])
+            if big is not None:
+                return run_fused(
+                    kernel,
+                    np.stack([inst.start for inst in instances]),
+                    big, caps, D, serve_after_move, tol, algo.name,
+                )
     algo.reset_batch(instances, caps)
     state = BatchState.initial(np.stack([inst.start for inst in instances]))
     trace = BatchTrace.allocate(B, T, dim, algorithm=algo.name)

@@ -1,0 +1,454 @@
+"""Fused step kernels for the batched engine's hot path.
+
+The per-step loop in :func:`repro.core.engine.simulate_batch` pays one
+Python round-trip per simulated step: a ``decide_batch`` method call, a
+:class:`~repro.core.engine.BatchStepRequests` view, cap validation,
+service-cost accounting and five trace-column writes.  For algorithms
+whose decision is a *pure function* of ``(positions, step.points, caps)``
+all of that can be fused: a :class:`StepKernel` advances a whole block of
+``K`` steps per Python iteration over the packed request stack, and the
+runner (:func:`run_fused`) validates caps, accumulates movement/service
+costs and writes trace columns *per block* instead of per step.
+
+Which algorithms qualify
+------------------------
+
+Only decisions that read nothing but the current positions, the packed
+request points of the step and the per-lane caps can be replayed by a
+kernel: ``greedy-centroid`` (centroid target + clamped move),
+``nearest-chaser`` (argmin target + clamped move) and ``static`` (never
+moves).  ``mtc``, ``greedy-center``, ``follow-last`` and the pursuit
+family do **not** qualify — their targets come from the tie-broken exact
+geometric-median solver (:func:`repro.median.request_center`), which is
+warm-started per lane and inherently per-batch, and/or from per-lane
+state carried across steps.  Those algorithms keep the per-step loop.
+
+Bit-parity contract
+-------------------
+
+A kernel performs the exact float64 arithmetic of the per-step loop.
+The fused path stores the request stack *time-major* — ``(T, r, B, d)``
+instead of the per-step ``(B, r, d)`` — so every block reduction runs
+over long contiguous inner axes, and three facts (asserted empirically
+in ``tests/test_kernels.py``) license the reformulations:
+
+* a sum of two squares via slice adds (``sq[..., 0] + sq[..., 1]``) is
+  bit-identical to NumPy's ``einsum`` sum-of-products **only** for
+  ``d <= 2`` — every norm here gates on that and falls back to the same
+  ``einsum`` the loop uses for ``d >= 3``;
+* reductions over a *middle* axis (the centroid ``mean`` over ``r``)
+  add terms in the same order regardless of which axis of the operand
+  they ran over, so the layout change does not move bits;
+* ``ndarray.sum`` over a *last* axis switches to pairwise blocking at
+  length 8, so the service sum over a step's requests matches the
+  loop's middle-axis order only for ``r < 8`` — larger ``r`` pays a
+  transpose to reduce over a contiguous last axis exactly as the loop
+  does.
+
+Movement distances are recomputed from the committed trajectory (never
+shortcut through the clamp's ``min``), the clamp mirrors
+:func:`~repro.core.geometry.batched_move_towards` term for term, and
+``tests/test_kernels.py`` asserts bit-identical traces against the
+per-step loop for every registered kernel under both cost models, mixed
+per-lane caps/``D`` and δ sweeps.
+
+Escape hatch
+------------
+
+:func:`set_fusion` / the :func:`fusion` context manager toggle every
+fused fast path at once — the engine's kernel dispatch *and* the
+cross-cell mega-batching in :mod:`repro.api.runtime` — which is what the
+CLI ``--no-fuse`` flag flips to produce a pure per-step reference run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict
+
+import numpy as np
+
+from .validation import MovementCapViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type hints
+    from .engine import BatchTrace
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "KERNELS",
+    "StepKernel",
+    "fusion",
+    "fusion_enabled",
+    "kernel_for",
+    "run_fused",
+    "set_fusion",
+]
+
+#: Steps advanced per Python iteration of the fused runner.  Bounds the
+#: block scratch at ``O(K * B * r * d)`` floats while amortizing the
+#: validation / service / trace writes over ``K`` steps.
+DEFAULT_BLOCK = 64
+
+_FUSION_ENABLED = True
+
+
+def fusion_enabled() -> bool:
+    """Whether the fused fast paths (kernels + mega-batching) are active."""
+    return _FUSION_ENABLED
+
+
+def set_fusion(enabled: bool) -> bool:
+    """Toggle the fused fast paths globally; returns the previous setting."""
+    global _FUSION_ENABLED
+    previous = _FUSION_ENABLED
+    _FUSION_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def fusion(enabled: bool):
+    """Context manager form of :func:`set_fusion` (restores on exit)."""
+    previous = set_fusion(enabled)
+    try:
+        yield
+    finally:
+        set_fusion(previous)
+
+
+@dataclass(frozen=True)
+class StepKernel:
+    """A fused decision rule: fill a block of trajectory rows at once.
+
+    ``advance(out, start, points, caps)`` receives
+
+    * ``out`` — ``(K, B, d)`` trajectory rows to fill (``out[k]`` is the
+      position *after* step ``t0 + k``),
+    * ``start`` — ``(B, d)`` positions entering the block (read-only),
+    * ``points`` — ``(K, r, B, d)`` time-major packed requests,
+    * ``caps`` — ``(B,)`` per-lane movement caps,
+
+    and must perform, per lane and step, arithmetic bit-identical to the
+    algorithm's ``decide_batch`` packed path.
+    """
+
+    name: str
+    advance: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], None]
+
+
+def _time_major_stack(big: np.ndarray) -> np.ndarray:
+    """Copy a ``(B, T, r, d)`` request stack into ``(T, r, B, d)`` layout.
+
+    A naive ``ascontiguousarray(transpose(...))`` copies 16-byte rows and
+    is ~2x slower than the whole fused simulation; for ``d <= 2`` the
+    points reinterpret as one scalar per request (complex128 for ``d=2``)
+    and the copy becomes a single cache-blocked 2-D transpose.  Views and
+    copies never touch float bits.
+    """
+    B, T, r, d = big.shape
+    big = np.ascontiguousarray(big)
+    if d == 1:
+        flat = big.reshape(B, T * r)
+    elif d == 2:
+        flat = big.view(np.complex128).reshape(B, T * r)
+    else:
+        out = big.reshape(B, T * r, d).transpose(1, 0, 2)
+        return np.ascontiguousarray(out).reshape(T, r, B, d)
+    M = flat.shape[1]
+    if (M * flat.itemsize) % 4096 == 0:
+        # A page-multiple row stride makes the transpose gather hit one
+        # cache set per column — pad a row element to break the stride.
+        padded = np.empty((B, M + 1), dtype=flat.dtype)
+        padded[:, :M] = flat
+        flat = padded[:, :M]
+    return np.ascontiguousarray(flat.T).view(np.float64).reshape(T, r, B, d)
+
+
+class _ClampScratch:
+    """Per-advance buffers for the clamped-move recurrence.
+
+    The recurrence is overhead-bound (ten NumPy calls on ``(B, d)``
+    operands per step), so every call writes into preallocated buffers;
+    ``weight`` starts at 1.0 so masked-out stale values stay finite.
+    """
+
+    def __init__(self, B: int, d: int) -> None:
+        self.v = np.empty((B, d))
+        self.sq = np.empty((B, d))
+        self.n = np.empty(B)
+        self.weight = np.ones(B)
+        self.reached = np.empty(B, dtype=bool)
+        self.weight_col = self.weight[:, None]
+        self.reached_col = self.reached[:, None]
+
+
+# The clamp recurrence is pure dispatch overhead at these array sizes
+# (ten tiny ufunc calls per simulated step), so bind the ufuncs once.
+_sub = np.subtract
+_mul = np.multiply
+_add = np.add
+_sqrt = np.sqrt
+_le = np.less_equal
+_div = np.divide
+_copyto = np.copyto
+
+
+def _clamped_move(out: np.ndarray, src: np.ndarray, dst: np.ndarray,
+                  caps: np.ndarray, s: _ClampScratch) -> None:
+    """One :func:`~repro.core.geometry.batched_move_towards` step into ``out``.
+
+    Mirrors the library clamp bit-for-bit: the same sum-of-squares row
+    norms (slice adds only where that is exactly ``einsum``'s order, see
+    module docstring), the ``safe_n`` guard against 0/0, the
+    ``(caps / n)`` scaling, and exact landing on reached targets.
+    """
+    _sub(dst, src, out=s.v)
+    if s.v.shape[1] == 2:
+        _mul(s.v, s.v, out=s.sq)
+        _add(s.sq[:, 0], s.sq[:, 1], out=s.n)
+    else:
+        np.einsum("ij,ij->i", s.v, s.v, out=s.n)
+    _sqrt(s.n, out=s.n)
+    _le(s.n, caps, out=s.reached)
+    _copyto(s.n, 1.0, where=s.reached)
+    _div(caps, s.n, out=s.weight)
+    _mul(s.v, s.weight_col, out=out)
+    _add(out, src, out=out)
+    _copyto(out, dst, where=s.reached_col)
+    return s.reached.all()
+
+
+def _advance_greedy_centroid(out: np.ndarray, start: np.ndarray,
+                             points: np.ndarray, caps: np.ndarray) -> None:
+    # The centroid targets are position-independent, so the whole block's
+    # targets reduce in one pass; only the tiny (B, d) clamp recurrence
+    # stays sequential.  For d >= 2 the loop's (B, r, d) mean is a
+    # middle-axis reduction whatever the layout, but at d == 1 NumPy
+    # collapses the trailing unit axis and the loop's mean blocks
+    # pairwise over r — mirror that exactly once r reaches the pairwise
+    # threshold.
+    K, r, B, d = points.shape
+    if r == 1:
+        # Mean of a single request is that request, bit for bit.
+        targets = points[:, 0]
+    elif d == 1 and r >= 8:
+        flat = np.ascontiguousarray(points[..., 0].transpose(0, 2, 1))
+        targets = flat.mean(axis=2)[..., None]  # (K, B, 1)
+    else:
+        targets = points.mean(axis=1)  # (K, B, d)
+    scratch = _ClampScratch(B, d)
+    # Exact-landing fast-forward: when a step lands every lane exactly on
+    # its target (the clamp's ``out[reached] = dst`` rule), the position
+    # no longer depends on history — so any following streak of steps
+    # whose target-to-target hop is within every lane's cap just *is* the
+    # target chain, bit for bit.  ``chain_ok[k]`` precomputes that hop
+    # test (the clamp's own norm and ``<=`` comparison) for step k.
+    if K > 1:
+        tv = targets[1:] - targets[:-1]
+        if d == 2:
+            tsq = tv * tv
+            tn = tsq[..., 0] + tsq[..., 1]
+        else:
+            tn = np.einsum("kbd,kbd->kb", tv, tv)
+        np.sqrt(tn, out=tn)
+        chain_ok = (tn <= caps).all(axis=1)  # (K-1,)
+    else:
+        chain_ok = np.zeros(0, dtype=bool)
+    # run[k]: length of the chain_ok streak covering steps k, k+1, ...
+    run = np.zeros(K + 1, dtype=np.int64)
+    for k in range(K - 2, -1, -1):
+        run[k + 1] = run[k + 2] + 1 if chain_ok[k] else 0
+
+    positions = start
+    k = 0
+    while k < K:
+        all_reached = _clamped_move(out[k], positions, targets[k], caps, scratch)
+        positions = out[k]
+        k += 1
+        if all_reached and k < K:
+            span = int(run[k])
+            if span:
+                out[k:k + span] = targets[k:k + span]
+                positions = out[k + span - 1]
+                k += span
+
+
+def _advance_nearest_chaser(out: np.ndarray, start: np.ndarray,
+                            points: np.ndarray, caps: np.ndarray) -> None:
+    K, r, B, d = points.shape
+    scratch = _ClampScratch(B, d)
+    if r == 1:
+        # A single request is trivially the nearest one.
+        positions = start
+        for k in range(K):
+            _clamped_move(out[k], positions, points[k, 0], caps, scratch)
+            positions = out[k]
+        return
+    lanes = np.arange(B)
+    dbuf = np.empty((r, B, d))
+    dists = np.empty((r, B))
+    positions = start
+    for k in range(K):
+        pts = points[k]
+        np.subtract(pts, positions[None, :, :], out=dbuf)
+        if d == 2:
+            np.multiply(dbuf, dbuf, out=dbuf)
+            np.add(dbuf[..., 0], dbuf[..., 1], out=dists)
+        else:
+            np.einsum("rbd,rbd->rb", dbuf, dbuf, out=dists)
+        # sqrt *before* argmin, like decide_batch: rounding in the sqrt
+        # can merge near-ties, and the tie-break must match exactly.
+        np.sqrt(dists, out=dists)
+        nearest = pts[np.argmin(dists, axis=0), lanes]
+        _clamped_move(out[k], positions, nearest, caps, scratch)
+        positions = out[k]
+
+
+def _advance_static(out: np.ndarray, start: np.ndarray,
+                    points: np.ndarray, caps: np.ndarray) -> None:
+    out[:] = start
+
+
+#: Registered kernels, keyed by algorithm registry name.  An algorithm
+#: advertises its kernel via the ``kernel`` class attribute of its
+#: vectorized implementation; :func:`kernel_for` resolves it here.
+KERNELS: Dict[str, StepKernel] = {
+    "greedy-centroid": StepKernel("greedy-centroid", _advance_greedy_centroid),
+    "nearest-chaser": StepKernel("nearest-chaser", _advance_nearest_chaser),
+    "static": StepKernel("static", _advance_static),
+}
+
+
+def kernel_for(algorithm) -> StepKernel | None:
+    """The registered kernel an algorithm instance advertises, if any."""
+    name = getattr(algorithm, "kernel", None)
+    if name is None:
+        return None
+    return KERNELS.get(name)
+
+
+def run_fused(
+    kernel: StepKernel,
+    starts: np.ndarray,
+    big: np.ndarray,
+    caps: np.ndarray,
+    D: np.ndarray,
+    serve_after_move: np.ndarray,
+    tol: np.ndarray,
+    algorithm_name: str,
+    block: int = DEFAULT_BLOCK,
+) -> "BatchTrace":
+    """Play a packed request stack through a kernel, ``block`` steps at a time.
+
+    Parameters mirror the engine loop's precomputed per-lane arrays:
+    ``starts`` is ``(B, d)``, ``big`` the packed ``(B, T, r, d)`` request
+    stack, ``caps``/``D``/``tol`` are ``(B,)`` and ``serve_after_move``
+    is ``(B,)`` bool (one flag per lane's cost model).
+
+    Returns a :class:`~repro.core.engine.BatchTrace` bit-identical to the
+    per-step loop's: movement distances are recomputed from the committed
+    trajectory (not read back from the clamp), validation checks each
+    block before the next one runs, and service costs reduce a step's
+    requests in exactly the loop's order (see module docstring).
+    """
+    from .engine import BatchTrace  # deferred: engine imports this module
+
+    B, T, r, dim = big.shape
+    points = _time_major_stack(big)  # (T, r, B, d)
+    # Pad the lane axis when a (B, d) row is a page multiple, so the
+    # final trajectory transpose doesn't gather on one cache set.
+    B_pad = B + 1 if (B * dim * 8) % 4096 == 0 else B
+    traj_buf = np.empty((T + 1, B_pad, dim))
+    traj = traj_buf[:, :B]
+    traj[0] = starts
+
+    # Every element below is overwritten, so skip allocate()'s zeroing.
+    trace = BatchTrace(
+        positions=np.empty((B, T + 1, dim)),
+        movement_costs=np.empty((B, T)),
+        service_costs=np.empty((B, T)),
+        distances_moved=np.empty((B, T)),
+        # Packed stacks are uniform by construction.
+        request_counts=np.full((B, T), r, dtype=np.int64),
+        algorithm=algorithm_name,
+    )
+
+    all_serve_after = bool(serve_after_move.all())
+    none_serve_after = not serve_after_move.any()
+    Kmax = min(block, T)
+    seg = np.empty((Kmax, B, dim))
+    over = np.empty((Kmax, B), dtype=bool)
+    diff = np.empty((Kmax, r, B, dim))
+    svc = np.empty((Kmax, r, B))
+    serving_buf = None if all_serve_after or none_serve_after else np.empty((Kmax, B, dim))
+    # Time-major cost accumulators; transposed into the trace once at the
+    # end (a copy never moves float bits).
+    moved_tm = np.empty((T, B))
+    service_tm = np.empty((T, B))
+
+    for t0 in range(0, T, block):
+        t1 = min(t0 + block, T)
+        K = t1 - t0
+        pblock = points[t0:t1]
+        out = traj[t0 + 1:t1 + 1]
+        kernel.advance(out, traj[t0], pblock, caps)
+
+        sg, mv, ov = seg[:K], moved_tm[t0:t1], over[:K]
+        np.subtract(out, traj[t0:t1], out=sg)
+        if dim == 2:
+            np.multiply(sg, sg, out=sg)
+            np.add(sg[..., 0], sg[..., 1], out=mv)
+        else:
+            np.einsum("kbd,kbd->kb", sg, sg, out=mv)
+        np.sqrt(mv, out=mv)
+        np.greater(mv, tol, out=ov)
+        if ov.any():
+            # First offending step, then first offending lane — exactly
+            # the order the per-step loop raises in.  Blocks after this
+            # one were never advanced, matching the loop's early exit.
+            k, lane = np.unravel_index(int(np.argmax(ov)), ov.shape)
+            raise MovementCapViolation(
+                t0 + int(k), float(mv[k, lane]), float(caps[lane]),
+                f"{algorithm_name}[lane {lane}]",
+            )
+
+        if all_serve_after:
+            serving = out
+        elif none_serve_after:
+            serving = traj[t0:t1]
+        else:
+            serving = serving_buf[:K]
+            np.copyto(serving, traj[t0:t1])
+            np.copyto(serving, out, where=serve_after_move[None, :, None])
+
+        db, sv = diff[:K], svc[:K]
+        np.subtract(pblock, serving[:, None, :, :], out=db)
+        if dim == 2:
+            np.multiply(db, db, out=db)
+            np.add(db[..., 0], db[..., 1], out=sv)
+        else:
+            np.einsum("krbd,krbd->krb", db, db, out=sv)
+        np.sqrt(sv, out=sv)
+        if r == 1:
+            service_tm[t0:t1] = sv[:, 0]
+        elif r < 8:
+            # Below length 8 NumPy's pairwise sum is plain sequential, so
+            # the middle-axis reduction matches the loop's order.
+            sv.sum(axis=1, out=service_tm[t0:t1])
+        else:
+            # At r >= 8 the loop's last-axis sum blocks pairwise; pay a
+            # transpose so this reduction blocks identically.
+            np.ascontiguousarray(sv.transpose(0, 2, 1)).sum(axis=2, out=service_tm[t0:t1])
+
+    if dim == 2:
+        flat = traj_buf.view(np.complex128).reshape(T + 1, B_pad)[:, :B]
+        np.copyto(trace.positions.view(np.complex128).reshape(B, T + 1), flat.T)
+    elif dim == 1:
+        flat = traj_buf.reshape(T + 1, B_pad)[:, :B]
+        np.copyto(trace.positions.reshape(B, T + 1), flat.T)
+    else:
+        trace.positions[:] = traj.transpose(1, 0, 2)
+    trace.distances_moved[:] = moved_tm.T
+    trace.service_costs[:] = service_tm.T
+    np.multiply(D[:, None], trace.distances_moved, out=trace.movement_costs)
+    return trace

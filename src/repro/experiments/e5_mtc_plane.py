@@ -5,10 +5,14 @@ bracket on benign workloads, adversarial ratios against the planar Thm-2
 construction, envelope check on ``ratio * δ^{3/2}``, plus one exact
 grid-DP spot check validating the convex bracket.
 
-Declared as an orchestrator sweep.  The convex bracket solves dominate
-this experiment's cost and do not depend on δ, so they live in one
-``brackets/*`` cell per workload shared by the whole δ sweep — a ~4x
-saving over the old sequential loop, which re-solved them per δ.
+Declared as an orchestrator sweep of generic *scenario cells*
+(:func:`repro.api.runtime.scenario_units`): the convex bracket solves —
+which dominate the cost and do not depend on δ — are factored into one
+shared ephemeral cell per workload, and the simulation cells themselves
+are mega-batch compatible (same algorithm, same instance shape), so the
+inline executor packs the whole δ sweep of a workload into a single wide
+batched-engine pass (see :mod:`repro.api.runtime`).  Payloads are
+bit-identical to the former experiment-specific cells' measurements.
 """
 
 from __future__ import annotations
@@ -17,17 +21,12 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..adversaries import build_thm2
-from ..analysis import (
-    measure_adversarial_ratio_batch,
-    measure_ratio_batch,
-    measures_from_payload,
-    measures_to_payload,
-)
+from ..api.runtime import scenario_units
+from ..api.scenario import Scenario
 from ..offline import bracket_optimum
-from ..workloads import DriftWorkload, RandomWalkWorkload
+from ..workloads import RandomWalkWorkload
 from .orchestrator import SweepSpec, WorkUnit, execute_spec, grid
-from .runner import ExperimentResult, scaled, seeded_instances, sweep_seeds
+from .runner import ExperimentResult, scaled, sweep_seeds
 
 __all__ = ["build_spec", "finalize", "run"]
 
@@ -35,42 +34,17 @@ _MODULE = "repro.experiments.e5_mtc_plane"
 DELTAS = [1.0, 0.5, 0.25, 0.125]
 WORKLOADS = ["random-walk-2d", "drift-2d"]
 
-
-def _workload(name: str, T: int):
-    if name == "random-walk-2d":
-        return RandomWalkWorkload(T, dim=2, D=2.0, m=1.0, sigma=0.3,
-                                  spread=0.4, requests_per_step=4)
-    if name == "drift-2d":
-        return DriftWorkload(T, dim=2, D=2.0, m=1.0, speed=0.8, rotate=0.02,
-                             spread=0.2, requests_per_step=4)
-    raise KeyError(f"unknown E5 workload {name!r}")
+#: Registry source + extra parameters behind each E5 workload label
+#: (geometry ``T``/``dim``/``D``/``m`` joins per spec scale).
+_SOURCES = {
+    "random-walk-2d": ("random-walk",
+                       {"sigma": 0.3, "spread": 0.4, "requests_per_step": 4}),
+    "drift-2d": ("drift",
+                 {"speed": 0.8, "rotate": 0.02, "spread": 0.2, "requests_per_step": 4}),
+}
 
 
 # -- cells -----------------------------------------------------------------
-
-
-def cell_brackets(workload: str, T: int, n_seeds: int, seed: int) -> dict:
-    """Convex brackets of the benign instances, shared across the δ sweep."""
-    instances = seeded_instances(_workload(workload, T), n_seeds, seed)
-    return {"brackets": [bracket_optimum(inst).as_payload() for inst in instances]}
-
-
-def cell_benign(workload: str, delta: float, T: int, n_seeds: int, seed: int,
-                deps: Mapping[str, Any]) -> dict:
-    from ..offline.bounds import OptBracket
-
-    instances = seeded_instances(_workload(workload, T), n_seeds, seed)
-    brackets = [OptBracket.from_payload(p) for p in deps[f"brackets/{workload}"]["brackets"]]
-    measures = measure_ratio_batch(instances, "mtc", delta=delta, brackets=brackets)
-    return {"measures": measures_to_payload(measures)}
-
-
-def cell_adversarial(delta: float, n_seeds: int, seed: int) -> dict:
-    mean_adv, per_seed = measure_adversarial_ratio_batch(
-        lambda rng: build_thm2(delta, cycles=3, dim=2, rng=rng), "mtc", delta,
-        sweep_seeds(seed, n_seeds),
-    )
-    return {"mean": mean_adv, "per_seed": per_seed}
 
 
 def cell_spot_check(T: int, seed: int) -> dict:
@@ -86,29 +60,35 @@ def cell_spot_check(T: int, seed: int) -> dict:
 # -- spec ------------------------------------------------------------------
 
 
-def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
+def _scenarios(scale: float, seed: int) -> tuple[list[str], list[Scenario]]:
+    """Keyed scenario list: the benign δ×workload grid plus the adversarial sweep."""
     T = scaled(250, scale, minimum=80)
     n_seeds = scaled(3, scale, minimum=2)
-    units: list[WorkUnit] = []
-    for workload in WORKLOADS:
-        units.append(WorkUnit(
-            key=f"brackets/{workload}",
-            fn=f"{_MODULE}:cell_brackets",
-            params={"workload": workload, "T": T, "n_seeds": n_seeds, "seed": seed},
-        ))
+    seeds = sweep_seeds(seed, n_seeds)
+    keys: list[str] = []
+    scenarios: list[Scenario] = []
     for p in grid(delta=DELTAS, workload=WORKLOADS):
-        units.append(WorkUnit(
-            key=f"benign/{p['workload']}/delta={p['delta']}",
-            fn=f"{_MODULE}:cell_benign",
-            params={**p, "T": T, "n_seeds": n_seeds, "seed": seed},
-            deps=(f"brackets/{p['workload']}",),
+        source, extra = _SOURCES[p["workload"]]
+        key = f"benign/{p['workload']}/delta={p['delta']}"
+        keys.append(key)
+        scenarios.append(Scenario.workload(
+            source, "mtc",
+            params={"T": T, "dim": 2, "D": 2.0, "m": 1.0, **extra},
+            seeds=seeds, delta=p["delta"], ratio="bracket", name=key,
         ))
     for delta in DELTAS:
-        units.append(WorkUnit(
-            key=f"adversarial/delta={delta}",
-            fn=f"{_MODULE}:cell_adversarial",
-            params={"delta": delta, "n_seeds": n_seeds, "seed": seed},
+        key = f"adversarial/delta={delta}"
+        keys.append(key)
+        scenarios.append(Scenario.adversary(
+            "thm2", "mtc", params={"delta": delta, "cycles": 3, "dim": 2},
+            seeds=seeds, delta=delta, name=key,
         ))
+    return keys, scenarios
+
+
+def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
+    keys, scenarios = _scenarios(scale, seed)
+    units = list(scenario_units(scenarios, keys=keys))
     units.append(WorkUnit(
         key="spot-check",
         fn=f"{_MODULE}:cell_spot_check",
@@ -119,6 +99,7 @@ def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
 
 
 def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+    from ..analysis import measures_from_payload
     from ..offline.bounds import OptBracket
 
     rows = []
@@ -129,7 +110,7 @@ def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentR
             ratios = [m.ratio_upper for m in measures]
             rows.append([workload, delta, float(np.mean(ratios)),
                          float(np.mean(ratios)) * delta ** 1.5])
-        mean_adv = results[f"adversarial/delta={delta}"]["mean"]
+        mean_adv = float(np.mean(results[f"adversarial/delta={delta}"]["ratios"]))
         rows.append(["thm2-adversarial-2d", delta, mean_adv, mean_adv * delta ** 1.5])
         envelope.append(mean_adv * delta ** 1.5)
 

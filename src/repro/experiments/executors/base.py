@@ -42,6 +42,7 @@ __all__ = [
     "Executor",
     "InlineExecutor",
     "ProcessExecutor",
+    "find_group_runner",
     "make_executor",
     "resolve_callable",
     "run_cell",
@@ -75,6 +76,26 @@ def run_cell_timed(
     t0 = time.perf_counter()
     payload = run_cell(fn, params, deps)
     return payload, time.perf_counter() - t0
+
+
+def find_group_runner(fn: str) -> Callable[..., list[Any]] | None:
+    """The cell function's batch entry point, when it declares one.
+
+    A cell function may carry a ``group_runner`` attribute — a callable
+    taking ``[(params, deps), ...]`` and returning the payload list in
+    call order, **bit-identical** to calling the cell per pair (that
+    contract is what keeps every cell's content address standalone).
+    Executors that drain several ready cells of the same ``fn`` in one
+    process can then hand them over together; e.g.
+    :func:`repro.api.runtime.cell_run` groups compatible scenario cells
+    into one wide batched-engine pass (cross-cell mega-batching).
+    """
+    try:
+        func = resolve_callable(fn)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    runner = getattr(func, "group_runner", None)
+    return runner if callable(runner) else None
 
 
 @dataclass
@@ -136,15 +157,50 @@ class Executor(abc.ABC):
 
 
 class InlineExecutor(Executor):
-    """Run every cell in this process, in dependency order."""
+    """Run every cell in this process, in dependency order.
+
+    Cells whose function declares a :func:`find_group_runner` batch entry
+    point are drained in *waves*: each wave hands all currently-ready
+    cells of that function over together (one ``group_runner`` call),
+    letting compatible scenario cells share one batched-engine pass.
+    Payloads are bit-identical to per-cell execution by the group-runner
+    contract; per-cell timings become proportional shares of the wave.
+    """
 
     name = "inline"
 
     def drain(self, ctx: ExecutionContext) -> None:
-        for key, unit in ctx.pending:
-            payload, elapsed = run_cell_timed(unit.fn, dict(unit.params),
-                                              ctx.dep_payloads(key, unit))
-            ctx.finish(key, unit, payload, elapsed)
+        runners: dict[str, Callable[..., list[Any]] | None] = {}
+        waiting = list(ctx.pending)
+        while waiting:
+            deferred: list[tuple[str, "WorkUnit"]] = []
+            grouped: dict[str, list[tuple[str, "WorkUnit"]]] = {}
+            for key, unit in waiting:
+                if not ctx.ready(key, unit):
+                    deferred.append((key, unit))
+                    continue
+                if unit.fn not in runners:
+                    runners[unit.fn] = find_group_runner(unit.fn)
+                if runners[unit.fn] is None:
+                    payload, elapsed = run_cell_timed(unit.fn, dict(unit.params),
+                                                      ctx.dep_payloads(key, unit))
+                    ctx.finish(key, unit, payload, elapsed)
+                else:
+                    grouped.setdefault(unit.fn, []).append((key, unit))
+            for fn, units in grouped.items():
+                calls = [(dict(unit.params), ctx.dep_payloads(key, unit))
+                         for key, unit in units]
+                t0 = time.perf_counter()
+                payloads = runners[fn](calls)
+                share = (time.perf_counter() - t0) / len(units)
+                for (key, unit), payload in zip(units, payloads):
+                    ctx.finish(key, unit, payload, share)
+            if not grouped and len(deferred) == len(waiting):
+                # Toposort guarantees progress; guard anyway so a bug
+                # surfaces as an error rather than a spin.
+                stuck = ", ".join(key for key, _ in deferred)
+                raise RuntimeError(f"inline drain stalled on: {stuck}")
+            waiting = deferred
 
 
 @dataclass

@@ -185,3 +185,59 @@ def test_single_lane_batch_equals_scalar():
     inst = _instances(2, T=30, n=1, uniform=True)
     ref = simulate(inst[0], make_algorithm("mtc"), delta=0.5)
     _assert_traces_equal(simulate_batch(inst, "mtc", delta=0.5), [ref])
+
+
+# -- step gathering (the pre-assembled cross-lane request views) -----------
+
+
+def _reference_points(instances, t):
+    """The (B, r, d) stack a step should expose, or None when ragged."""
+    batches = [inst.requests[t] for inst in instances]
+    counts = {len(b) for b in batches}
+    if counts == {0} or len(counts) != 1:
+        return None
+    return np.stack([b.points for b in batches])
+
+
+@pytest.mark.parametrize("uniform", [True, False])
+def test_gather_steps_points_match_per_lane_views(uniform):
+    """Regression: the ragged-path hoist must index per-lane points by step.
+
+    Every step whose lanes agree on a positive request count must expose
+    exactly ``stack(lane[t].points)``; mismatched or empty steps expose
+    ``None`` and fall back to per-lane views.
+    """
+    from repro.core.engine import _gather_steps
+
+    instances = _instances(2, T=25, n=4, uniform=uniform, seed=11)
+    steps = _gather_steps(instances, 25)
+    assert len(steps) == 25
+    for t, step in enumerate(steps):
+        expected = _reference_points(instances, t)
+        np.testing.assert_array_equal(
+            step.counts, [len(inst.requests[t]) for inst in instances])
+        if expected is None:
+            assert step.points is None
+        else:
+            np.testing.assert_array_equal(step.points, expected,
+                                          err_msg=f"step {t}")
+
+
+def test_gather_steps_mismatched_uniform_counts_stay_ragged():
+    """Lanes individually packed but with different r must not mega-stack."""
+    from repro.core.engine import _gather_steps, _packed_stack
+
+    rng = np.random.default_rng(5)
+    seqs = []
+    for r in (2, 3):
+        pts = np.cumsum(rng.normal(scale=0.3, size=(10, r, 2)), axis=0)
+        seqs.append(RequestSequence.from_packed(pts))
+    instances = [MSPInstance(seq, start=np.zeros(2), D=2.0, m=1.0)
+                 for seq in seqs]
+    assert _packed_stack(seqs) is None
+    for t, step in enumerate(_gather_steps(instances, 10)):
+        assert step.points is None  # counts differ: 2 vs 3 at every step
+        np.testing.assert_array_equal(step.counts, [2, 3])
+        for lane in range(2):
+            np.testing.assert_array_equal(
+                step.batch(lane).points, instances[lane].requests[t].points)

@@ -1,0 +1,304 @@
+"""Fused step kernels and cross-cell mega-batching: bit-parity contracts.
+
+Two independent fast paths promise *bit-identical* float64 results:
+
+* :mod:`repro.core.kernels` — fused decide/clamp/validate/accounting
+  kernels that :func:`repro.core.engine.simulate_batch` auto-selects for
+  kernel-capable algorithms on uniformly packed request stacks; and
+* cross-cell mega-batching (:mod:`repro.api.runtime`) — compatible
+  scenario cells packed into one wide ``simulate_batch`` call, split
+  back per cell with unchanged store digests.
+
+These tests enforce both contracts, the fusion toggles that gate them
+(``--no-fuse``), and the dispatch conditions under which they engage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.kernels as kernels_mod
+from repro.api import Scenario, run, run_many
+from repro.api.runtime import _mega_key, build_instances, cell_run
+from repro.core import (
+    KERNELS,
+    CostModel,
+    MSPInstance,
+    RequestSequence,
+    fusion,
+    fusion_enabled,
+    set_fusion,
+    simulate_batch,
+)
+from repro.core.kernels import kernel_for
+from repro.core.store import ResultsStore
+
+KERNEL_ALGOS = sorted(KERNELS)
+
+_TRACE_FIELDS = ("positions", "movement_costs", "service_costs",
+                 "distances_moved", "request_counts")
+
+
+def _assert_batches_equal(a, b):
+    for field in _TRACE_FIELDS:
+        np.testing.assert_array_equal(getattr(a, field), getattr(b, field),
+                                      err_msg=field)
+
+
+def _uniform_instances(dim: int, T: int, B: int, r: int, *,
+                       model: CostModel = CostModel.MOVE_FIRST,
+                       seed: int = 0) -> list[MSPInstance]:
+    """Packed instances with heterogeneous caps: per-lane D and m vary."""
+    out = []
+    for s in range(B):
+        rng = np.random.default_rng(seed * 1000 + s)
+        demand = np.cumsum(rng.normal(scale=0.4, size=(T, dim)), axis=0)
+        pts = demand[:, None, :] + rng.normal(scale=0.3, size=(T, r, dim))
+        out.append(MSPInstance(
+            RequestSequence.from_packed(pts),
+            start=rng.normal(scale=0.5, size=dim),
+            D=1.5 + 0.5 * (s % 3),
+            m=0.5 + 0.25 * (s % 4),
+            cost_model=model,
+        ))
+    return out
+
+
+# -- fused kernel parity ---------------------------------------------------
+
+
+class TestFusedParity:
+    @pytest.mark.parametrize("name", KERNEL_ALGOS)
+    @pytest.mark.parametrize("model", [CostModel.MOVE_FIRST, CostModel.ANSWER_FIRST])
+    @pytest.mark.parametrize("dim,r", [(1, 1), (1, 9), (2, 1), (2, 4), (3, 9)])
+    def test_bit_identical_to_per_step_loop(self, name, model, dim, r):
+        """Every kernel, both cost models, dims/request counts straddling
+        the kernels' internal layout thresholds (d≤2 slice-add vs einsum,
+        r≥8 transposed reductions)."""
+        instances = _uniform_instances(dim, T=36, B=6, r=r, model=model)
+        loop = simulate_batch(instances, name, delta=0.5, fuse=False)
+        fused = simulate_batch(instances, name, delta=0.5, fuse=True)
+        _assert_batches_equal(fused, loop)
+
+    @pytest.mark.parametrize("name", KERNEL_ALGOS)
+    @pytest.mark.parametrize("delta", [0.0, 0.125, 1.0])
+    def test_delta_sweep(self, name, delta):
+        instances = _uniform_instances(2, T=30, B=5, r=2, seed=3)
+        loop = simulate_batch(instances, name, delta=delta, fuse=False)
+        fused = simulate_batch(instances, name, delta=delta, fuse=True)
+        _assert_batches_equal(fused, loop)
+
+    @pytest.mark.parametrize("name", KERNEL_ALGOS)
+    def test_per_lane_delta_array(self, name):
+        instances = _uniform_instances(2, T=30, B=4, r=2, seed=5)
+        deltas = np.array([0.0, 0.25, 0.5, 1.0])
+        loop = simulate_batch(instances, name, delta=deltas, fuse=False)
+        fused = simulate_batch(instances, name, delta=deltas, fuse=True)
+        _assert_batches_equal(fused, loop)
+
+    @pytest.mark.parametrize("name", KERNEL_ALGOS)
+    def test_mixed_cost_models_per_lane(self, name):
+        base = _uniform_instances(2, T=25, B=4, r=3, seed=9)
+        instances = [
+            inst.with_cost_model(CostModel.ANSWER_FIRST if i % 2 else CostModel.MOVE_FIRST)
+            for i, inst in enumerate(base)
+        ]
+        loop = simulate_batch(instances, name, delta=0.5, fuse=False)
+        fused = simulate_batch(instances, name, delta=0.5, fuse=True)
+        _assert_batches_equal(fused, loop)
+
+    def test_ragged_instances_fall_back_and_agree(self):
+        """No packed stack → fused dispatch declines; results still agree."""
+        rng = np.random.default_rng(2)
+        instances = []
+        for s in range(3):
+            counts = rng.integers(0, 4, size=20)
+            batches = [rng.normal(scale=0.5, size=(int(c), 2)) for c in counts]
+            seq = RequestSequence(batches, dim=2)
+            instances.append(MSPInstance(seq, start=np.zeros(2), D=2.0, m=1.0))
+        loop = simulate_batch(instances, "greedy-centroid", delta=0.5, fuse=False)
+        fused = simulate_batch(instances, "greedy-centroid", delta=0.5, fuse=True)
+        _assert_batches_equal(fused, loop)
+
+
+# -- dispatch and toggles --------------------------------------------------
+
+
+class TestFusionDispatch:
+    def test_every_kernel_is_registered_on_its_algorithm(self):
+        from repro.algorithms import make_vectorized
+
+        for name in KERNEL_ALGOS:
+            assert kernel_for(make_vectorized(name)) is KERNELS[name]
+        assert kernel_for(make_vectorized("mtc")) is None
+
+    def test_set_fusion_returns_previous_state(self):
+        assert fusion_enabled()
+        assert set_fusion(False) is True
+        try:
+            assert not fusion_enabled()
+            assert set_fusion(True) is False
+        finally:
+            set_fusion(True)
+        assert fusion_enabled()
+
+    def test_fusion_context_manager_restores_on_exit(self):
+        with fusion(False):
+            assert not fusion_enabled()
+            with fusion(True):
+                assert fusion_enabled()
+            assert not fusion_enabled()
+        assert fusion_enabled()
+
+    def _count_fused_calls(self, monkeypatch):
+        calls = []
+        real = kernels_mod.run_fused
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(kernels_mod, "run_fused", spy)
+        return calls
+
+    def test_auto_dispatch_uses_kernel_when_enabled(self, monkeypatch):
+        calls = self._count_fused_calls(monkeypatch)
+        instances = _uniform_instances(2, T=10, B=3, r=2)
+        simulate_batch(instances, "static", delta=0.5)
+        assert len(calls) == 1
+
+    def test_auto_dispatch_respects_global_toggle(self, monkeypatch):
+        calls = self._count_fused_calls(monkeypatch)
+        instances = _uniform_instances(2, T=10, B=3, r=2)
+        with fusion(False):
+            simulate_batch(instances, "static", delta=0.5)
+        assert calls == []
+
+    def test_no_kernel_for_unkerneled_algorithm(self, monkeypatch):
+        calls = self._count_fused_calls(monkeypatch)
+        instances = _uniform_instances(2, T=10, B=3, r=2)
+        simulate_batch(instances, "mtc", delta=0.5)
+        assert calls == []
+
+
+# -- cross-cell mega-batching ----------------------------------------------
+
+
+def _scenario(algorithm: str, *, delta: float, seeds, source: str = "random-walk",
+              ratio: str = "none", T: int = 30) -> Scenario:
+    params = {"T": T, "dim": 2, "D": 2.0, "m": 1.0,
+              "sigma": 0.3, "spread": 0.4, "requests_per_step": 2}
+    if source == "drift":
+        params = {"T": T, "dim": 2, "D": 2.0, "m": 1.0,
+                  "speed": 0.6, "spread": 0.2, "requests_per_step": 2}
+    return Scenario.workload(source, algorithm, params=params, seeds=seeds,
+                             delta=delta, ratio=ratio)
+
+
+def _values_equal(va, vb, path: str) -> None:
+    if isinstance(va, dict):
+        assert isinstance(vb, dict) and set(va) == set(vb), path
+        for k in va:
+            _values_equal(va[k], vb[k], f"{path}.{k}")
+    elif isinstance(va, (list, tuple, np.ndarray)) and not isinstance(va, str):
+        np.testing.assert_array_equal(np.asarray(va), np.asarray(vb),
+                                      err_msg=path)
+    else:
+        assert va == vb, path
+
+
+def _payloads_equal(a: dict, b: dict) -> None:
+    """Payload equality modulo wall-clock (the only licensed difference)."""
+    assert set(a) == set(b)
+    for key in a:
+        if key != "elapsed":
+            _values_equal(a[key], b[key], key)
+
+
+class TestMegaBatching:
+    #: A sweep that differs only in seed/δ/source — one mega group per
+    #: (algorithm, T, dim), i.e. all four cells fuse into one wide pass.
+    def _sweep(self, algorithm: str = "greedy-centroid") -> list[Scenario]:
+        return [
+            _scenario(algorithm, delta=d, seeds=[10 + s, 20 + s], source=src)
+            for d in (0.25, 1.0)
+            for s, src in enumerate(("random-walk", "drift"))
+        ]
+
+    def test_mega_key_groups_compatible_cells(self):
+        scenarios = self._sweep()
+        keys = {_mega_key(sc, build_instances(sc)[0]) for sc in scenarios}
+        assert keys == {("greedy-centroid", 30, 2)}
+
+    def test_run_many_matches_individual_runs(self):
+        scenarios = self._sweep()
+        grouped = run_many(scenarios)
+        for sc, res in zip(scenarios, grouped):
+            assert res.engine == "batched"
+            _payloads_equal(res.as_payload(), run(sc).as_payload())
+
+    def test_run_many_matches_no_fuse(self):
+        scenarios = self._sweep("nearest-chaser")
+        grouped = run_many(scenarios)
+        with fusion(False):
+            ungrouped = run_many(scenarios)
+        for a, b in zip(grouped, ungrouped):
+            _payloads_equal(a.as_payload(), b.as_payload())
+
+    def test_bracket_certified_cells_mega_batch(self):
+        """ratio="bracket" cells join the group; measurements are identical."""
+        scenarios = [_scenario("greedy-centroid", delta=d, seeds=[7, 8],
+                               ratio="bracket", T=20) for d in (0.5, 1.0)]
+        grouped = run_many(scenarios)
+        for sc, res in zip(scenarios, grouped):
+            assert res.measurements is not None
+            _payloads_equal(res.as_payload(), run(sc).as_payload())
+
+    def test_store_digests_unchanged_and_cache_hits(self, tmp_path):
+        """Mega-batched results land under each cell's standalone digest,
+        so a re-run (and a fusion-off run) is a pure cache hit."""
+        scenarios = self._sweep()
+        store = ResultsStore(tmp_path / "store")
+        first = run_many(scenarios, store=store)
+        assert all(not r.cached for r in first)
+        for sc in scenarios:
+            assert store.load_or_none(sc.digest()) is not None
+        again = run_many(scenarios, store=store)
+        assert all(r.cached for r in again)
+        with fusion(False):
+            off = run_many(scenarios, store=store)
+        assert all(r.cached for r in off)
+        for a, b in zip(first, again):
+            _payloads_equal(a.as_payload(), b.as_payload())
+
+    def test_mixed_algorithms_split_into_groups(self):
+        scenarios = (self._sweep("greedy-centroid")[:2]
+                     + self._sweep("static")[:2]
+                     + [_scenario("mtc", delta=0.5, seeds=[3, 4])])
+        results = run_many(scenarios)
+        for sc, res in zip(scenarios, results):
+            _payloads_equal(res.as_payload(), run(sc).as_payload())
+
+    def test_adversarial_scenarios_mega_batch(self):
+        scenarios = [
+            Scenario.adversary("thm2", "mtc",
+                               params={"delta": d, "cycles": 2, "dim": 2},
+                               seeds=[5, 6], delta=d)
+            for d in (0.5, 1.0)
+        ]
+        grouped = run_many(scenarios)
+        for sc, res in zip(scenarios, grouped):
+            assert res.ratios is not None
+            _payloads_equal(res.as_payload(), run(sc).as_payload())
+
+    def test_cell_run_group_matches_cell_run(self):
+        """The orchestrator's grouped entry point is bit-identical to the
+        per-cell function (the contract that keeps content addresses
+        standalone)."""
+        runner = cell_run.group_runner
+        assert callable(runner)
+        calls = [({"scenario": sc.cache_dict()}, None) for sc in self._sweep()]
+        grouped = runner(calls)
+        for (params, deps), payload in zip(calls, grouped):
+            _payloads_equal(payload, cell_run(params["scenario"], deps))
