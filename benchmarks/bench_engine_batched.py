@@ -21,8 +21,9 @@ Run directly to (re)generate ``BENCH_engine.json``::
     PYTHONPATH=src python benchmarks/bench_engine_batched.py [--out BENCH_engine.json]
 
 or via pytest (the bench suite), where the acceptance criteria are
-enforced: batched ≥ 5× scalar, and fused ≥ 5× the batched loop for at
-least one kerneled algorithm at B=256.
+enforced: batched ≥ 5× scalar, fused ≥ 5× the batched loop for at
+least one kerneled algorithm at B=256, and the median-family (MtC)
+kernel ≥ 3× the per-step batched loop at B=256.
 """
 
 from __future__ import annotations
@@ -59,6 +60,18 @@ FUSED_CONFIGS = (
     {"workload": "random-walk", "dim": 2, "requests_per_step": 4, "delta": 0.5},
 )
 FUSED_ALGORITHMS = ("greedy-centroid", "nearest-chaser", "static")
+
+#: Median-family measurement: the MtC/follow kernels against the per-step
+#: batched loop.  The loop pays one cross-lane geometric-median solve per
+#: step *plus* per-lane Python dispatch, so it is orders of magnitude
+#: slower than the time-major kernels above — a short horizon keeps the
+#: loop baseline affordable while B=256 (the acceptance point) still
+#: exercises the cross-lane solver at full width.
+MEDIAN_T = 32
+MEDIAN_B = 256
+MEDIAN_CONFIG = {"workload": "drift", "dim": 2, "requests_per_step": 2,
+                 "delta": 0.5, "T": MEDIAN_T}
+MEDIAN_ALGORITHMS = ("mtc", "follow-last")
 
 _TRACE_FIELDS = ("positions", "movement_costs", "service_costs",
                  "distances_moved", "request_counts")
@@ -115,12 +128,13 @@ def _render(name: str, rows) -> str:
 def _fused_instances(config: dict, B: int) -> list:
     r = config["requests_per_step"]
     dim = config["dim"]
+    T_cfg = config.get("T", FUSED_T)
     if config["workload"] == "drift":
         rotate = {"rotate": 0.02} if dim == 2 else {}
-        wl = DriftWorkload(FUSED_T, dim=dim, D=2.0, m=1.0, speed=0.8,
+        wl = DriftWorkload(T_cfg, dim=dim, D=2.0, m=1.0, speed=0.8,
                            spread=0.2, requests_per_step=r, **rotate)
     else:
-        wl = RandomWalkWorkload(FUSED_T, dim=dim, D=2.0, m=1.0, sigma=0.3,
+        wl = RandomWalkWorkload(T_cfg, dim=dim, D=2.0, m=1.0, sigma=0.3,
                                 spread=0.4, requests_per_step=r)
     return [wl.generate(np.random.default_rng(7000 + s)) for s in range(B)]
 
@@ -142,10 +156,11 @@ def measure_fused(name: str, config: dict, B: int,
     """
     instances = _fused_instances(config, B)
     delta = config["delta"]
+    T_cfg = config.get("T", FUSED_T)
     fused_trace = simulate_batch(instances, name, delta=delta, fuse=True)
     loop_trace = simulate_batch(instances, name, delta=delta, fuse=False)
     _assert_traces_equal(fused_trace, loop_trace)
-    lane_steps = B * FUSED_T
+    lane_steps = B * T_cfg
     loop_times, fused_times = [], []
     for _ in range(rounds):
         t0 = time.perf_counter()
@@ -161,7 +176,7 @@ def measure_fused(name: str, config: dict, B: int,
         "dim": config["dim"],
         "requests_per_step": config["requests_per_step"],
         "delta": delta,
-        "T": FUSED_T,
+        "T": T_cfg,
         "B": B,
         "loop_steps_per_sec": lane_steps / min(loop_times),
         "fused_steps_per_sec": lane_steps / min(fused_times),
@@ -190,13 +205,40 @@ def measure_fused_grid(progress=None) -> list[dict]:
     return rows
 
 
+def measure_median_grid(progress=None) -> list[dict]:
+    """MtC/follow fused-vs-loop rows at the B=256 acceptance point."""
+    rows = []
+    for name in MEDIAN_ALGORITHMS:
+        # The per-step loop baseline costs tens of seconds per run at
+        # this width, so fewer (still interleaved) rounds than the
+        # time-major grid.
+        row = measure_fused(name, MEDIAN_CONFIG, MEDIAN_B,
+                            rounds=2, fused_reps=3)
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"{row['workload']}/d={row['dim']}/r={row['requests_per_step']}"
+                f"/delta={row['delta']} {row['algorithm']:16s} B={row['B']:>3}: "
+                f"loop {row['loop_steps_per_sec']:>12,.0f}/s  "
+                f"fused {row['fused_steps_per_sec']:>12,.0f}/s  "
+                f"{row['speedup']:.2f}x"
+            )
+    return rows
+
+
 def _best_fused(rows: list[dict]) -> dict:
     at_256 = [r for r in rows if r["B"] == 256]
     return max(at_256, key=lambda r: r["speedup"])
 
 
-def write_report(rows: list[dict], out: str | Path) -> dict:
+def _median_row(rows: list[dict], name: str) -> dict:
+    return next(r for r in rows if r["algorithm"] == name and r["B"] == MEDIAN_B)
+
+
+def write_report(rows: list[dict], median_rows: list[dict],
+                 out: str | Path) -> dict:
     best = _best_fused(rows)
+    mtc = _median_row(median_rows, "mtc")
     payload = {
         "benchmark": "engine-fused-kernels",
         "cpu_count": os.cpu_count(),
@@ -205,12 +247,15 @@ def write_report(rows: list[dict], out: str | Path) -> dict:
         "measurement": ("interleaved rounds, median of per-round "
                         "loop/fused ratios; traces asserted bit-identical"),
         "rows": rows,
+        "median_family_rows": median_rows,
         "summary": {
             "best_speedup_at_B256": best["speedup"],
             "best_config": {k: best[k] for k in
                             ("algorithm", "workload", "dim",
                              "requests_per_step", "delta")},
             "acceptance_5x_at_B256": best["speedup"] >= 5.0,
+            "mtc_speedup_at_B256": mtc["speedup"],
+            "acceptance_mtc_3x_at_B256": mtc["speedup"] >= 3.0,
         },
     }
     Path(out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -258,6 +303,21 @@ def test_fused_kernel_speedup(capsys):
     )
 
 
+def test_fused_median_family_speedup(capsys):
+    """Acceptance: fused MtC ≥ 3× the per-step batched loop at B=256.
+
+    The loop pays a cross-lane median solve per step plus per-lane Python
+    dispatch; the batch-major kernel amortises both over the whole packed
+    stack.  Bit-parity is asserted inside the measurement.
+    """
+    with capsys.disabled():
+        print()
+        rows = measure_median_grid(progress=print)
+    mtc = _median_row(rows, "mtc")
+    assert mtc["speedup"] >= 3.0, (
+        f"fused mtc speedup at B=256 is only {mtc['speedup']:.2f}x")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=str, default="BENCH_engine.json")
@@ -266,7 +326,8 @@ def main(argv=None) -> int:
         print(_render(name, measure(name)))
         print()
     rows = measure_fused_grid(progress=print)
-    payload = write_report(rows, args.out)
+    median_rows = measure_median_grid(progress=print)
+    payload = write_report(rows, median_rows, args.out)
     summary = payload["summary"]
     print(f"wrote {args.out}")
     print(f"  best fused speedup at B=256: {summary['best_speedup_at_B256']:.2f}x "
@@ -276,6 +337,9 @@ def main(argv=None) -> int:
           f"r={summary['best_config']['requests_per_step']}, "
           f"delta={summary['best_config']['delta']})")
     print(f"  acceptance (>=5x at B=256): {summary['acceptance_5x_at_B256']}")
+    print(f"  fused mtc vs per-step loop at B=256: "
+          f"{summary['mtc_speedup_at_B256']:.2f}x "
+          f"(acceptance >=3x: {summary['acceptance_mtc_3x_at_B256']})")
     return 0
 
 

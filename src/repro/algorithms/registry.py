@@ -120,11 +120,16 @@ class AlgorithmInfo:
         registered in :data:`repro.core.kernels.KERNELS` — the engine
         then fuses decide/clamp/validate/accounting into block-wise
         passes over the packed request stack (bit-identical to the
-        per-step loop; see :mod:`repro.core.kernels`).
+        per-step loop; see :mod:`repro.core.kernels`).  Resolved from
+        the vectorized *instance*, so variant names (``lazy-aggressive``,
+        ``follow-smooth``) correctly report their family's kernel.
         """
-        from ..core.kernels import KERNELS
+        if not self.vectorized:
+            return False
+        from ..core.kernels import kernel_for
+        from .vectorized import make_vectorized
 
-        return self.vectorized and self.name in KERNELS
+        return kernel_for(make_vectorized(self.name)) is not None
 
 
 def algorithm_info(name: str) -> AlgorithmInfo:

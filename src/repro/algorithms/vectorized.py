@@ -142,14 +142,26 @@ class BatchedNearestChaser(VectorizedAlgorithm):
             dists = np.sqrt(np.einsum("brd,brd->br", diff, diff))
             nearest = step.points[np.arange(len(step)), np.argmin(dists, axis=1)]
             return batched_move_towards(positions, nearest, self.caps)
+        # Ragged fallback: pad each lane's requests into one (n, rmax, d)
+        # block with +inf fill and take a single batched argmin.  The inf
+        # rows give +inf distances, which can never beat a real request,
+        # so each lane's winning index — and argmin's first-of-ties rule —
+        # matches the per-lane loop exactly; the distances themselves are
+        # the same sequential sum-over-d einsum followed by sqrt.
         targets = positions.copy()
         steps = np.zeros(len(step))
-        for i in np.nonzero(step.counts)[0]:
-            pts = step.batch(int(i)).points
-            diff = pts - positions[i]
-            d = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-            targets[i] = pts[int(np.argmin(d))]
-            steps[i] = self.caps[i]
+        lanes = np.nonzero(step.counts)[0]
+        if lanes.size:
+            rmax = int(step.counts[lanes].max())
+            pad = np.full((lanes.size, rmax, positions.shape[1]), np.inf)
+            for row, i in enumerate(lanes):
+                pts = step.batch(int(i)).points
+                pad[row, : pts.shape[0]] = pts
+            diff = pad - positions[lanes, None, :]
+            dists = np.sqrt(np.einsum("lrd,lrd->lr", diff, diff))
+            best = np.argmin(dists, axis=1)
+            targets[lanes] = pad[np.arange(lanes.size), best]
+            steps[lanes] = self.caps[lanes]
         return batched_move_towards(positions, targets, steps)
 
 
@@ -162,6 +174,7 @@ class BatchedGreedyCenter(VectorizedAlgorithm):
     """
 
     name = "greedy-center"
+    kernel = "greedy-center"
 
     def decide_batch(
         self, t: int, positions: np.ndarray, step: BatchStepRequests
@@ -182,6 +195,8 @@ class BatchedMoveToCenter(VectorizedAlgorithm):
     tie-broken centers with warm-started Weiszfeld, then one batched
     ``min{1, r/D}``-damped clamped move.
     """
+
+    kernel = "mtc"
 
     def __init__(
         self,
@@ -231,6 +246,12 @@ class BatchedMoveToCenter(VectorizedAlgorithm):
         self, t: int, positions: np.ndarray, step: BatchStepRequests
     ) -> np.ndarray:
         B = len(step)
+        if len(self._last_centers) != B:
+            # Defensive re-size: if the engine (or a mega-batch split)
+            # replays this instance at a different lane count without an
+            # intervening reset_batch, stale warm starts must not leak
+            # into the wrong lanes — cold-start them all instead.
+            self._last_centers = [None] * B
         targets = positions.copy()
         for i in np.nonzero(step.counts)[0]:
             targets[int(i)] = self._center(int(i), step.batch(int(i)).points, positions[int(i)])
@@ -303,6 +324,8 @@ class _BatchedPursuit(VectorizedAlgorithm):
 class BatchedFollowLast(VectorizedAlgorithm):
     """Vectorized :class:`~repro.algorithms.follow.FollowLastRequest`."""
 
+    kernel = "follow-last"
+
     def __init__(self, smoothing: float = 1.0) -> None:
         super().__init__()
         if not (0.0 < smoothing <= 1.0):
@@ -333,6 +356,8 @@ class BatchedFollowLast(VectorizedAlgorithm):
 
 class BatchedLazyThreshold(_BatchedPursuit):
     """Vectorized :class:`~repro.algorithms.lazy.LazyThreshold`."""
+
+    kernel = "lazy"
 
     def __init__(self, threshold_factor: float = 1.0, window: int = 8) -> None:
         super().__init__()
@@ -377,6 +402,8 @@ class BatchedLazyThreshold(_BatchedPursuit):
 
 class BatchedMoveToMin(_BatchedPursuit):
     """Vectorized :class:`~repro.algorithms.move_to_min.MoveToMin`."""
+
+    kernel = "move-to-min"
 
     def __init__(self, phase_requests: int | None = None) -> None:
         super().__init__()

@@ -415,8 +415,12 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         poll=args.poll,
         max_tasks=args.max_tasks,
         idle_exit=args.idle_exit,
+        batch=args.batch,
         progress=lambda message: print(f"worker {wid}: {message}", flush=True),
     )
+    if stats.waves:
+        sizes = ",".join(str(n) for n in stats.wave_sizes)
+        print(f"worker {wid}: {stats.waves} wave(s) of sizes [{sizes}]", flush=True)
     print(f"worker {wid}: exiting — {stats.completed} completed, "
           f"{stats.skipped} skipped, {stats.failed} failed", flush=True)
     return 0 if stats.failed == 0 else 1
@@ -531,6 +535,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="sleep between scans of an empty spool (default 0.1)")
     p_wrk.add_argument("--max-tasks", type=int, default=None, metavar="N",
                        help="exit after claiming N tasks (default: unbounded)")
+    p_wrk.add_argument("--batch", type=int, default=1, metavar="N",
+                       help="claim up to N ready tasks per scan and drain "
+                            "compatible ones through a single fused mega-batch "
+                            "call (default 1: one task at a time)")
     p_wrk.add_argument("--idle-exit", type=float, default=None, metavar="SECONDS",
                        help="exit after this long without finding a task "
                             "(default: wait forever; a STOP file in the spool "

@@ -443,10 +443,11 @@ def simulate_batch(
         if kernel is not None:
             big = _packed_stack([inst.requests for inst in instances])
             if big is not None:
+                m = np.array([inst.m for inst in instances])
                 return run_fused(
-                    kernel,
+                    kernel, algo,
                     np.stack([inst.start for inst in instances]),
-                    big, caps, D, serve_after_move, tol, algo.name,
+                    big, caps, D, m, serve_after_move, tol,
                 )
     algo.reset_batch(instances, caps)
     state = BatchState.initial(np.stack([inst.start for inst in instances]))

@@ -3,34 +3,46 @@
 The per-step loop in :func:`repro.core.engine.simulate_batch` pays one
 Python round-trip per simulated step: a ``decide_batch`` method call, a
 :class:`~repro.core.engine.BatchStepRequests` view, cap validation,
-service-cost accounting and five trace-column writes.  For algorithms
-whose decision is a *pure function* of ``(positions, step.points, caps)``
-all of that can be fused: a :class:`StepKernel` advances a whole block of
-``K`` steps per Python iteration over the packed request stack, and the
-runner (:func:`run_fused`) validates caps, accumulates movement/service
-costs and writes trace columns *per block* instead of per step.
+service-cost accounting and five trace-column writes.  A
+:class:`StepKernel` fuses all of that: it advances a whole block of ``K``
+steps per Python iteration over the packed request stack, and the runner
+(:func:`run_fused`) validates caps, accumulates movement/service costs
+and writes trace columns *per block* instead of per step.
 
-Which algorithms qualify
-------------------------
+Two kernel families
+-------------------
 
-Only decisions that read nothing but the current positions, the packed
-request points of the step and the per-lane caps can be replayed by a
-kernel: ``greedy-centroid`` (centroid target + clamped move),
-``nearest-chaser`` (argmin target + clamped move) and ``static`` (never
-moves).  ``mtc``, ``greedy-center``, ``follow-last`` and the pursuit
-family do **not** qualify — their targets come from the tie-broken exact
-geometric-median solver (:func:`repro.median.request_center`), which is
-warm-started per lane and inherently per-batch, and/or from per-lane
-state carried across steps.  Those algorithms keep the per-step loop.
+*Stateless* kernels (``greedy-centroid``, ``nearest-chaser``,
+``static``) decide from ``(positions, step points, caps)`` alone.  They
+consume the request stack **time-major** — ``(T, r, B, d)`` — so block
+reductions run over long contiguous inner axes.
+
+*Median-family* kernels (``mtc`` and all its tie-break/step-scale/
+cap-fraction variants, ``greedy-center``, ``follow-last``, ``lazy``,
+``move-to-min``) target the tie-broken geometric median.  Their per-lane
+Python loops over :func:`repro.median.request_center` are replaced by
+the cross-lane batched solver
+(:func:`repro.median.batched_request_center`), and their per-lane state
+(warm starts, pursuit targets, accumulators, phase buffers) moves into
+arrays owned by the kernel's per-run closure.  These kernels consume the
+stack **batch-major** — the packed ``(B, T, r, d)`` itself — because the
+batched median solver's ``r``-reductions must run over a contiguous
+trailing axis to match the scalar solver's summation order.  Only
+``coin-flip`` (per-lane RNG streams) keeps the per-step loop.
+
+Every kernel is *built* per run: :attr:`StepKernel.build` receives a
+:class:`KernelContext` (the algorithm instance plus the per-lane
+``caps``/``D``/``m`` arrays) and returns a stateful ``advance`` closure.
+State therefore lives exactly one engine call — the registry entries in
+:data:`KERNELS` are immutable and shared, and nothing can leak between
+runs or between cells packed into one mega-batch.
 
 Bit-parity contract
 -------------------
 
 A kernel performs the exact float64 arithmetic of the per-step loop.
-The fused path stores the request stack *time-major* — ``(T, r, B, d)``
-instead of the per-step ``(B, r, d)`` — so every block reduction runs
-over long contiguous inner axes, and three facts (asserted empirically
-in ``tests/test_kernels.py``) license the reformulations:
+Facts asserted empirically in ``tests/test_kernels.py`` license the
+reformulations:
 
 * a sum of two squares via slice adds (``sq[..., 0] + sq[..., 1]``) is
   bit-identical to NumPy's ``einsum`` sum-of-products **only** for
@@ -40,10 +52,13 @@ in ``tests/test_kernels.py``) license the reformulations:
   add terms in the same order regardless of which axis of the operand
   they ran over, so the layout change does not move bits;
 * ``ndarray.sum`` over a *last* axis switches to pairwise blocking at
-  length 8, so the service sum over a step's requests matches the
-  loop's middle-axis order only for ``r < 8`` — larger ``r`` pays a
-  transpose to reduce over a contiguous last axis exactly as the loop
-  does.
+  length 8, so time-major service sums match the loop's middle-axis
+  order only for ``r < 8`` — larger ``r`` pays a transpose, while the
+  batch-major service pass reduces over the trailing ``r`` exactly as
+  the loop does at any ``r``;
+* scalar ``np.dot`` contractions are reproduced with vector-shaped
+  ``matmul`` (same BLAS ``ddot``), never ``einsum`` — see
+  :mod:`repro.median.batched`.
 
 Movement distances are recomputed from the committed trajectory (never
 shortcut through the clamp's ``min``), the clamp mirrors
@@ -64,7 +79,7 @@ CLI ``--no-fuse`` flag flips to produce a pure per-step reference run.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict
 
 import numpy as np
@@ -77,6 +92,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type hints
 __all__ = [
     "DEFAULT_BLOCK",
     "KERNELS",
+    "KernelContext",
     "StepKernel",
     "fusion",
     "fusion_enabled",
@@ -117,23 +133,50 @@ def fusion(enabled: bool):
 
 
 @dataclass(frozen=True)
-class StepKernel:
-    """A fused decision rule: fill a block of trajectory rows at once.
+class KernelContext:
+    """Per-run inputs a kernel builder closes over.
 
-    ``advance(out, start, points, caps)`` receives
+    Attributes
+    ----------
+    algorithm:
+        The resolved :class:`~repro.core.engine.VectorizedAlgorithm`
+        instance — variant kernels (``mtc[...]``, ``lazy[...]``) read
+        their ablation parameters (``step_scale``, ``tie_break``,
+        ``smoothing``, ``threshold_factor``, ...) from it.
+    caps, D, m:
+        Per-lane ``(B,)`` arrays: movement caps, the paper's ``D`` and
+        the instances' ``m`` (the lazy threshold's scale factor).
+    """
+
+    algorithm: object
+    caps: np.ndarray
+    D: np.ndarray
+    m: np.ndarray
+
+
+@dataclass(frozen=True)
+class StepKernel:
+    """A fused decision rule: fill blocks of trajectory rows at once.
+
+    ``build(ctx)`` returns a per-run ``advance(out, start, points, t0)``
+    closure (any cross-block state lives inside it) where
 
     * ``out`` — ``(K, B, d)`` trajectory rows to fill (``out[k]`` is the
       position *after* step ``t0 + k``),
     * ``start`` — ``(B, d)`` positions entering the block (read-only),
-    * ``points`` — ``(K, r, B, d)`` time-major packed requests,
-    * ``caps`` — ``(B,)`` per-lane movement caps,
+    * ``points`` — the request stack in the kernel's declared
+      :attr:`layout`: the ``(K, r, B, d)`` time-major block, or the full
+      contiguous ``(B, T, r, d)`` packed stack (batch-major kernels
+      slice ``points[:, t0 + k]`` themselves),
+    * ``t0`` — absolute index of the block's first step,
 
     and must perform, per lane and step, arithmetic bit-identical to the
     algorithm's ``decide_batch`` packed path.
     """
 
     name: str
-    advance: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], None]
+    build: Callable[[KernelContext], Callable]
+    layout: str = field(default="time_major")
 
 
 def _time_major_stack(big: np.ndarray) -> np.ndarray:
@@ -216,6 +259,9 @@ def _clamped_move(out: np.ndarray, src: np.ndarray, dst: np.ndarray,
     _add(out, src, out=out)
     _copyto(out, dst, where=s.reached_col)
     return s.reached.all()
+
+
+# -- stateless time-major kernels ------------------------------------------
 
 
 def _advance_greedy_centroid(out: np.ndarray, start: np.ndarray,
@@ -309,13 +355,283 @@ def _advance_static(out: np.ndarray, start: np.ndarray,
     out[:] = start
 
 
+def _stateless(fn: Callable) -> Callable[[KernelContext], Callable]:
+    """Wrap a stateless time-major advance function as a builder."""
+
+    def build(ctx: KernelContext) -> Callable:
+        caps = ctx.caps
+
+        def advance(out, start, points, t0):
+            fn(out, start, points, caps)
+
+        return advance
+
+    return build
+
+
+# -- median-family batch-major kernels -------------------------------------
+#
+# These kernels replay the per-lane ``request_center`` loops of
+# ``decide_batch`` through the cross-lane batched solver.  They receive
+# the full packed (B, T, r, d) stack and slice one (B, r, d) step at a
+# time: per lane that slice is the same contiguous (r, d) block the
+# scalar solver sees, so every reduction matches bit-for-bit.
+
+
+def _masked_pursuit(out_k: np.ndarray, positions: np.ndarray,
+                    target: np.ndarray, has: np.ndarray, caps: np.ndarray,
+                    tgt_buf: np.ndarray, steps_buf: np.ndarray,
+                    s: _ClampScratch) -> np.ndarray:
+    """One ``_pursuit_move`` step: full-cap chase of per-lane targets.
+
+    Lanes without a target (``has`` False) stay put (zero step towards
+    their own position, exactly the reference assembly).  Returns the
+    reference ``reached`` mask (``|out - tgt| <= 1e-12`` in every
+    coordinate) for the caller's target-clearing rule.
+    """
+    np.copyto(tgt_buf, positions)
+    np.copyto(tgt_buf, target, where=has[:, None])
+    steps_buf.fill(0.0)
+    np.copyto(steps_buf, caps, where=has)
+    _clamped_move(out_k, positions, tgt_buf, steps_buf, s)
+    return np.all(np.abs(out_k - tgt_buf) <= 1e-12, axis=1)
+
+
+def _build_greedy_center(ctx: KernelContext) -> Callable:
+    caps = ctx.caps
+    B = caps.shape[0]
+    st: dict = {}
+
+    def advance(out, start, big, t0):
+        from ..median.batched import batched_request_center
+
+        K, _, d = out.shape
+        if not st:
+            st["scratch"] = _ClampScratch(B, d)
+        s = st["scratch"]
+        positions = start
+        for k in range(K):
+            c = batched_request_center(big[:, t0 + k], positions)
+            _clamped_move(out[k], positions, c, caps, s)
+            positions = out[k]
+
+    return advance
+
+
+def _build_mtc(ctx: KernelContext) -> Callable:
+    algo = ctx.algorithm
+    caps, D = ctx.caps, ctx.D
+    B = caps.shape[0]
+    tie = algo.tie_break
+    step_scale = algo.step_scale
+    capped = caps * algo.cap_fraction
+    st: dict = {}
+
+    def advance(out, start, big, t0):
+        from ..median.batched import (
+            batched_median_set,
+            batched_request_center,
+            batched_weiszfeld,
+        )
+
+        K, _, d = out.shape
+        r = big.shape[2]
+        if not st:
+            st["scratch"] = _ClampScratch(B, d)
+            st["desired"] = np.empty(B)
+            st["steps"] = np.empty(B)
+            st["warm"] = np.zeros((B, d))
+            st["warm_ok"] = np.zeros(B, dtype=bool)
+            counts = np.full(B, r, dtype=np.int64)
+            st["scale"] = (np.full(B, step_scale) if step_scale is not None
+                           else np.minimum(1.0, counts / D))
+        s = st["scratch"]
+        scale, desired, steps = st["scale"], st["desired"], st["steps"]
+        positions = start
+        for k in range(K):
+            pts = big[:, t0 + k]
+            if tie == "closest":
+                c = batched_request_center(pts, positions,
+                                           warm_starts=st["warm"],
+                                           warm_mask=st["warm_ok"])
+                st["warm"] = c
+                st["warm_ok"] = np.ones(B, dtype=bool) if not st["warm_ok"].all() \
+                    else st["warm_ok"]
+            elif tie == "weiszfeld":
+                c = batched_weiszfeld(pts)
+            else:  # midpoint
+                mset = batched_median_set(pts)
+                c = 0.5 * (mset.a + mset.b)
+                nidx = np.nonzero(mset.numeric)[0]
+                if nidx.size:
+                    c[nidx] = batched_weiszfeld(pts[nidx])
+            # dist = row_norms(targets - positions), then the damped
+            # min{scale·dist, cap_fraction·cap} clamp of decide_batch.
+            _sub(c, positions, out=s.v)
+            np.einsum("ij,ij->i", s.v, s.v, out=s.n)
+            _sqrt(s.n, out=s.n)
+            _mul(scale, s.n, out=desired)
+            np.minimum(desired, capped, out=steps)
+            _le(s.n, steps, out=s.reached)
+            _copyto(s.n, 1.0, where=s.reached)
+            _div(steps, s.n, out=s.weight)
+            _mul(s.v, s.weight_col, out=out[k])
+            _add(out[k], positions, out=out[k])
+            _copyto(out[k], c, where=s.reached_col)
+            positions = out[k]
+
+    return advance
+
+
+def _build_follow_last(ctx: KernelContext) -> Callable:
+    algo, caps = ctx.algorithm, ctx.caps
+    smoothing = algo.smoothing
+    B = caps.shape[0]
+    st: dict = {}
+
+    def advance(out, start, big, t0):
+        from ..median.batched import batched_request_center
+
+        K, _, d = out.shape
+        if not st:
+            st["scratch"] = _ClampScratch(B, d)
+            st["target"] = None
+        s = st["scratch"]
+        positions = start
+        for k in range(K):
+            c = batched_request_center(big[:, t0 + k], positions)
+            if st["target"] is None:
+                # First step with requests: adopt the center outright
+                # (the scalar rule smooths only from the second on).
+                st["target"] = c
+            else:
+                st["target"] = (1.0 - smoothing) * st["target"] + smoothing * c
+            # The smoothed target persists after being reached — a plain
+            # full-cap clamp, no clearing.
+            _clamped_move(out[k], positions, st["target"], caps, s)
+            positions = out[k]
+
+    return advance
+
+
+def _build_lazy(ctx: KernelContext) -> Callable:
+    algo, caps = ctx.algorithm, ctx.caps
+    thresholds = algo.threshold_factor * ctx.D * ctx.m
+    window = algo.window
+    B = caps.shape[0]
+    st: dict = {}
+
+    def advance(out, start, big, t0):
+        from ..median.batched import batched_request_center
+
+        K, _, d = out.shape
+        r = big.shape[2]
+        if not st:
+            st["scratch"] = _ClampScratch(B, d)
+            st["acc"] = np.zeros(B)
+            st["target"] = np.zeros((B, d))
+            st["has"] = np.zeros(B, dtype=bool)
+            st["tgt_buf"] = np.empty((B, d))
+            st["steps_buf"] = np.empty(B)
+        s = st["scratch"]
+        acc, target, has = st["acc"], st["target"], st["has"]
+        tgt_buf, steps_buf = st["tgt_buf"], st["steps_buf"]
+        positions = start
+        for k in range(K):
+            t = t0 + k
+            pts = big[:, t]
+            # Accumulate each lane's service cost at the pre-move
+            # position (RequestBatch.service_cost, vectorized).
+            diff = pts - positions[:, None, :]
+            acc += np.sqrt(np.einsum("brd,brd->br", diff, diff)).sum(axis=1)
+            trig = ~has & (acc > thresholds)
+            if np.any(trig):
+                idx = np.nonzero(trig)[0]
+                w = min(t + 1, window)
+                pooled = big[idx, t + 1 - w:t + 1].reshape(idx.size, w * r, d)
+                target[idx] = batched_request_center(pooled, positions[idx])
+                acc[idx] = 0.0
+                has[idx] = True
+            reached = _masked_pursuit(out[k], positions, target, has, caps,
+                                      tgt_buf, steps_buf, s)
+            has &= ~reached
+            positions = out[k]
+
+    return advance
+
+
+def _build_move_to_min(ctx: KernelContext) -> Callable:
+    algo, caps = ctx.algorithm, ctx.caps
+    B = caps.shape[0]
+    if algo.phase_requests is not None:
+        size = np.full(B, int(algo.phase_requests), dtype=np.int64)
+    else:
+        size = np.maximum(1, np.ceil(ctx.D).astype(np.int64))
+    st: dict = {}
+
+    def advance(out, start, big, t0):
+        from ..median.batched import batched_request_center
+
+        K, _, d = out.shape
+        r = big.shape[2]
+        if not st:
+            st["scratch"] = _ClampScratch(B, d)
+            st["counts"] = np.zeros(B, dtype=np.int64)
+            st["phase_start"] = np.zeros(B, dtype=np.int64)
+            st["target"] = np.zeros((B, d))
+            st["has"] = np.zeros(B, dtype=bool)
+            st["tgt_buf"] = np.empty((B, d))
+            st["steps_buf"] = np.empty(B)
+        s = st["scratch"]
+        counts, phase_start = st["counts"], st["phase_start"]
+        target, has = st["target"], st["has"]
+        tgt_buf, steps_buf = st["tgt_buf"], st["steps_buf"]
+        positions = start
+        for k in range(K):
+            t = t0 + k
+            counts += r
+            trig = counts >= size
+            if np.any(trig):
+                # Lanes can be on different phase cadences (per-lane D):
+                # group the triggered lanes by phase length so each
+                # group pools a uniform (L*r, d) stack.
+                lengths = t + 1 - phase_start
+                for L in np.unique(lengths[trig]):
+                    sel = np.nonzero(trig & (lengths == L))[0]
+                    pooled = big[sel, t + 1 - L:t + 1].reshape(
+                        sel.size, int(L) * r, d)
+                    target[sel] = batched_request_center(pooled, positions[sel])
+                counts[trig] = 0
+                phase_start[trig] = t + 1
+                has[trig] = True
+            reached = _masked_pursuit(out[k], positions, target, has, caps,
+                                      tgt_buf, steps_buf, s)
+            has &= ~reached
+            positions = out[k]
+
+    return advance
+
+
 #: Registered kernels, keyed by algorithm registry name.  An algorithm
 #: advertises its kernel via the ``kernel`` class attribute of its
 #: vectorized implementation; :func:`kernel_for` resolves it here.
+#: Variants (``mtc[...]``, ``lazy-aggressive``, ``follow-smooth``)
+#: advertise their family's kernel — the builder reads the ablation
+#: parameters off the instance.
 KERNELS: Dict[str, StepKernel] = {
-    "greedy-centroid": StepKernel("greedy-centroid", _advance_greedy_centroid),
-    "nearest-chaser": StepKernel("nearest-chaser", _advance_nearest_chaser),
-    "static": StepKernel("static", _advance_static),
+    "greedy-centroid": StepKernel("greedy-centroid",
+                                  _stateless(_advance_greedy_centroid)),
+    "nearest-chaser": StepKernel("nearest-chaser",
+                                 _stateless(_advance_nearest_chaser)),
+    "static": StepKernel("static", _stateless(_advance_static)),
+    "mtc": StepKernel("mtc", _build_mtc, layout="batch_major"),
+    "greedy-center": StepKernel("greedy-center", _build_greedy_center,
+                                layout="batch_major"),
+    "follow-last": StepKernel("follow-last", _build_follow_last,
+                              layout="batch_major"),
+    "lazy": StepKernel("lazy", _build_lazy, layout="batch_major"),
+    "move-to-min": StepKernel("move-to-min", _build_move_to_min,
+                              layout="batch_major"),
 }
 
 
@@ -329,21 +645,24 @@ def kernel_for(algorithm) -> StepKernel | None:
 
 def run_fused(
     kernel: StepKernel,
+    algo,
     starts: np.ndarray,
     big: np.ndarray,
     caps: np.ndarray,
     D: np.ndarray,
+    m: np.ndarray,
     serve_after_move: np.ndarray,
     tol: np.ndarray,
-    algorithm_name: str,
     block: int = DEFAULT_BLOCK,
 ) -> "BatchTrace":
     """Play a packed request stack through a kernel, ``block`` steps at a time.
 
     Parameters mirror the engine loop's precomputed per-lane arrays:
-    ``starts`` is ``(B, d)``, ``big`` the packed ``(B, T, r, d)`` request
-    stack, ``caps``/``D``/``tol`` are ``(B,)`` and ``serve_after_move``
-    is ``(B,)`` bool (one flag per lane's cost model).
+    ``algo`` is the resolved algorithm instance (the kernel builder reads
+    variant parameters from it), ``starts`` is ``(B, d)``, ``big`` the
+    packed ``(B, T, r, d)`` request stack, ``caps``/``D``/``m``/``tol``
+    are ``(B,)`` and ``serve_after_move`` is ``(B,)`` bool (one flag per
+    lane's cost model).
 
     Returns a :class:`~repro.core.engine.BatchTrace` bit-identical to the
     per-step loop's: movement distances are recomputed from the committed
@@ -354,7 +673,15 @@ def run_fused(
     from .engine import BatchTrace  # deferred: engine imports this module
 
     B, T, r, dim = big.shape
-    points = _time_major_stack(big)  # (T, r, B, d)
+    algorithm_name = algo.name
+    advance = kernel.build(KernelContext(algorithm=algo, caps=caps, D=D, m=m))
+    batch_major = kernel.layout == "batch_major"
+    if batch_major:
+        stack = np.ascontiguousarray(big)  # kernels slice (B, r, d) steps
+        points = None
+    else:
+        stack = None
+        points = _time_major_stack(big)  # (T, r, B, d)
     # Pad the lane axis when a (B, d) row is a page multiple, so the
     # final trajectory transpose doesn't gather on one cache set.
     B_pad = B + 1 if (B * dim * 8) % 4096 == 0 else B
@@ -378,20 +705,26 @@ def run_fused(
     Kmax = min(block, T)
     seg = np.empty((Kmax, B, dim))
     over = np.empty((Kmax, B), dtype=bool)
-    diff = np.empty((Kmax, r, B, dim))
-    svc = np.empty((Kmax, r, B))
     serving_buf = None if all_serve_after or none_serve_after else np.empty((Kmax, B, dim))
-    # Time-major cost accumulators; transposed into the trace once at the
-    # end (a copy never moves float bits).
     moved_tm = np.empty((T, B))
-    service_tm = np.empty((T, B))
+    if batch_major:
+        # Batch-major service pass: reduce each step's requests over the
+        # trailing r axis, exactly the per-step loop's (B, r) sum order.
+        diff = np.empty((B, Kmax, r, dim))
+        svc = np.empty((B, Kmax, r))
+        service_tm = None
+    else:
+        diff = np.empty((Kmax, r, B, dim))
+        svc = np.empty((Kmax, r, B))
+        # Time-major cost accumulator; transposed into the trace once at
+        # the end (a copy never moves float bits).
+        service_tm = np.empty((T, B))
 
     for t0 in range(0, T, block):
         t1 = min(t0 + block, T)
         K = t1 - t0
-        pblock = points[t0:t1]
         out = traj[t0 + 1:t1 + 1]
-        kernel.advance(out, traj[t0], pblock, caps)
+        advance(out, traj[t0], stack if batch_major else points[t0:t1], t0)
 
         sg, mv, ov = seg[:K], moved_tm[t0:t1], over[:K]
         np.subtract(out, traj[t0:t1], out=sg)
@@ -421,6 +754,19 @@ def run_fused(
             np.copyto(serving, traj[t0:t1])
             np.copyto(serving, out, where=serve_after_move[None, :, None])
 
+        if batch_major:
+            db, sv = diff[:, :K], svc[:, :K]
+            np.subtract(stack[:, t0:t1], serving.transpose(1, 0, 2)[:, :, None, :],
+                        out=db)
+            np.einsum("bkrd,bkrd->bkr", db, db, out=sv)
+            np.sqrt(sv, out=sv)
+            if r == 1:
+                trace.service_costs[:, t0:t1] = sv[:, :, 0]
+            else:
+                sv.sum(axis=2, out=trace.service_costs[:, t0:t1])
+            continue
+
+        pblock = points[t0:t1]
         db, sv = diff[:K], svc[:K]
         np.subtract(pblock, serving[:, None, :, :], out=db)
         if dim == 2:
@@ -449,6 +795,7 @@ def run_fused(
     else:
         trace.positions[:] = traj.transpose(1, 0, 2)
     trace.distances_moved[:] = moved_tm.T
-    trace.service_costs[:] = service_tm.T
+    if not batch_major:
+        trace.service_costs[:] = service_tm.T
     np.multiply(D[:, None], trace.distances_moved, out=trace.movement_costs)
     return trace

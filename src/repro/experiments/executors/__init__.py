@@ -13,10 +13,12 @@ from .base import (
     Executor,
     InlineExecutor,
     ProcessExecutor,
+    find_group_runner,
     make_executor,
     resolve_callable,
     run_cell,
     run_cell_timed,
+    run_group_timed,
 )
 from .spool import ClaimedTask, Spool, SpoolExecutor, SpoolTaskError
 from .worker import WorkerStats, default_worker_id, run_worker
@@ -33,9 +35,11 @@ __all__ = [
     "SpoolTaskError",
     "WorkerStats",
     "default_worker_id",
+    "find_group_runner",
     "make_executor",
     "resolve_callable",
     "run_cell",
     "run_cell_timed",
+    "run_group_timed",
     "run_worker",
 ]

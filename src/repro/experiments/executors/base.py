@@ -28,7 +28,7 @@ from __future__ import annotations
 import abc
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from importlib import import_module
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
@@ -47,6 +47,7 @@ __all__ = [
     "resolve_callable",
     "run_cell",
     "run_cell_timed",
+    "run_group_timed",
 ]
 
 #: The names ``make_executor`` (and the ``--executor`` CLI flags) accept.
@@ -76,6 +77,26 @@ def run_cell_timed(
     t0 = time.perf_counter()
     payload = run_cell(fn, params, deps)
     return payload, time.perf_counter() - t0
+
+
+def run_group_timed(
+    fn: str, calls: list[tuple[Mapping[str, Any], Mapping[str, Any] | None]]
+) -> tuple[list[Any], float]:
+    """Worker entry point: drain one wave through the cell's group runner.
+
+    Module-level (hence picklable) so :class:`ProcessExecutor` can submit
+    whole waves to its pool.  Falls back to per-call execution when the
+    function resolves without a group runner in the worker process (an
+    import-skew guard) — bit-identical either way by the group-runner
+    contract.
+    """
+    t0 = time.perf_counter()
+    runner = find_group_runner(fn)
+    if runner is None:
+        payloads = [run_cell(fn, params, deps) for params, deps in calls]
+    else:
+        payloads = runner(calls)
+    return payloads, time.perf_counter() - t0
 
 
 def find_group_runner(fn: str) -> Callable[..., list[Any]] | None:
@@ -205,9 +226,23 @@ class InlineExecutor(Executor):
 
 @dataclass
 class ProcessExecutor(Executor):
-    """Fan ready cells out over a local process pool of ``jobs`` workers."""
+    """Fan ready cells out over a local process pool of ``jobs`` workers.
+
+    Ready cells whose function declares a :func:`find_group_runner` batch
+    entry point are grouped into per-job *waves*: the currently-ready
+    cells of each such function are split into at most ``jobs``
+    contiguous chunks, and each chunk crosses the process boundary as one
+    :func:`run_group_timed` call — so a wide sweep still saturates the
+    pool while every pool process mega-batches its share.  Payloads are
+    bit-identical to per-cell execution by the group-runner contract;
+    per-cell timings become proportional shares of their wave.
+    """
 
     jobs: int = 2
+
+    #: Sizes of the waves actually dispatched (one entry per group call),
+    #: recorded for benchmarks/diagnostics.
+    wave_sizes: list = field(default_factory=list, repr=False)
 
     name = "process"
 
@@ -218,25 +253,56 @@ class ProcessExecutor(Executor):
             # A pool of one (or for one cell) buys nothing but pickling.
             InlineExecutor().drain(ctx)
             return
+        runners: dict[str, bool] = {}
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             waiting = dict(ctx.pending)
-            futures: dict[Any, tuple[str, "WorkUnit"]] = {}
+            #: future → list of units it computes (singles are waves of 1).
+            futures: dict[Any, list[tuple[str, "WorkUnit"]]] = {}
 
             def launch_ready() -> None:
+                ready: list[tuple[str, "WorkUnit"]] = []
                 for key in list(waiting):
                     unit = waiting[key]
                     if ctx.ready(key, unit):
-                        fut = pool.submit(run_cell_timed, unit.fn, dict(unit.params),
-                                          ctx.dep_payloads(key, unit))
-                        futures[fut] = (key, unit)
+                        ready.append((key, unit))
                         del waiting[key]
+                grouped: dict[str, list[tuple[str, "WorkUnit"]]] = {}
+                for key, unit in ready:
+                    if unit.fn not in runners:
+                        runners[unit.fn] = find_group_runner(unit.fn) is not None
+                    if runners[unit.fn]:
+                        grouped.setdefault(unit.fn, []).append((key, unit))
+                    else:
+                        fut = pool.submit(run_cell_timed, unit.fn,
+                                          dict(unit.params),
+                                          ctx.dep_payloads(key, unit))
+                        futures[fut] = [(key, unit)]
+                for fn, units in grouped.items():
+                    # At most `jobs` contiguous waves per function, so a
+                    # wide wave-front keeps every pool slot busy while
+                    # each slot still mega-batches its chunk.
+                    size = -(-len(units) // self.jobs)  # ceil division
+                    for i in range(0, len(units), size):
+                        chunk = units[i:i + size]
+                        calls = [(dict(unit.params), ctx.dep_payloads(key, unit))
+                                 for key, unit in chunk]
+                        fut = pool.submit(run_group_timed, fn, calls)
+                        futures[fut] = chunk
+                        self.wave_sizes.append(len(chunk))
 
             launch_ready()
             while futures:
                 done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
                 for fut in done:
-                    key, unit = futures.pop(fut)
-                    ctx.finish(key, unit, *fut.result())
+                    units = futures.pop(fut)
+                    if len(units) == 1 and not runners.get(units[0][1].fn, False):
+                        key, unit = units[0]
+                        ctx.finish(key, unit, *fut.result())
+                    else:
+                        payloads, elapsed = fut.result()
+                        share = elapsed / len(units)
+                        for (key, unit), payload in zip(units, payloads):
+                            ctx.finish(key, unit, payload, share)
                 launch_ready()
 
 

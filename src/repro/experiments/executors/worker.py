@@ -23,13 +23,13 @@ import socket
 import threading
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
 from ...core.store import MISSING, ResultsStore
-from .base import run_cell_timed
-from .spool import TASK_VERSION, Spool
+from .base import find_group_runner, run_cell_timed
+from .spool import TASK_VERSION, ClaimedTask, Spool
 
 #: How often a computing worker freshens its claim file's mtime.  The
 #: submitter reads this as liveness: a fresh claim defers its
@@ -60,6 +60,10 @@ class WorkerStats:
     #: readable from the store yet — the submitter re-publishes missing
     #: dependency entries, so these come around again.
     retried: int = 0
+    #: Multi-task waves drained through a cell function's group runner
+    #: (``--batch`` > 1), and how many tasks each wave carried.
+    waves: int = 0
+    wave_sizes: list[int] = field(default_factory=list)
 
     @property
     def claimed(self) -> int:
@@ -78,6 +82,7 @@ def run_worker(
     poll: float = 0.1,
     max_tasks: int | None = None,
     idle_exit: float | None = None,
+    batch: int = 1,
     progress: Callable[[str], None] | None = None,
 ) -> WorkerStats:
     """Drain tasks from ``spool`` until told (or timed out) to stop.
@@ -95,9 +100,19 @@ def run_worker(
         Exit after this many consecutive seconds without finding a task
         (``None``: wait forever).  A ``STOP`` file in the spool directory
         (:meth:`Spool.request_stop`) always ends the loop.
+    batch:
+        Claim up to this many pending tasks per scan and drain the ones
+        whose cell function declares a group runner through **one** wave
+        call (cross-cell mega-batching inside the worker).  Digests,
+        acks, store writes and payload bytes are unchanged — per-task
+        timings become proportional shares of the wave — so batched
+        fleet runs still cache-hit ``--jobs 1 --no-fuse`` inline runs.
+        ``1`` (the default) preserves the historic task-at-a-time loop.
     progress:
         Optional callback for human-readable per-task status lines.
     """
+    if batch < 1:
+        raise ValueError(f"batch must be at least 1, got {batch}")
     spool = spool if isinstance(spool, Spool) else Spool(spool)
     store = store if isinstance(store, ResultsStore) else ResultsStore(store)
     wid = worker_id or default_worker_id()
@@ -132,7 +147,18 @@ def run_worker(
         if claimed is None:
             time.sleep(poll)
             continue
-        acked = _process(claimed, spool, store, wid, stats, say)
+        claims = [claimed]
+        while len(claims) < batch:
+            # Respect the claim budget for every extra claim too — a
+            # batched worker must not blow past --max-tasks mid-scan.
+            if (max_tasks is not None
+                    and stats.claimed + stats.retried + len(claims) >= max_tasks):
+                break
+            extra = spool.claim(wid)
+            if extra is None:
+                break
+            claims.append(extra)
+        acked = _process_batch(claims, spool, store, wid, stats, say)
         if acked:
             # Idleness starts *after* the task finishes — a long cell
             # must not eat into the idle budget of the following poll.
@@ -145,66 +171,144 @@ def run_worker(
     return stats
 
 
-def _process(claimed, spool: Spool, store: ResultsStore, wid: str,
-             stats: WorkerStats, say: Callable[[str], None]) -> bool:
-    """Run one claimed task; acked (``True``) or handed back (``False``).
+#: Sentinel: the task was handed back to the spool (dependency pending).
+_HANDED_BACK = object()
 
-    Every path either writes exactly one ack or reclaims the task: a
-    dependency whose store entry is unreadable (e.g. a torn copy that
-    :meth:`~repro.core.store.ResultsStore.load_or_none` just dropped) is
-    *retryable* — the submitter holds the payload in memory and
-    republishes the entry — so it must not fail the sweep.
+
+def _process_batch(claims: "list[ClaimedTask]", spool: Spool, store: ResultsStore,
+                   wid: str, stats: WorkerStats,
+                   say: Callable[[str], None]) -> int:
+    """Drain one scan's worth of claimed tasks; returns how many were acked.
+
+    Per-task pre-checks (task version, already-stored shortcut, dependency
+    readability) run exactly as in the task-at-a-time loop; the surviving
+    tasks are then partitioned by cell function, and functions declaring a
+    :func:`find_group_runner` batch entry point drain through **one**
+    group call per function — the worker-side counterpart of the inline
+    executor's waves.  Every path still writes exactly one ack (or
+    hand-back) per task, with unchanged digests and payload bytes.
     """
-    version = claimed.task.get("version")
-    if version != TASK_VERSION:
-        # A mixed-version fleet: computing a payload under semantics we
-        # do not understand would poison the shared store under a valid
-        # content address — fail the task cleanly instead.
-        spool.ack_failed(
-            claimed,
-            error=f"task format version {version!r}; this worker understands "
-                  f"{TASK_VERSION} — upgrade the older side of the fleet",
-            worker_id=wid)
-        stats.failed += 1
-        say(f"failed {claimed.key}: task format version {version!r}")
-        return True
-    if not claimed.overwrite and store.load_or_none(claimed.digest, MISSING) is not MISSING:
-        # Another worker (or a previous run) already delivered this cell
-        # (--rerun submissions skip this shortcut: they must recompute).
-        spool.ack_done(claimed, elapsed=0.0, worker_id=wid)
-        stats.skipped += 1
-        say(f"skipped {claimed.key} (already in store)")
-        return True
     try:
-        deps = None
-        if claimed.deps:
-            deps = {}
-            for local, dep_digest in claimed.deps.items():
-                dep_payload = store.load_or_none(dep_digest, MISSING)
-                if dep_payload is MISSING:
-                    if claimed.retries >= MAX_HAND_BACKS:
-                        # Nobody managed to (re)publish the dep across
-                        # many hand-backs — e.g. a corrupt entry on a
-                        # share this worker cannot repair.  Fail the
-                        # task visibly rather than bouncing it forever.
-                        raise LookupError(
-                            f"dependency {local!r} of {claimed.key!r} "
-                            f"({dep_digest[:12]}…) still unreadable after "
-                            f"{claimed.retries} hand-backs")
-                    spool.hand_back(claimed)
-                    stats.retried += 1
-                    say(f"waiting on dependency {local!r} of {claimed.key} "
-                        f"({dep_digest[:12]}…); task handed back")
-                    return False
-                deps[local] = dep_payload
-        payload, elapsed = _compute_with_heartbeat(claimed, deps)
+        acked = 0
+        ready: list[tuple[ClaimedTask, dict | None]] = []
+        for claimed in claims:
+            version = claimed.task.get("version")
+            if version != TASK_VERSION:
+                # A mixed-version fleet: computing a payload under
+                # semantics we do not understand would poison the shared
+                # store under a valid content address — fail the task
+                # cleanly instead.
+                spool.ack_failed(
+                    claimed,
+                    error=f"task format version {version!r}; this worker "
+                          f"understands {TASK_VERSION} — upgrade the older "
+                          f"side of the fleet",
+                    worker_id=wid)
+                stats.failed += 1
+                say(f"failed {claimed.key}: task format version {version!r}")
+                acked += 1
+                continue
+            if not claimed.overwrite and store.load_or_none(claimed.digest, MISSING) is not MISSING:
+                # Another worker (or a previous run) already delivered
+                # this cell (--rerun submissions skip this shortcut: they
+                # must recompute).
+                spool.ack_done(claimed, elapsed=0.0, worker_id=wid)
+                stats.skipped += 1
+                say(f"skipped {claimed.key} (already in store)")
+                acked += 1
+                continue
+            try:
+                deps = _load_deps(claimed, spool, store, stats, say)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                spool.ack_failed(claimed, error=traceback.format_exc(),
+                                 worker_id=wid)
+                stats.failed += 1
+                say(f"failed {claimed.key}: {exc}")
+                acked += 1
+                continue
+            if deps is _HANDED_BACK:
+                continue
+            ready.append((claimed, deps))
+
+        singles: list[tuple[ClaimedTask, dict | None]] = []
+        grouped: dict[str, list[tuple[ClaimedTask, dict | None]]] = {}
+        for claimed, deps in ready:
+            if len(ready) > 1 and find_group_runner(claimed.fn) is not None:
+                grouped.setdefault(claimed.fn, []).append((claimed, deps))
+            else:
+                singles.append((claimed, deps))
+        for fn, group in grouped.items():
+            if len(group) == 1:
+                singles.extend(group)  # a wave of one is just overhead
+                continue
+            acked += _run_wave(fn, group, spool, store, wid, stats, say)
+        for claimed, deps in singles:
+            acked += _run_single(claimed, deps, spool, store, wid, stats, say)
+        return acked
+    except (KeyboardInterrupt, SystemExit):
+        # Interactive shutdown mid-batch: hand every still-held claim
+        # back (acked/handed-back tasks have no claim file left; tasks
+        # the inner handlers already reclaimed likewise).
+        for claimed in claims:
+            try:
+                if claimed.path.exists():
+                    spool.reclaim(claimed.path)
+            except OSError:
+                pass
+        raise
+
+
+def _load_deps(claimed: "ClaimedTask", spool: Spool, store: ResultsStore,
+               stats: WorkerStats, say: Callable[[str], None]):
+    """Resolve a task's dependency payloads from the store.
+
+    Returns the ``deps`` mapping (``None`` when the task has none), or
+    :data:`_HANDED_BACK` after re-queueing the task because a dependency
+    entry is unreadable (e.g. a torn copy that
+    :meth:`~repro.core.store.ResultsStore.load_or_none` just dropped) —
+    that is *retryable*: the submitter holds the payload in memory and
+    republishes the entry, so it must not fail the sweep.
+    """
+    if not claimed.deps:
+        return None
+    deps = {}
+    for local, dep_digest in claimed.deps.items():
+        dep_payload = store.load_or_none(dep_digest, MISSING)
+        if dep_payload is MISSING:
+            if claimed.retries >= MAX_HAND_BACKS:
+                # Nobody managed to (re)publish the dep across many
+                # hand-backs — e.g. a corrupt entry on a share this
+                # worker cannot repair.  Fail the task visibly rather
+                # than bouncing it forever.
+                raise LookupError(
+                    f"dependency {local!r} of {claimed.key!r} "
+                    f"({dep_digest[:12]}…) still unreadable after "
+                    f"{claimed.retries} hand-backs")
+            spool.hand_back(claimed)
+            stats.retried += 1
+            say(f"waiting on dependency {local!r} of {claimed.key} "
+                f"({dep_digest[:12]}…); task handed back")
+            return _HANDED_BACK
+        deps[local] = dep_payload
+    return deps
+
+
+def _run_single(claimed: "ClaimedTask", deps, spool: Spool, store: ResultsStore,
+                wid: str, stats: WorkerStats, say: Callable[[str], None]) -> int:
+    """Compute one task; exactly one ack (or reclaim on shutdown)."""
+    try:
+        payload, elapsed = _with_heartbeat(
+            [claimed.path],
+            lambda: run_cell_timed(claimed.fn, claimed.params, deps))
         store.save(claimed.digest, payload,
                    extra_meta={"key": claimed.key, "fn": claimed.fn,
                                "elapsed": elapsed, "worker": wid})
         spool.ack_done(claimed, elapsed=elapsed, worker_id=wid)
         stats.completed += 1
         say(f"completed {claimed.key} ({elapsed:.2f}s)")
-        return True
+        return 1
     except (KeyboardInterrupt, SystemExit):
         # Interactive shutdown: hand the task back instead of failing it.
         spool.reclaim(claimed.path)
@@ -213,31 +317,70 @@ def _process(claimed, spool: Spool, store: ResultsStore, wid: str,
         spool.ack_failed(claimed, error=traceback.format_exc(), worker_id=wid)
         stats.failed += 1
         say(f"failed {claimed.key}: {exc}")
-        return True
+        return 1
 
 
-def _compute_with_heartbeat(claimed, deps) -> tuple:
-    """Run the cell while freshening the claim file's mtime.
+def _run_wave(fn: str, group: "list[tuple[ClaimedTask, dict | None]]",
+              spool: Spool, store: ResultsStore, wid: str,
+              stats: WorkerStats, say: Callable[[str], None]) -> int:
+    """Drain several same-function tasks through one group-runner call.
 
-    The claim's mtime is the worker's liveness signal: the submitter's
-    no-progress timeout is deferred while it stays fresh, so a cell that
-    legitimately outlasts ``--spool-timeout`` does not fail the run —
-    while a killed worker's claim goes stale and the timeout still
-    fires.
+    Payload bytes are bit-identical to per-task execution by the group
+    runner's contract; each task keeps its own store digest and ack, with
+    a proportional share of the wave's wall-clock as its timing.  A wave
+    that raises falls back to per-task execution so one poisoned cell
+    fails only its own task, never its wave-mates.
+    """
+    runner = find_group_runner(fn)
+    tasks = [claimed for claimed, _ in group]
+    try:
+        calls = [(claimed.params, deps) for claimed, deps in group]
+        t0 = time.perf_counter()
+        payloads = _with_heartbeat([c.path for c in tasks], lambda: runner(calls))
+        share = (time.perf_counter() - t0) / len(group)
+    except (KeyboardInterrupt, SystemExit):
+        for claimed in tasks:
+            spool.reclaim(claimed.path)
+        raise
+    except Exception:
+        say(f"wave of {len(group)} {fn} task(s) failed; retrying individually")
+        return sum(_run_single(claimed, deps, spool, store, wid, stats, say)
+                   for claimed, deps in group)
+    stats.waves += 1
+    stats.wave_sizes.append(len(group))
+    for (claimed, _), payload in zip(group, payloads):
+        store.save(claimed.digest, payload,
+                   extra_meta={"key": claimed.key, "fn": claimed.fn,
+                               "elapsed": share, "worker": wid})
+        spool.ack_done(claimed, elapsed=share, worker_id=wid)
+        stats.completed += 1
+        say(f"completed {claimed.key} ({share:.2f}s, wave of {len(group)})")
+    return len(group)
+
+
+def _with_heartbeat(paths, thunk):
+    """Run ``thunk`` while freshening every claim file's mtime.
+
+    A claim's mtime is the worker's liveness signal: the submitter's
+    no-progress timeout is deferred while it stays fresh, so a cell (or
+    wave) that legitimately outlasts ``--spool-timeout`` does not fail
+    the run — while a killed worker's claims go stale and the timeout
+    still fires.
     """
     done = threading.Event()
 
     def beat() -> None:
         while not done.wait(HEARTBEAT_SECONDS):
-            try:
-                os.utime(claimed.path)
-            except OSError:
-                return
+            for path in paths:
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
 
     thread = threading.Thread(target=beat, daemon=True)
     thread.start()
     try:
-        return run_cell_timed(claimed.fn, claimed.params, deps)
+        return thunk()
     finally:
         done.set()
         thread.join(timeout=5)

@@ -7,8 +7,18 @@ Public API:
 * :func:`repro.median.weber_cost` — the objective being minimized.
 * :class:`repro.median.MedianSet` — explicit minimizing sets for the
   degenerate cases.
+* :func:`repro.median.batched_request_center` /
+  :func:`repro.median.batched_weiszfeld` — the cross-lane batched
+  solver behind the fused median-family step kernels, bit-identical per
+  lane to the scalar functions above.
 """
 
+from .batched import (
+    BatchedMedianSet,
+    batched_median_set,
+    batched_request_center,
+    batched_weiszfeld,
+)
 from .exact import (
     MedianSet,
     collinearity_frame,
@@ -22,8 +32,12 @@ from .tie_breaking import median_set, request_center
 from .weiszfeld import WeiszfeldResult, weber_gradient_norm, weiszfeld
 
 __all__ = [
+    "BatchedMedianSet",
     "MedianSet",
     "WeiszfeldResult",
+    "batched_median_set",
+    "batched_request_center",
+    "batched_weiszfeld",
     "collinearity_frame",
     "fermat_point_triangle",
     "median_collinear",

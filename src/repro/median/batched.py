@@ -1,0 +1,336 @@
+"""Cross-lane batched geometric-median solver.
+
+:func:`batched_request_center` answers ``B`` independent
+:func:`repro.median.request_center` queries — one ``(r, d)`` request batch
+and one server position per lane — in whole-batch NumPy passes, and is the
+engine of the fused median-family step kernels
+(:mod:`repro.core.kernels`).  Per lane it is **bit-identical** to the
+scalar solver: every case of the scalar routing is replayed with the same
+float64 operations in the same order.
+
+How bit-parity is achieved
+--------------------------
+
+* the exact-case routing (``median_single`` / ``median_pair`` /
+  coincident / collinear) is reproduced from the same centred SVD the
+  scalar :func:`repro.median.exact.collinearity_frame` uses — LAPACK
+  factors each matrix of a stacked ``(B, r, d)`` SVD exactly as it
+  factors the matrix alone;
+* scalar ``np.dot`` contractions (the segment projection in
+  ``MedianSet.closest_point_to``, Weiszfeld's convergence test) go
+  through BLAS ``ddot``, whose FMA accumulation differs from ``einsum``
+  — the batched path reproduces them with vector-shaped ``matmul``
+  (``(B, 1, d) @ (B, d, 1)``), which NumPy routes to the same ``ddot``
+  per lane;
+* line projections ``(points - origin) @ u`` become stacked GEMV calls
+  (``(B, r, d) @ (B, d, 1)``), again the same BLAS routine per lane;
+* all ``r``-axis reductions run over a contiguous trailing axis so
+  NumPy's pairwise blocking matches the scalar ``(r, d)`` sums;
+* Weiszfeld lanes iterate under an active mask (converged lanes drop
+  out, exactly like the scalar early ``break``); the rare lanes that
+  land *on* a data point mid-iteration — the Vardi–Zhang branch — are
+  replayed through the scalar solver from the same start, which
+  reproduces the batched prefix bit-for-bit and then finishes with the
+  scalar safeguard.
+
+``tests/test_median_batched.py`` asserts equality with the per-lane
+scalar solver over degenerate grids (r ∈ {1, 2, 3, ...}, duplicated
+points, collinear stacks, warm starts on and off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .weiszfeld import weiszfeld
+
+__all__ = [
+    "BatchedMedianSet",
+    "batched_median_set",
+    "batched_request_center",
+    "batched_weiszfeld",
+]
+
+
+def _stacked_dot(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Per-lane ``float(np.dot(u[i], v[i]))`` for ``(B, d)`` stacks.
+
+    ``np.dot`` on two vectors calls BLAS ``ddot``; a vector-shaped
+    ``matmul`` dispatches each ``(1, d) @ (d, 1)`` slice to the same
+    routine, so every lane reproduces the scalar contraction bit-for-bit
+    (a plain ``einsum`` would not — see the module docstring).
+    """
+    return np.matmul(u[:, None, :], v[:, :, None])[:, 0, 0]
+
+
+def _segment_closest(a: np.ndarray, b: np.ndarray, servers: np.ndarray) -> np.ndarray:
+    """Batched ``MedianSet(a, b)`` tie-break against per-lane servers.
+
+    Mirrors the scalar flow: unique sets (``|a - b| <= 1e-12`` in every
+    coordinate, the ``np.allclose`` test) return a copy of ``a``; proper
+    segments return the clamped orthogonal projection of the server.
+    """
+    a = np.ascontiguousarray(a)
+    b = np.ascontiguousarray(b)
+    out = np.array(a, copy=True)
+    tie = ~np.all(np.abs(a - b) <= 1e-12, axis=1)
+    if np.any(tie):
+        aa = np.ascontiguousarray(a[tie])
+        bb = np.ascontiguousarray(b[tie])
+        pp = np.ascontiguousarray(servers[tie])
+        ab = bb - aa
+        denom = _stacked_dot(ab, ab)
+        num = _stacked_dot(pp - aa, ab)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = num / denom
+        t = np.minimum(1.0, np.maximum(0.0, t))
+        # The scalar clamp is Python's max(0.0, t), which yields +0.0;
+        # adding +0.0 normalizes a possible -0.0 without moving any
+        # other value.
+        t += 0.0
+        proj = aa + t[:, None] * ab
+        degenerate = denom <= 0.0
+        if np.any(degenerate):
+            proj[degenerate] = aa[degenerate]
+        out[tie] = proj
+    return out
+
+
+@dataclass(frozen=True)
+class BatchedMedianSet:
+    """Per-lane :class:`repro.median.exact.MedianSet` endpoints.
+
+    ``numeric[i]`` marks lanes whose median has no closed form
+    (non-collinear ``r >= 3``); their ``a``/``b`` rows are zeros and the
+    caller must run Weiszfeld.  All other lanes carry the exact segment
+    endpoints (``a == b`` encodes a unique minimizer).
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    numeric: np.ndarray
+
+
+def batched_median_set(points: np.ndarray, atol: float = 1e-9) -> BatchedMedianSet:
+    """Vectorized :func:`repro.median.median_set` over a ``(B, r, d)`` stack."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 3:
+        raise ValueError(f"expected a (B, r, d) stack, got shape {points.shape}")
+    B, r, d = points.shape
+    if r == 0:
+        raise ValueError("median of an empty batch is undefined")
+    if r == 1:
+        a = np.array(points[:, 0], copy=True)
+        return BatchedMedianSet(a, a.copy(), np.zeros(B, dtype=bool))
+    if r == 2:
+        return BatchedMedianSet(
+            np.array(points[:, 0], copy=True),
+            np.array(points[:, 1], copy=True),
+            np.zeros(B, dtype=bool),
+        )
+    a = np.zeros((B, d))
+    b = np.zeros((B, d))
+    origin = points.mean(axis=1)
+    centred = points - origin[:, None, :]
+    svals = np.linalg.svd(centred, compute_uv=False)
+    lead = svals[:, 0]
+    coincide = lead <= atol
+    if svals.shape[1] > 1:
+        line = ~coincide & (svals[:, 1] <= atol * np.maximum(1.0, lead))
+    else:  # d == 1: every batch is collinear
+        line = ~coincide
+    numeric = ~(coincide | line)
+    if np.any(coincide):
+        a[coincide] = origin[coincide]
+        b[coincide] = origin[coincide]
+    idx = np.nonzero(line)[0]
+    if idx.size:
+        c_sel = np.ascontiguousarray(centred[idx])
+        _, _, vt = np.linalg.svd(c_sel, full_matrices=False)
+        u = np.ascontiguousarray(vt[:, 0])  # (n, d) line directions
+        # (points - origin) @ u per lane: a stacked GEMV, same BLAS call
+        # as the scalar projection.
+        coords = np.matmul(c_sel, u[:, :, None])[:, :, 0]
+        order = np.sort(coords, axis=1)
+        if r % 2 == 1:
+            p = origin[idx] + order[:, r // 2, None] * u
+            a[idx] = p
+            b[idx] = p
+        else:
+            a[idx] = origin[idx] + order[:, r // 2 - 1, None] * u
+            b[idx] = origin[idx] + order[:, r // 2, None] * u
+    return BatchedMedianSet(a, b, numeric)
+
+
+def batched_weiszfeld(
+    points: np.ndarray,
+    starts: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> np.ndarray:
+    """Per-lane :func:`repro.median.weiszfeld` over a ``(B, r, d)`` stack.
+
+    Returns the ``(B, d)`` median points.  ``starts`` defaults to the
+    per-lane centroids (the scalar default).  Lanes converge and drop out
+    of the active set independently; lanes that hit the Vardi–Zhang
+    vertex branch are replayed through the scalar solver (identical
+    prefix, then the scalar safeguard), so every lane matches
+    ``weiszfeld(points[i], start=starts[i]).point`` bit-for-bit.
+    """
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    if points.ndim != 3:
+        raise ValueError(f"expected a (B, r, d) stack, got shape {points.shape}")
+    B, r, d = points.shape
+    if r == 0:
+        raise ValueError("geometric median of an empty batch is undefined")
+    if B == 0:
+        return np.empty((0, d))
+    if r == 1:
+        return np.array(points[:, 0], copy=True)
+
+    if starts is None:
+        y = points.mean(axis=1)
+    else:
+        y = np.array(np.asarray(starts, dtype=np.float64), copy=True)
+        if y.shape != (B, d):
+            raise ValueError(f"starts must have shape {(B, d)}, got {y.shape}")
+    start_ref = np.array(y, copy=True)
+
+    scale = np.abs(points).max(axis=(1, 2)) + 1.0
+    atol_vertex = 1e-14 * scale
+    tol2 = (tol * scale) ** 2
+
+    idx = np.arange(B)
+    P = points
+    ycur = y
+    vertex: list[int] = []
+    it = 0
+    while idx.size and it < max_iter:
+        it += 1
+        diff = P - ycur[:, None, :]
+        dists = np.sqrt(np.einsum("brd,brd->br", diff, diff))
+        hit = dists.min(axis=1) <= atol_vertex[idx]
+        if np.any(hit):
+            # The iterate sits on a data point: the smooth map is
+            # undefined there.  Hand the lane to the scalar solver, which
+            # replays the identical iterates and applies Vardi-Zhang.
+            vertex.extend(int(i) for i in idx[hit])
+            keep = ~hit
+            idx = idx[keep]
+            if not idx.size:
+                break
+            P = np.ascontiguousarray(P[keep])
+            ycur = np.ascontiguousarray(ycur[keep])
+            dists = np.ascontiguousarray(dists[keep])
+        inv = 1.0 / dists
+        y_new = (P * inv[:, :, None]).sum(axis=1) / inv.sum(axis=1)[:, None]
+        step = y_new - ycur
+        y[idx] = y_new
+        # The scalar convergence test is np.dot(step, step) — BLAS ddot.
+        done = _stacked_dot(step, step) <= tol2[idx]
+        if np.any(done):
+            keep = ~done
+            idx = idx[keep]
+            P = np.ascontiguousarray(P[keep])
+            ycur = np.ascontiguousarray(y_new[keep])
+        else:
+            ycur = y_new
+
+    for i in vertex:
+        y[i] = weiszfeld(points[i], start=start_ref[i], tol=tol,
+                         max_iter=max_iter).point
+
+    # Post-loop vertex snap for every lane the smooth iteration finished
+    # (the scalar path runs this whenever on_vertex is False).
+    smooth = np.ones(B, dtype=bool)
+    if vertex:
+        smooth[vertex] = False
+    sidx = np.nonzero(smooth)[0]
+    if sidx.size:
+        Ps = points[sidx]
+        diff = Ps - y[sidx][:, None, :]
+        dists = np.sqrt(np.einsum("brd,brd->br", diff, diff))
+        nearest = np.argmin(dists, axis=1)
+        rows = np.arange(sidx.size)
+        cand = dists[rows, nearest] <= 1e-4 * scale[sidx]
+        cidx = np.nonzero(cand)[0]
+        if cidx.size:
+            Pc = np.ascontiguousarray(Ps[cidx])
+            y_cost = np.ascontiguousarray(dists[cidx]).sum(axis=1)
+            vpts = Pc[np.arange(cidx.size), nearest[cidx]]
+            vdiff = Pc - vpts[:, None, :]
+            v_cost = np.sqrt(np.einsum("brd,brd->br", vdiff, vdiff)).sum(axis=1)
+            ok = v_cost <= y_cost + 1e-12 * (1.0 + y_cost)
+            if np.any(ok):
+                y[sidx[cidx[ok]]] = vpts[ok]
+    return y
+
+
+def batched_request_center(
+    points: np.ndarray,
+    servers: np.ndarray,
+    *,
+    warm_starts: np.ndarray | None = None,
+    warm_mask: np.ndarray | None = None,
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Per-lane :func:`repro.median.request_center` over a ``(B, r, d)`` stack.
+
+    Parameters
+    ----------
+    points:
+        ``(B, r, d)`` request stack, ``r >= 1`` (uniform across lanes —
+        exactly the packed layout the fused kernels consume).
+    servers:
+        ``(B, d)`` server positions, used only for tie-breaking.
+    warm_starts:
+        Optional ``(B, d)`` initial iterates for the numeric lanes (the
+        previous step's centers, in MtC's case).  Ignored for lanes whose
+        median has a closed form.
+    warm_mask:
+        Optional ``(B,)`` bool mask selecting which warm starts are
+        valid; lanes outside the mask start from the centroid, like a
+        scalar ``warm_start=None`` call.  ``None`` means every lane is
+        warm when ``warm_starts`` is given.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 3:
+        raise ValueError(f"expected a (B, r, d) stack, got shape {points.shape}")
+    B, r, d = points.shape
+    if r == 0:
+        raise ValueError("median of an empty batch is undefined")
+    if not np.all(np.isfinite(points)):
+        raise ValueError("point batch contains non-finite coordinates")
+    servers = np.asarray(servers, dtype=np.float64)
+    if servers.shape != (B, d):
+        raise ValueError(f"servers must have shape {(B, d)}, got {servers.shape}")
+    if B == 0:
+        return np.empty((0, d))
+    if r == 1:
+        return np.array(points[:, 0], copy=True)
+    if r == 2:
+        return _segment_closest(points[:, 0], points[:, 1], servers)
+
+    mset = batched_median_set(points, atol=atol)
+    out = np.empty((B, d))
+    exact = ~mset.numeric
+    if np.any(exact):
+        out[exact] = _segment_closest(mset.a[exact], mset.b[exact], servers[exact])
+    idx = np.nonzero(mset.numeric)[0]
+    if idx.size:
+        pts = np.ascontiguousarray(points[idx])
+        starts = pts.mean(axis=1)  # the scalar start=None default, bit-for-bit
+        if warm_starts is not None:
+            ws = np.asarray(warm_starts, dtype=np.float64)
+            if ws.shape != (B, d):
+                raise ValueError(
+                    f"warm_starts must have shape {(B, d)}, got {ws.shape}")
+            if warm_mask is None:
+                starts = np.array(ws[idx], copy=True)
+            else:
+                use = np.asarray(warm_mask, dtype=bool)[idx]
+                starts[use] = ws[idx][use]
+        out[idx] = batched_weiszfeld(pts, starts)
+    return out

@@ -110,6 +110,53 @@ def _poison_spec(workdir: str) -> SweepSpec:
     return SweepSpec("EX", units, f"{_MODULE}:finalize_total")
 
 
+# -- synthetic cells with a group runner (wave/mega-batch paths) ------------
+
+
+def cell_gvalue(value: float, workdir: str) -> dict:
+    _mark(workdir, f"gsingle-{value}")
+    return {"value": value, "arr": np.arange(4) * value}
+
+
+def _gvalue_group(calls):
+    """Group runner: payload-identical to per-call cell_gvalue, but drops
+    a wave marker instead of per-task ones so tests can tell which path ran."""
+    _mark(calls[0][0]["workdir"], f"gwave-{len(calls)}")
+    return [{"value": p["value"], "arr": np.arange(4) * p["value"]}
+            for p, _ in calls]
+
+
+cell_gvalue.group_runner = _gvalue_group
+
+
+def cell_fragile(value: float, workdir: str) -> dict:
+    if value < 0:
+        raise RuntimeError("poisoned member")
+    _mark(workdir, f"fragile-{value}")
+    return {"value": value}
+
+
+def _fragile_group(calls):
+    raise RuntimeError("the whole wave blew up")
+
+
+cell_fragile.group_runner = _fragile_group
+
+
+def finalize_gtotal(results: dict, scale: float, seed: int) -> ExperimentResult:
+    total = sum(p["value"] for p in results.values())
+    return ExperimentResult("EX", "waves", ["total"], [[total]],
+                            notes=["criterion: synthetic"], passed=True)
+
+
+def _gspec(workdir: str, values=(1.0, 2.0, 3.0, 4.0)) -> SweepSpec:
+    units = tuple(
+        WorkUnit(f"value/{v}", f"{_MODULE}:cell_gvalue",
+                 {"value": v, "workdir": workdir})
+        for v in values)
+    return SweepSpec("EX", units, f"{_MODULE}:finalize_gtotal")
+
+
 class _WorkerThreads:
     """In-process spool workers for tests (same import path as the suite)."""
 
@@ -1022,3 +1069,210 @@ class TestRunManyExecutor:
         with pytest.raises(ValueError, match="keep_traces"):
             run_many([scenario], keep_traces=True,
                      executor=SpoolExecutor(tmp_path / "spool"))
+
+
+def _assert_payload_equal(got, want) -> None:
+    """Recursive bit-exact payload comparison (dicts / sequences / arrays)."""
+    if isinstance(want, dict):
+        assert isinstance(got, dict) and set(got) == set(want)
+        for k in want:
+            _assert_payload_equal(got[k], want[k])
+    elif isinstance(want, np.ndarray):
+        np.testing.assert_array_equal(got, want)
+    elif isinstance(want, (list, tuple)):
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            _assert_payload_equal(g, w)
+    else:
+        assert got == want
+
+
+class TestProcessExecutorWaves:
+    """ProcessExecutor groups ready group-runner cells into per-job waves."""
+
+    def test_waves_match_inline_and_record_sizes(self, tmp_path):
+        (tmp_path / "w1").mkdir()
+        (tmp_path / "w2").mkdir()
+        r_inline = execute([_gspec(str(tmp_path / "w1"))], executor="inline")
+        backend = ProcessExecutor(jobs=2)
+        r_process = execute([_gspec(str(tmp_path / "w2"))], executor=backend)
+        assert r_inline.results[0].render() == r_process.results[0].render()
+        # 4 ready cells over 2 jobs: two waves of two, never per-cell submits.
+        assert sorted(backend.wave_sizes) == [2, 2]
+        names = {p.name for p in (tmp_path / "w2").iterdir()}
+        assert names == {"gwave-2"}  # pool children took the group path
+
+    def test_mixed_functions_only_wave_the_grouped_ones(self, tmp_path):
+        work = tmp_path / "w"
+        work.mkdir()
+        units = tuple(
+            WorkUnit(f"g/{v}", f"{_MODULE}:cell_gvalue",
+                     {"value": v, "workdir": str(work)})
+            for v in (1.0, 2.0, 3.0)
+        ) + (
+            WorkUnit("plain", f"{_MODULE}:cell_value",
+                     {"value": 7.0, "workdir": str(work)}),
+        )
+        spec = SweepSpec("EX", units, f"{_MODULE}:finalize_gtotal")
+        backend = ProcessExecutor(jobs=2)
+        report = execute([spec], executor=backend)
+        assert report.computed == 4
+        assert sorted(backend.wave_sizes) == [1, 2]  # only gvalue cells waved
+        names = {p.name for p in work.iterdir()}
+        # The plain cell ran per-task; the singleton chunk still crosses as
+        # a run_group_timed call (a wave of one inside the pool child).
+        assert "value-7.0" in names and "gwave-2" in names and "gwave-1" in names
+
+    def test_pool_of_one_degenerates_to_inline_wave(self, tmp_path):
+        work = tmp_path / "w"
+        work.mkdir()
+        backend = ProcessExecutor(jobs=1)
+        report = execute([_gspec(str(work))], executor=backend)
+        assert report.computed == 4
+        assert backend.wave_sizes == []  # the inline fallback waved instead
+        assert {p.name for p in work.iterdir()} == {"gwave-4"}
+
+
+class TestWorkerBatching:
+    """--batch N: the spool worker drains compatible claims in one wave."""
+
+    def _submit_values(self, spool: Spool, values, workdir: str,
+                       fn: str = "cell_gvalue") -> None:
+        for v in values:
+            spool.submit(key=f"value/{v}", digest=f"digest-{v}",
+                         fn=f"{_MODULE}:{fn}",
+                         params={"value": v, "workdir": workdir}, deps={})
+
+    def test_batch_drains_one_wave_with_identical_payloads(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        store = ResultsStore(tmp_path / "store")
+        work = tmp_path / "work"
+        work.mkdir()
+        self._submit_values(spool, (1.0, 2.0, 3.0, 4.0), str(work))
+        stats = run_worker(spool, store, worker_id="w0", poll=0.01,
+                           max_tasks=4, batch=8)
+        assert stats.completed == 4 and stats.failed == 0
+        assert stats.waves == 1 and stats.wave_sizes == [4]
+        # The wave ran the group entry point, never the per-task cell...
+        assert {p.name for p in work.iterdir()} == {"gwave-4"}
+        # ...yet every task kept its own digest, payload and done-ack.
+        for v in (1.0, 2.0, 3.0, 4.0):
+            payload = store.load_or_none(f"digest-{v}")
+            assert payload["value"] == v
+            np.testing.assert_array_equal(payload["arr"], np.arange(4) * v)
+            info = spool.done_info(f"digest-{v}")
+            assert info is not None and info["elapsed"] >= 0.0
+
+    def test_batch_respects_max_tasks(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        store = ResultsStore(tmp_path / "store")
+        work = tmp_path / "work"
+        work.mkdir()
+        self._submit_values(spool, (1.0, 2.0, 3.0, 4.0, 5.0), str(work))
+        stats = run_worker(spool, store, worker_id="w0", poll=0.01,
+                           max_tasks=3, batch=8)
+        assert stats.claimed == 3
+        assert stats.waves == 1 and stats.wave_sizes == [3]
+        assert len(spool.pending()) == 2  # the budget held mid-scan
+
+    def test_default_batch_is_task_at_a_time(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        store = ResultsStore(tmp_path / "store")
+        work = tmp_path / "work"
+        work.mkdir()
+        self._submit_values(spool, (1.0, 2.0), str(work))
+        stats = run_worker(spool, store, worker_id="w0", poll=0.01, max_tasks=2)
+        assert stats.completed == 2 and stats.waves == 0
+        assert {p.name for p in work.iterdir()} == {"gsingle-1.0", "gsingle-2.0"}
+
+    def test_wave_of_one_is_a_single(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        store = ResultsStore(tmp_path / "store")
+        work = tmp_path / "work"
+        work.mkdir()
+        self._submit_values(spool, (1.0,), str(work))
+        stats = run_worker(spool, store, worker_id="w0", poll=0.01,
+                           max_tasks=1, batch=8)
+        assert stats.completed == 1 and stats.waves == 0
+        assert {p.name for p in work.iterdir()} == {"gsingle-1.0"}
+
+    def test_wave_failure_falls_back_to_per_task_isolation(self, tmp_path):
+        """A poisoned wave retries per task: only the bad cell fails."""
+        spool = Spool(tmp_path / "spool")
+        store = ResultsStore(tmp_path / "store")
+        work = tmp_path / "work"
+        work.mkdir()
+        self._submit_values(spool, (1.0, -1.0, 2.0), str(work),
+                            fn="cell_fragile")
+        stats = run_worker(spool, store, worker_id="w0", poll=0.01,
+                           max_tasks=3, batch=8)
+        assert stats.completed == 2 and stats.failed == 1
+        assert stats.waves == 0  # the blown wave does not count
+        assert "poisoned member" in spool.failure("digest--1.0")["error"]
+        assert store.load_or_none("digest-1.0")["value"] == 1.0
+        assert store.load_or_none("digest-2.0")["value"] == 2.0
+        assert store.load_or_none("digest--1.0") is None
+
+    def test_batch_skips_stored_tasks_and_waves_the_rest(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        store = ResultsStore(tmp_path / "store")
+        store.save("digest-1.0", {"value": 1.0, "arr": np.arange(4) * 1.0})
+        work = tmp_path / "work"
+        work.mkdir()
+        self._submit_values(spool, (1.0, 2.0, 3.0), str(work))
+        stats = run_worker(spool, store, worker_id="w0", poll=0.01,
+                           max_tasks=3, batch=8)
+        assert stats.skipped == 1 and stats.completed == 2
+        assert stats.waves == 1 and stats.wave_sizes == [2]
+
+    def test_batch_rejects_nonpositive(self, tmp_path):
+        with pytest.raises(ValueError, match="batch"):
+            run_worker(tmp_path / "spool", tmp_path / "store", batch=0)
+
+    def test_real_scenario_wave_is_bit_identical_to_inline_no_fuse(self, tmp_path):
+        """The acceptance bar: a --batch worker's store payloads equal a
+        fresh unfused inline run of the same scenarios, bit for bit."""
+        from repro.api import Scenario, run
+        from repro.api.scenario import CELL_FN
+        from repro.core.kernels import fusion
+
+        scenarios = [
+            Scenario.workload("drift", algorithm=name,
+                              params={"T": 30, "dim": 2, "D": 2.0, "m": 1.0},
+                              seeds=(0, 1), delta=0.5, ratio="none")
+            for name in ("mtc", "follow-last", "lazy-aggressive")
+        ]
+        spool = Spool(tmp_path / "spool")
+        store = ResultsStore(tmp_path / "store")
+        for sc in scenarios:
+            spool.submit(key=sc.label(), digest=sc.digest(), fn=CELL_FN,
+                         params={"scenario": sc.cache_dict()}, deps={})
+        stats = run_worker(spool, store, worker_id="w0", poll=0.01,
+                           max_tasks=3, batch=8)
+        assert stats.completed == 3
+        assert stats.waves == 1 and stats.wave_sizes == [3]
+        ref = ResultsStore(tmp_path / "ref")
+        with fusion(False):
+            for sc in scenarios:
+                ref.save(sc.digest(), run(sc, keep_traces=False).as_payload())
+        for sc in scenarios:
+            got = dict(store.load_or_none(sc.digest()))
+            want = dict(ref.load_or_none(sc.digest()))
+            # Wall-clock is the one legitimately run-dependent field.
+            got.pop("elapsed"), want.pop("elapsed")
+            _assert_payload_equal(got, want)
+
+    def test_cli_batch_flag_prints_wave_summary(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spool = Spool(tmp_path / "spool")
+        work = tmp_path / "work"
+        work.mkdir()
+        self._submit_values(spool, (1.0, 2.0, 3.0), str(work))
+        code = main(["worker", "--spool", str(spool.root),
+                     "--store", str(tmp_path / "store"),
+                     "--poll", "0.01", "--max-tasks", "3", "--batch", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 wave(s) of sizes [3]" in out
+        assert "3 completed, 0 skipped, 0 failed" in out

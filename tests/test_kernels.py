@@ -122,6 +122,95 @@ class TestFusedParity:
         _assert_batches_equal(fused, loop)
 
 
+class TestMedianFamilyVariants:
+    """Ablation variants share their family's kernel; every parameter
+    combination must stay bit-identical to the per-step loop under both
+    cost models and per-lane δ arrays."""
+
+    def _factories(self):
+        from repro.algorithms.vectorized import (
+            BatchedFollowLast,
+            BatchedLazyThreshold,
+            BatchedMoveToCenter,
+            BatchedMoveToMin,
+        )
+
+        return {
+            "mtc-scale": lambda: BatchedMoveToCenter(step_scale=0.5),
+            "mtc-weiszfeld": lambda: BatchedMoveToCenter(tie_break="weiszfeld"),
+            "mtc-midpoint": lambda: BatchedMoveToCenter(tie_break="midpoint"),
+            "mtc-capfrac": lambda: BatchedMoveToCenter(cap_fraction=0.5),
+            "follow-smooth": lambda: BatchedFollowLast(smoothing=0.25),
+            "lazy-aggressive": lambda: BatchedLazyThreshold(threshold_factor=0.25),
+            "lazy-window": lambda: BatchedLazyThreshold(window=3),
+            "mtm-phase": lambda: BatchedMoveToMin(phase_requests=3),
+        }
+
+    @pytest.mark.parametrize("variant", [
+        "mtc-scale", "mtc-weiszfeld", "mtc-midpoint", "mtc-capfrac",
+        "follow-smooth", "lazy-aggressive", "lazy-window", "mtm-phase",
+    ])
+    @pytest.mark.parametrize("model", [CostModel.MOVE_FIRST, CostModel.ANSWER_FIRST])
+    def test_variant_bit_identical(self, variant, model):
+        factory = self._factories()[variant]
+        instances = _uniform_instances(2, T=32, B=5, r=3, model=model, seed=4)
+        deltas = np.array([0.0, 0.25, 0.5, 1.0, 2.0])
+        loop = simulate_batch(instances, factory(), delta=deltas, fuse=False)
+        fused = simulate_batch(instances, factory(), delta=deltas, fuse=True)
+        _assert_batches_equal(fused, loop)
+
+    @pytest.mark.parametrize("name", ["lazy-aggressive", "follow-smooth"])
+    def test_registry_variant_names_fuse(self, name, monkeypatch):
+        """The registry spellings dispatch to their family kernel and stay
+        bit-identical."""
+        calls = []
+        real = kernels_mod.run_fused
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(kernels_mod, "run_fused", spy)
+        instances = _uniform_instances(2, T=24, B=4, r=2, seed=6)
+        fused = simulate_batch(instances, name, delta=0.5)
+        assert len(calls) == 1
+        loop = simulate_batch(instances, name, delta=0.5, fuse=False)
+        _assert_batches_equal(fused, loop)
+
+
+class TestNearestChaserRaggedFallback:
+    def test_padded_argmin_matches_scalar_loop(self):
+        """The vectorized ragged fallback (padded +inf argmin) must pick
+        the same request — first of ties included — as the per-lane scalar
+        algorithms."""
+        from repro.algorithms.registry import ALGORITHMS
+        from repro.algorithms.vectorized import ScalarBatchAdapter
+
+        rng = np.random.default_rng(31)
+        instances = []
+        for s in range(4):
+            counts = rng.integers(0, 5, size=30)
+            counts[::7] = 0  # lanes with empty steps stay put
+            batches = [rng.normal(scale=0.5, size=(int(c), 2)) for c in counts]
+            instances.append(MSPInstance(RequestSequence(batches, dim=2),
+                                         start=rng.normal(size=2), D=2.0, m=1.0))
+        got = simulate_batch(instances, "nearest-chaser", delta=0.5, fuse=False)
+        adapter = ScalarBatchAdapter(ALGORITHMS["nearest-chaser"],
+                                     name="nearest-chaser")
+        want = simulate_batch(instances, adapter, delta=0.5, fuse=False)
+        _assert_batches_equal(got, want)
+
+    def test_exact_ties_resolve_to_first_request(self):
+        """Duplicate equidistant requests: argmin must keep the scalar
+        first-index tie-break."""
+        pts = np.array([[1.0, 0.0], [1.0, 0.0], [-1.0, 0.0]])
+        seq = RequestSequence([pts, pts[:2], np.empty((0, 2))], dim=2)
+        inst = MSPInstance(seq, start=np.zeros(2), D=1.0, m=1.0)
+        trace = simulate_batch([inst], "nearest-chaser", delta=0.0, fuse=False)
+        np.testing.assert_array_equal(trace.positions[0, 1], [1.0, 0.0])
+        np.testing.assert_array_equal(trace.positions[0, 3], trace.positions[0, 2])
+
+
 # -- dispatch and toggles --------------------------------------------------
 
 
@@ -131,7 +220,11 @@ class TestFusionDispatch:
 
         for name in KERNEL_ALGOS:
             assert kernel_for(make_vectorized(name)) is KERNELS[name]
-        assert kernel_for(make_vectorized("mtc")) is None
+        # Variant registry names advertise their family's kernel ...
+        assert kernel_for(make_vectorized("lazy-aggressive")) is KERNELS["lazy"]
+        assert kernel_for(make_vectorized("follow-smooth")) is KERNELS["follow-last"]
+        # ... and the per-lane-RNG algorithm stays unkerneled.
+        assert kernel_for(make_vectorized("coin-flip")) is None
 
     def test_set_fusion_returns_previous_state(self):
         assert fusion_enabled()
@@ -178,7 +271,7 @@ class TestFusionDispatch:
     def test_no_kernel_for_unkerneled_algorithm(self, monkeypatch):
         calls = self._count_fused_calls(monkeypatch)
         instances = _uniform_instances(2, T=10, B=3, r=2)
-        simulate_batch(instances, "mtc", delta=0.5)
+        simulate_batch(instances, "coin-flip", delta=0.5)
         assert calls == []
 
 
@@ -279,6 +372,19 @@ class TestMegaBatching:
         results = run_many(scenarios)
         for sc, res in zip(scenarios, results):
             _payloads_equal(res.as_payload(), run(sc).as_payload())
+
+    def test_two_mtc_cells_pack_without_warm_start_leaks(self):
+        """Regression: mtc's per-lane warm-start centers must stay inside
+        their own cell when two mtc cells pack into one wide simulate_batch
+        (and when the loop path replays the same pack with fusion off)."""
+        scenarios = [_scenario("mtc", delta=d, seeds=[1, 2]) for d in (0.25, 1.0)]
+        keys = {_mega_key(sc, build_instances(sc)[0]) for sc in scenarios}
+        assert len(keys) == 1  # both cells really share one mega group
+        for fuse_on in (True, False):
+            with fusion(fuse_on):
+                grouped = run_many(scenarios)
+                for sc, res in zip(scenarios, grouped):
+                    _payloads_equal(res.as_payload(), run(sc).as_payload())
 
     def test_adversarial_scenarios_mega_batch(self):
         scenarios = [

@@ -1,0 +1,193 @@
+"""Cross-lane batched median solver: bit-parity with the scalar solver.
+
+:mod:`repro.median.batched` promises that every lane of
+``batched_request_center(points, servers)`` equals the scalar
+``request_center(points[i], servers[i])`` **bit for bit** — including the
+exact-case routing (single / pair / coincident / collinear), the numeric
+Weiszfeld lanes, warm starts, and the Vardi–Zhang vertex branch.  These
+tests sweep degenerate inputs property-style (deterministic seeds, many
+trials) and assert exact float64 equality throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.median import (
+    batched_median_set,
+    batched_request_center,
+    batched_weiszfeld,
+    median_set,
+    request_center,
+    weiszfeld,
+)
+
+# -- input generators -------------------------------------------------------
+
+
+def _degenerate_stack(rng: np.random.Generator, B: int, r: int, d: int) -> np.ndarray:
+    """A (B, r, d) stack salted with every degenerate shape the scalar
+    solver special-cases: coincident stacks, duplicated points, collinear
+    lanes, and wildly varying scales."""
+    scale = 10.0 ** float(rng.integers(-6, 7))
+    pts = rng.normal(scale=scale, size=(B, r, d))
+    for b in range(B):
+        kind = b % 5
+        if kind == 1:  # all requests coincide
+            pts[b] = pts[b, 0]
+        elif kind == 2 and r >= 2:  # one duplicated point
+            pts[b, 1] = pts[b, 0]
+        elif kind == 3 and d >= 2:  # exactly collinear stack
+            direction = rng.normal(size=d)
+            pts[b] = pts[b, 0] + np.outer(rng.normal(size=r), direction)
+        elif kind == 4 and r >= 3:  # near-coincident cluster plus outlier
+            pts[b, 1:] = pts[b, 0] + rng.normal(scale=1e-13 * scale, size=(r - 1, d))
+    return pts
+
+
+def _servers(rng: np.random.Generator, B: int, d: int) -> np.ndarray:
+    return rng.normal(scale=10.0 ** float(rng.integers(-3, 4)), size=(B, d))
+
+
+# -- request_center parity --------------------------------------------------
+
+
+class TestRequestCenterParity:
+    @pytest.mark.parametrize("r", [1, 2, 3, 4, 7])
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_matches_scalar_per_lane(self, r, d):
+        for trial in range(8):
+            rng = np.random.default_rng(1000 * r + 100 * d + trial)
+            pts = _degenerate_stack(rng, B=10, r=r, d=d)
+            servers = _servers(rng, B=10, d=d)
+            got = batched_request_center(pts, servers)
+            for i in range(10):
+                want = request_center(pts[i], servers[i])
+                np.testing.assert_array_equal(
+                    got[i], want, err_msg=f"lane {i} (r={r}, d={d}, trial {trial})")
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_warm_starts_match_scalar_warm_starts(self, d):
+        """Warm lanes must replay ``warm_start=...``, cold lanes
+        ``warm_start=None`` — both bit-for-bit."""
+        for trial in range(6):
+            rng = np.random.default_rng(7000 + 10 * d + trial)
+            B, r = 8, 5
+            pts = _degenerate_stack(rng, B=B, r=r, d=d)
+            servers = _servers(rng, B=B, d=d)
+            warm = pts.mean(axis=1) + rng.normal(scale=0.1, size=(B, d))
+            mask = (np.arange(B) % 2).astype(bool)
+            got = batched_request_center(pts, servers,
+                                         warm_starts=warm, warm_mask=mask)
+            for i in range(B):
+                want = request_center(pts[i], servers[i],
+                                      warm_start=warm[i] if mask[i] else None)
+                np.testing.assert_array_equal(got[i], want, err_msg=f"lane {i}")
+
+    def test_warm_without_mask_means_all_warm(self):
+        rng = np.random.default_rng(11)
+        pts = _degenerate_stack(rng, B=6, r=4, d=2)
+        servers = _servers(rng, B=6, d=2)
+        warm = rng.normal(size=(6, 2))
+        got = batched_request_center(pts, servers, warm_starts=warm)
+        for i in range(6):
+            np.testing.assert_array_equal(
+                got[i], request_center(pts[i], servers[i], warm_start=warm[i]))
+
+    def test_strided_input_matches_contiguous(self):
+        """The fused kernels hand the solver strided views of the packed
+        (B, T, r, d) stack; layout must not move any bits."""
+        rng = np.random.default_rng(23)
+        big = rng.normal(size=(7, 5, 3, 2))
+        servers = _servers(rng, B=7, d=2)
+        for t in range(5):
+            view = big[:, t]
+            assert not view.flags.c_contiguous
+            np.testing.assert_array_equal(
+                batched_request_center(view, servers),
+                batched_request_center(np.ascontiguousarray(view), servers))
+
+    def test_rejects_bad_shapes_and_nonfinite(self):
+        with pytest.raises(ValueError, match=r"\(B, r, d\)"):
+            batched_request_center(np.zeros((3, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="empty"):
+            batched_request_center(np.zeros((3, 0, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="non-finite"):
+            bad = np.zeros((2, 2, 2))
+            bad[1, 0, 0] = np.nan
+            batched_request_center(bad, np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="servers"):
+            batched_request_center(np.zeros((2, 2, 2)), np.zeros((3, 2)))
+
+
+# -- weiszfeld parity -------------------------------------------------------
+
+
+class TestBatchedWeiszfeldParity:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("r", [2, 3, 6])
+    def test_matches_scalar_default_start(self, r, d):
+        for trial in range(6):
+            rng = np.random.default_rng(300 * r + 30 * d + trial)
+            pts = _degenerate_stack(rng, B=9, r=r, d=d)
+            got = batched_weiszfeld(pts)
+            for i in range(9):
+                np.testing.assert_array_equal(
+                    got[i], weiszfeld(pts[i]).point, err_msg=f"lane {i}")
+
+    def test_matches_scalar_with_starts(self):
+        rng = np.random.default_rng(77)
+        pts = _degenerate_stack(rng, B=8, r=4, d=2)
+        starts = rng.normal(size=(8, 2))
+        got = batched_weiszfeld(pts, starts)
+        for i in range(8):
+            np.testing.assert_array_equal(
+                got[i], weiszfeld(pts[i], start=starts[i]).point)
+
+    def test_vertex_branch_lanes_match_scalar(self):
+        """Starts placed exactly on data points force the Vardi–Zhang
+        replay; those lanes must still match the scalar solver."""
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(6, 5, 2))
+        starts = np.ascontiguousarray(pts[:, 2])  # each lane starts on a vertex
+        got = batched_weiszfeld(pts, starts)
+        for i in range(6):
+            np.testing.assert_array_equal(
+                got[i], weiszfeld(pts[i], start=starts[i]).point)
+
+    def test_single_request_is_copy(self):
+        pts = np.arange(6.0).reshape(3, 1, 2)
+        got = batched_weiszfeld(pts)
+        np.testing.assert_array_equal(got, pts[:, 0])
+        got[0, 0] = -1.0
+        assert pts[0, 0, 0] == 0.0  # no aliasing
+
+
+# -- median_set parity ------------------------------------------------------
+
+
+class TestBatchedMedianSetParity:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5, 6])
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_routing_and_endpoints_match_scalar(self, r, d):
+        for trial in range(6):
+            rng = np.random.default_rng(900 * r + 90 * d + trial)
+            pts = _degenerate_stack(rng, B=10, r=r, d=d)
+            mset = batched_median_set(pts)
+            for i in range(10):
+                want = median_set(pts[i])
+                if want is None:
+                    assert mset.numeric[i], f"lane {i} should be numeric"
+                else:
+                    assert not mset.numeric[i], f"lane {i} should be exact"
+                    np.testing.assert_array_equal(mset.a[i], want.a,
+                                                  err_msg=f"lane {i} a")
+                    np.testing.assert_array_equal(mset.b[i], want.b,
+                                                  err_msg=f"lane {i} b")
+
+    def test_rejects_empty_and_misshaped(self):
+        with pytest.raises(ValueError, match="empty"):
+            batched_median_set(np.zeros((2, 0, 2)))
+        with pytest.raises(ValueError, match=r"\(B, r, d\)"):
+            batched_median_set(np.zeros((4, 2)))
