@@ -146,7 +146,9 @@ def sample_lemma6(
     if premise not in ("paper", "repaired"):
         raise ValueError(f"unknown premise {premise!r}")
     if rng is None:
-        rng = np.random.default_rng()
+        # Seeded fallback (reprolint RNG001): the Monte-Carlo verification
+        # is reproducible by default; pass a Generator to vary the draw.
+        rng = np.random.default_rng(0)
     if premise == "paper":
         bound_premise = np.sqrt(delta) / (1.0 + 0.5 * delta)
     else:

@@ -30,6 +30,14 @@ Subcommands
 
 ``list``
     Show registered algorithms, workloads, adversaries and experiments.
+
+``lint``
+    Run the :mod:`repro.devtools.lint` invariant linter (reprolint) over
+    source paths: AST rules enforcing determinism (RNG001/CLK001),
+    crash-safety (IO001), digest order-stability (DET001), kernel/
+    registry/parity-test completeness (REG001) and public-surface
+    hygiene (API001).  ``--list`` enumerates the rules, ``--json`` emits
+    the machine schema; exit code 1 on findings makes it a CI gate.
 """
 
 from __future__ import annotations
@@ -452,6 +460,36 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.lint import available_rules, rule_info, run_lint
+
+    if args.list:
+        print("rules:")
+        for name in available_rules():
+            info = rule_info(name)
+            where = "project-wide" if info.project else (
+                ", ".join(info.scopes) if info.scopes else "all files")
+            print(f"  {name} — {info.summary} [{where}]")
+        return 0
+    select = None
+    if args.select:
+        select = [part for chunk in args.select for part in chunk.split(",") if part]
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(args.paths, select=select)
+    except KeyError as exc:
+        print(f"bad --select: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mobile-server",
@@ -562,6 +600,31 @@ def main(argv: list[str] | None = None) -> int:
 
     p_list = sub.add_parser("list", help="list algorithms, workloads, adversaries, experiments")
     p_list.set_defaults(func=_cmd_list)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the reprolint invariant linter (AST rules: determinism, "
+             "crash-safety, kernel parity, API surface)",
+        description="Static analysis over the source tree: every registered "
+                    "rule is an AST visitor enforcing one of the invariants "
+                    "the parity tests otherwise only check after the fact. "
+                    "Suppress one line with '# reprolint: allow[RULE] "
+                    "reason=...' — the reason is mandatory and audited. "
+                    "Exit code: 0 clean, 1 findings, 2 usage error.")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src); "
+                             "run from the repository root so path-scoped "
+                             "rules resolve (CI uses 'src tests benchmarks')")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report (schema version, "
+                             "findings, suppressions, counts)")
+    p_lint.add_argument("--list", action="store_true",
+                        help="list registered rules with one-line docs and "
+                             "their path scopes, then exit")
+    p_lint.add_argument("--select", action="append", default=[], metavar="RULES",
+                        help="comma-separated rule subset (repeatable), "
+                             "e.g. --select RNG001,DET001")
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

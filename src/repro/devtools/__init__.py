@@ -1,0 +1,7 @@
+"""Developer tooling that guards the reproduction's code invariants.
+
+Nothing in here runs during simulations; the package exists so the
+correctness contracts the tests assert *after the fact* (determinism,
+crash-safety, kernel parity) are also enforced *by construction* over the
+source tree — see :mod:`repro.devtools.lint`.
+"""

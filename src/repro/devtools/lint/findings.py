@@ -1,0 +1,38 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins one invariant violation to a file position.  Findings are
+plain frozen dataclasses ordered by ``(path, line, col, rule)`` so human
+and ``--json`` output are deterministic regardless of rule execution
+order — the same order-stability discipline rule DET001 enforces on
+digest inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position (1-based line, 0-based col)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1} {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,224 @@
+"""Project-wide parsed-module index the lint rules run over.
+
+Every ``.py`` file under the requested paths is parsed once into a
+:class:`ParsedModule` — AST, source lines, per-line suppression pragmas
+and a lazily built child→parent node map — and collected into a
+:class:`ModuleIndex` keyed by POSIX path relative to the project root.
+Per-module rules receive one module at a time (path-scoped via the rule's
+``scopes``); project rules (cross-file completeness checks) receive the
+whole index and can pull additional modules in by relative path.
+
+Suppression pragmas
+-------------------
+
+A finding is suppressed by a comment on its own line::
+
+    rng = np.random.default_rng()  # reprolint: allow[RNG001] reason=caller owns determinism
+
+``allow[...]`` takes a comma-separated rule list; ``reason=`` captures
+the rest of the comment and is **mandatory** — a reasonless pragma is
+itself reported (SUP001, not suppressible), so every escape hatch in the
+tree carries its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ModuleIndex",
+    "ParsedModule",
+    "Suppression",
+    "dotted_name",
+    "iter_paths",
+]
+
+#: Directory names never scanned: caches, VCS internals and ``data``
+#: fixture trees (the lint test fixtures under ``tests/data/lint`` are
+#: deliberate violations and must not gate the real tree).
+EXCLUDED_DIRS = {"__pycache__", ".git", ".hg", "data", "build", "dist", ".eggs"}
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*allow\[([A-Za-z0-9_*,\s]*)\]\s*(?:reason=\s*(.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# reprolint: allow[...]`` pragma attached to a source line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+    def allows(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus its pragmas and parent links."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, List[Suppression]] = field(default_factory=dict)
+    _parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "ParsedModule":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            suppressions=_parse_pragmas(source),
+        )
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (lazily built once per module)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[child] = outer
+            self._parents = parents
+        return self._parents.get(node)
+
+    def suppression_for(self, line: int, rule: str) -> Optional[Suppression]:
+        for sup in self.suppressions.get(line, ()):
+            if sup.allows(rule):
+                return sup
+        return None
+
+    def imported_names(self, modules: Tuple[str, ...]) -> set:
+        """Local aliases bound by ``from <module> import name`` statements."""
+        names = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in modules:
+                for alias in node.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name)
+        return names
+
+
+def _parse_pragmas(source: str) -> Dict[int, List[Suppression]]:
+    """All ``reprolint: allow`` comments, keyed by line.
+
+    Tokenized, not regex-over-lines, so a ``#`` inside a string literal
+    never reads as a pragma.  Unreadable tails (tokenize errors after a
+    syntactically valid parse are near-impossible, but defensive) keep
+    the pragmas collected so far.
+    """
+    pragmas: Dict[int, List[Suppression]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if not match:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            reason = (match.group(2) or "").strip()
+            pragmas.setdefault(tok.start[0], []).append(
+                Suppression(line=tok.start[0], rules=rules, reason=reason)
+            )
+    except tokenize.TokenizeError:
+        pass
+    return pragmas
+
+
+def iter_paths(paths: List[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through verbatim)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            parts = set(sub.relative_to(path).parts[:-1])
+            if parts & EXCLUDED_DIRS or any(p.startswith(".") for p in parts):
+                continue
+            yield sub
+
+
+class ModuleIndex:
+    """Parsed modules keyed by POSIX path relative to the project root."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root.resolve()
+        self.modules: Dict[str, ParsedModule] = {}
+        self.errors: List[Tuple[str, int, str]] = []  # (relpath, line, message)
+
+    @classmethod
+    def build(cls, paths: List[str | Path], root: str | Path | None = None) -> "ModuleIndex":
+        resolved = [Path(p).resolve() for p in paths]
+        if root is None:
+            root = Path.cwd()
+        index = cls(Path(root))
+        for path in iter_paths(resolved):
+            index.add(path)
+        return index
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.resolve().as_posix()
+
+    def add(self, path: Path) -> Optional[ParsedModule]:
+        relpath = self._relpath(path)
+        if relpath in self.modules:
+            return self.modules[relpath]
+        try:
+            module = ParsedModule.parse(path, relpath)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            self.errors.append((relpath, int(line), f"unparseable module: {exc}"))
+            return None
+        self.modules[relpath] = module
+        return module
+
+    def module(self, relpath: str) -> Optional[ParsedModule]:
+        """Module by root-relative path, loading from disk on demand.
+
+        Project rules use this to reach files outside the linted paths —
+        e.g. REG001 linting ``src`` still reads ``tests/test_kernels.py``
+        to verify the parity tests cover every kernel.
+        """
+        if relpath in self.modules:
+            return self.modules[relpath]
+        path = self.root / relpath
+        if path.is_file():
+            return self.add(path)
+        return None
+
+    def __iter__(self) -> Iterator[ParsedModule]:
+        return iter(self.modules.values())
+
+    def __len__(self) -> int:
+        return len(self.modules)

@@ -1,0 +1,88 @@
+"""Lint-rule registry — the same plugin idiom as the algorithm registries.
+
+A rule is a named check function plus metadata:
+
+* ``scopes`` — root-relative POSIX path prefixes the rule applies to
+  (``None`` = every module).  Scoping lives here, not inside the checks,
+  so ``mobile-server lint --list`` can show where each contract holds.
+* ``project`` — per-module rules receive ``(module, index)`` and run once
+  per in-scope file; project rules receive ``(index,)`` once and perform
+  cross-file completeness checks (REG001, API001).
+
+New rules self-register at import via the :func:`rule` decorator —
+adding a file under :mod:`repro.devtools.lint.rules` is the entire
+integration, mirroring how algorithms join ``ALGORITHMS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "RULES",
+    "LintRule",
+    "available_rules",
+    "register_rule",
+    "rule",
+    "rule_info",
+]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered invariant check."""
+
+    name: str
+    summary: str
+    check: Callable
+    scopes: Optional[Tuple[str, ...]] = None
+    project: bool = False
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.scopes is None:
+            return True
+        return any(
+            relpath == scope or relpath.startswith(scope) for scope in self.scopes
+        )
+
+
+RULES: Dict[str, LintRule] = {}
+
+
+def register_rule(entry: LintRule, overwrite: bool = False) -> None:
+    if entry.name in RULES and not overwrite:
+        raise KeyError(f"lint rule {entry.name!r} already registered")
+    RULES[entry.name] = entry
+
+
+def rule(
+    name: str,
+    summary: str,
+    *,
+    scopes: Tuple[str, ...] | None = None,
+    project: bool = False,
+) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn`` as rule ``name``."""
+
+    def deco(fn: Callable) -> Callable:
+        register_rule(
+            LintRule(name=name, summary=summary, check=fn, scopes=scopes, project=project)
+        )
+        return fn
+
+    return deco
+
+
+def rule_info(name: str) -> LintRule:
+    try:
+        return RULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {name!r}; available: {', '.join(sorted(RULES))}"
+        ) from None
+
+
+def available_rules() -> list[str]:
+    """Sorted registry keys."""
+    return sorted(RULES)

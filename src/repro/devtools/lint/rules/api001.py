@@ -1,0 +1,161 @@
+"""API001 — public-surface drift and silent deprecation shims.
+
+``repro.api`` is the frozen public surface; drift between what a module
+*exports* and what it *defines* is how stale docs and broken
+``from repro.api import X`` land in user code.  Three checks:
+
+* **__all__ soundness** (every module): each ``__all__`` entry must
+  resolve to a module-level binding (import, def, class or assignment —
+  conditional ``if``/``try`` branches included).
+* **api surface completeness** (``src/repro/api/__init__.py`` only):
+  every name the module from-imports must appear in ``__all__`` — the
+  re-export list *is* the surface, nothing rides along unlisted.
+* **deprecation shims actually warn as deprecations**: a
+  ``warnings.warn`` whose message says "deprecated" must pass
+  ``DeprecationWarning`` (or a subclass) as its category, not default
+  to ``UserWarning`` — silent-ish shims never reach ``-W error``
+  upgrade runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..findings import Finding
+from ..index import ModuleIndex, ParsedModule, dotted_name
+from ..registry import rule
+
+__all__ = ["check_api001"]
+
+API_INIT_PATH = "src/repro/api/__init__.py"
+
+_DEPRECATION_CATEGORIES = {
+    "DeprecationWarning", "PendingDeprecationWarning", "FutureWarning",
+}
+
+_BLOCKS = (ast.If, ast.Try, ast.For, ast.While, ast.With)
+
+
+def _module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module level (descending into if/try/loop blocks)."""
+    bound: Set[str] = set()
+
+    def visit(body) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(node, _BLOCKS):
+                for field in ("body", "orelse", "finalbody"):
+                    visit(getattr(node, field, []) or [])
+                for handler in getattr(node, "handlers", []):
+                    visit(handler.body)
+
+    visit(tree.body)
+    return bound
+
+
+def _all_entries(tree: ast.Module):
+    """``(entry, line)`` pairs from every module-level ``__all__`` list."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    yield elt.value, elt.lineno
+
+
+def _warn_category(node: ast.Call):
+    """The category expression of a ``warnings.warn`` call, if any."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "category":
+            return kw.value
+    return None
+
+
+@rule(
+    "API001",
+    "__all__ matches real bindings; deprecation shims warn DeprecationWarning",
+    project=True,
+)
+def check_api001(index: ModuleIndex) -> Iterator[Finding]:
+    for module in sorted(index, key=lambda m: m.relpath):
+        bound = None
+        for entry, line in _all_entries(module.tree):
+            if bound is None:
+                bound = _module_bindings(module.tree)
+            if entry not in bound:
+                yield Finding(
+                    path=module.relpath, line=line, col=0, rule="API001",
+                    message=f"__all__ exports {entry!r} but the module never "
+                            "binds that name — stale public surface",
+                )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] != "warn":
+                continue
+            if not (name == "warn" or name.endswith("warnings.warn")):
+                continue
+            message = node.args[0] if node.args else None
+            if not (
+                isinstance(message, ast.Constant)
+                and isinstance(message.value, str)
+                and "deprecat" in message.value.lower()
+            ):
+                continue
+            category = _warn_category(node)
+            if not (
+                isinstance(category, ast.Name)
+                and category.id in _DEPRECATION_CATEGORIES
+            ):
+                yield Finding(
+                    path=module.relpath, line=node.lineno, col=node.col_offset,
+                    rule="API001",
+                    message="deprecation message without DeprecationWarning "
+                            "category — the shim warns as UserWarning and "
+                            "evades -W error::DeprecationWarning runs",
+                )
+
+    api = index.module(API_INIT_PATH)
+    if api is not None:
+        exported = {entry for entry, _ in _all_entries(api.tree)}
+        if exported:
+            for node in api.tree.body:
+                if not isinstance(node, ast.ImportFrom):
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "*" or local.startswith("_"):
+                        continue
+                    if local not in exported:
+                        yield Finding(
+                            path=api.relpath, line=node.lineno, col=0,
+                            rule="API001",
+                            message=f"repro.api imports {local!r} but __all__ "
+                                    "does not list it — unlisted surface drift",
+                        )

@@ -1,0 +1,148 @@
+"""CLK001 — no wall-clock values in digest/store/spool content.
+
+The content-addressed store and the spool task protocol promise that the
+same inputs produce the same bytes; a timestamp smuggled into a payload,
+a task file or a digested parameter dict breaks cache hits and the
+byte-for-byte distributed-vs-inline CI diffs.  Within the modules that
+*construct* that content (``core/store.py``, ``core/io.py``, the
+scenario/runtime cells and the executor layer), every clock read —
+``time.time``/``monotonic``/``perf_counter``, ``datetime.now`` and
+friends — is flagged unless it is provably timing-only:
+
+* used inside a comparison or an ``if``/``while`` test (deadlines,
+  idle/stale checks);
+* combined arithmetically with an existing timing value
+  (``perf_counter() - t0``);
+* bound to a timing-named target (``t0``, ``elapsed*``, ``*seconds*``,
+  ``last_*``, ``idle_*``, ``*deadline*``, ``*_age``, ``share``,
+  ``since``) — the allowlisted "timing-only fields".
+
+Anything else — a clock call inside a dict literal, a payload keyword,
+a return value without timing arithmetic — is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from ..index import ModuleIndex, ParsedModule, dotted_name
+from ..registry import rule
+
+__all__ = ["check_clk001"]
+
+#: Dotted suffixes that read a clock.  Suffix-matched so both
+#: ``time.time()`` and ``datetime.datetime.now()`` resolve.
+WALL_CLOCK_SUFFIXES = (
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+)
+
+#: Bare names that count as clock reads when imported from time/datetime.
+_BARE_CLOCKS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+
+#: Assignment targets (and arithmetic partners) that mark a value as
+#: timing-only: it measures a duration or schedules a deadline, and by
+#: convention never lands in persisted content.
+TIMING_NAME = re.compile(
+    r"^(t\d*|elapsed\w*|\w*seconds\w*|last_\w+|idle_\w+|\w*deadline\w*"
+    r"|\w+_age|share|since|started\w*|\w*_t0)$"
+)
+
+
+def _is_clock_call(node: ast.Call, bare_clocks: set) -> bool:
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    if name in bare_clocks and "." not in name:
+        return True
+    return any(
+        name == suffix or name.endswith("." + suffix)
+        for suffix in WALL_CLOCK_SUFFIXES
+    )
+
+
+def _names_timing(node: ast.AST) -> bool:
+    """Whether the subtree mentions a timing-named variable/attribute."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and TIMING_NAME.match(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and TIMING_NAME.match(sub.attr):
+            return True
+    return False
+
+
+def _assign_targets_timing(node: ast.AST) -> bool:
+    targets = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    names = []
+    for target in targets:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.append(sub.attr)
+    return bool(names) and all(TIMING_NAME.match(name) for name in names)
+
+
+def _timing_only(module: ParsedModule, call: ast.Call) -> bool:
+    """Climb from the clock call looking for an allowed timing context."""
+    child: ast.AST = call
+    parent: Optional[ast.AST] = module.parent(call)
+    while parent is not None:
+        if isinstance(parent, ast.Compare):
+            return True
+        if isinstance(parent, (ast.If, ast.While)) and child is parent.test:
+            return True
+        if isinstance(parent, ast.BinOp):
+            other = parent.right if child is parent.left else parent.left
+            if _names_timing(other) or any(
+                isinstance(sub, ast.Call) and _is_clock_call(sub, set())
+                for sub in ast.walk(other)
+            ):
+                return True
+        if isinstance(parent, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return _assign_targets_timing(parent)
+        if isinstance(parent, ast.stmt):
+            return False
+        child, parent = parent, module.parent(parent)
+    return False
+
+
+@rule(
+    "CLK001",
+    "no wall-clock reads flowing into digest/store/spool-task content",
+    scopes=(
+        "src/repro/core/store.py",
+        "src/repro/core/io.py",
+        "src/repro/api/scenario.py",
+        "src/repro/api/runtime.py",
+        "src/repro/experiments/orchestrator.py",
+        "src/repro/experiments/executors/",
+    ),
+)
+def check_clk001(module: ParsedModule, index: ModuleIndex) -> Iterator[Finding]:
+    bare_clocks = module.imported_names(("time",)) & _BARE_CLOCKS
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call) or not _is_clock_call(node, bare_clocks):
+            continue
+        if _timing_only(module, node):
+            continue
+        yield Finding(
+            path=module.relpath, line=node.lineno, col=node.col_offset,
+            rule="CLK001",
+            message="wall-clock read can leak into digested/stored content — "
+                    "bind it to a timing-only name (t0/elapsed/last_*) or keep "
+                    "it out of payload construction",
+        )

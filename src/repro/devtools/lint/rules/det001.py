@@ -1,0 +1,152 @@
+"""DET001 — digest inputs must be order-stable.
+
+Content addresses (``digest_key``, the golden-table digests) only stay
+stable if every byte fed into ``hashlib`` has a deterministic order:
+``json.dumps`` without ``sort_keys=True`` serializes dicts in insertion
+order (a refactor away from changing), and ``set`` iteration order
+varies with hash seeding across processes.
+
+Within any function (or module body) that computes a digest — calls a
+``hashlib`` constructor, ``.update`` on a hash object, or ``digest_key``
+— this rule flags
+
+* ``json.dumps(...)`` lacking a literal ``sort_keys=True``;
+* a ``set`` literal, set comprehension or ``set(...)`` call appearing
+  inside the argument of a hash call (its iteration order is fed
+  straight into the digest).
+
+Cross-function dataflow is out of scope (a helper that returns unsorted
+JSON to a hashing caller is not traced); keep digest construction local,
+as ``repro.core.store._canonical_json`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..findings import Finding
+from ..index import ModuleIndex, ParsedModule, dotted_name
+from ..registry import rule
+
+__all__ = ["check_det001"]
+
+_HASH_CONSTRUCTORS = frozenset({
+    "md5", "sha1", "sha224", "sha256", "sha384", "sha512",
+    "sha3_224", "sha3_256", "sha3_384", "sha3_512",
+    "blake2b", "blake2s", "new",
+})
+
+
+def _is_hash_call(node: ast.Call, hashlib_names: set) -> bool:
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    parts = name.split(".")
+    if parts[-1] == "digest_key":
+        return True
+    if parts[0] == "hashlib" and len(parts) > 1 and parts[-1] in _HASH_CONSTRUCTORS:
+        return True
+    if len(parts) == 1 and parts[0] in hashlib_names:
+        return True
+    return False
+
+
+def _is_dumps_call(node: ast.Call, json_names: set) -> bool:
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    if name == "json.dumps" or name.endswith(".json.dumps"):
+        return True
+    return "." not in name and name in json_names
+
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _scope_nodes(scope: ast.AST) -> List[ast.AST]:
+    """All nodes of one scope, *excluding* nested function bodies.
+
+    Each function couples its own dumps/hash calls; a module-level hash
+    call must not implicate a ``json.dumps`` inside some unrelated
+    function (and vice versa).
+    """
+    nodes: List[ast.AST] = []
+    stack: List[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCTIONS):
+                continue
+            stack.append(child)
+    return nodes
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module body plus every function, each a separate scope."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNCTIONS):
+            yield node
+
+
+@rule("DET001", "digest inputs must be order-stable (sort_keys JSON, no set order)")
+def check_det001(module: ParsedModule, index: ModuleIndex) -> Iterator[Finding]:
+    hashlib_names = module.imported_names(("hashlib",)) & _HASH_CONSTRUCTORS
+    json_names = module.imported_names(("json",)) & {"dumps"}
+    seen: set = set()
+    for scope in _scopes(module.tree):
+        nodes = _scope_nodes(scope)
+        hash_calls: List[ast.Call] = [
+            node for node in nodes
+            if isinstance(node, ast.Call)
+            and (_is_hash_call(node, hashlib_names)
+                 or (isinstance(node.func, ast.Attribute)
+                     and node.func.attr == "update"
+                     and isinstance(node.func.value, ast.Name)
+                     and ("hash" in node.func.value.id
+                          or node.func.value.id in ("h", "hasher", "digest"))))
+        ]
+        if not hash_calls:
+            continue
+        for node in nodes:
+            if not isinstance(node, ast.Call) or not _is_dumps_call(node, json_names):
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in seen:
+                continue
+            sorted_kw = next(
+                (kw for kw in node.keywords if kw.arg == "sort_keys"), None
+            )
+            is_sorted = (
+                sorted_kw is not None
+                and not (isinstance(sorted_kw.value, ast.Constant)
+                         and sorted_kw.value.value is not True)
+            )
+            if not is_sorted:
+                seen.add(key)
+                yield Finding(
+                    path=module.relpath, line=node.lineno, col=node.col_offset,
+                    rule="DET001",
+                    message="json.dumps in a digest-computing scope without "
+                            "sort_keys=True — dict order would leak into the "
+                            "content address",
+                )
+        for call in hash_calls:
+            for sub in ast.walk(call):
+                if isinstance(sub, (ast.Set, ast.SetComp)) or (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id in ("set", "frozenset")
+                ):
+                    key = (sub.lineno, sub.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Finding(
+                        path=module.relpath, line=sub.lineno, col=sub.col_offset,
+                        rule="DET001",
+                        message="set iteration order feeds a hash call — sort it "
+                                "(sorted(...)) before digesting",
+                    )

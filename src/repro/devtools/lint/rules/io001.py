@@ -1,0 +1,97 @@
+"""IO001 — crash-safe writes only in the store and executor layers.
+
+The store and the spool protocol survive ``kill -9`` because every file
+they publish is written to a dot-prefixed temporary and atomically
+renamed into place (``ResultsStore.save``, ``_SpoolDir._atomic_write``).
+A bare ``open(path, "w")`` or ``path.write_text(...)`` to a *final* name
+reintroduces torn files that other processes can observe half-written.
+
+Within ``core/store.py``, ``core/io.py`` and ``experiments/executors/``
+this rule flags
+
+* ``open(...)`` / ``Path.open(...)`` with a writing mode (``w``, ``a``,
+  ``x`` or ``+``);
+* ``.write_text(...)`` / ``.write_bytes(...)`` on any receiver not
+  named like a temporary (``tmp*`` / ``_tmp*`` / ``*_tmp``).
+
+Writes to tmp-named targets are the *first half* of the tmp+rename
+idiom and pass; everything else must route through the helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding
+from ..index import ModuleIndex, ParsedModule, dotted_name
+from ..registry import rule
+
+__all__ = ["check_io001"]
+
+_TMP_NAME = re.compile(r"^_?tmp\w*$|^\w*_tmp$")
+_WRITE_MODE = re.compile(r"[wax+]")
+
+
+def _mode_argument(node: ast.Call) -> ast.expr | None:
+    if len(node.args) >= 2:
+        return node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            return kw.value
+    return None
+
+
+def _receiver_is_tmp(func: ast.Attribute) -> bool:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return bool(_TMP_NAME.match(value.id))
+    if isinstance(value, ast.Attribute):
+        return bool(_TMP_NAME.match(value.attr))
+    return False
+
+
+@rule(
+    "IO001",
+    "store/executor file writes must use tmp+rename, never bare open(.., 'w')",
+    scopes=(
+        "src/repro/core/store.py",
+        "src/repro/core/io.py",
+        "src/repro/experiments/executors/",
+    ),
+)
+def check_io001(module: ParsedModule, index: ModuleIndex) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is not None and (name == "open" or name.endswith(".open")):
+            mode = _mode_argument(node)
+            writes = (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and bool(_WRITE_MODE.search(mode.value))
+            )
+            tmp_receiver = isinstance(node.func, ast.Attribute) and _receiver_is_tmp(
+                node.func
+            )
+            if writes and not tmp_receiver:
+                yield Finding(
+                    path=module.relpath, line=node.lineno, col=node.col_offset,
+                    rule="IO001",
+                    message="bare writing open() in a crash-safe layer — write a "
+                            "tmp-named sibling and atomically rename "
+                            "(ResultsStore.save / _atomic_write)",
+                )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("write_text", "write_bytes")
+            and not _receiver_is_tmp(node.func)
+        ):
+            yield Finding(
+                path=module.relpath, line=node.lineno, col=node.col_offset,
+                rule="IO001",
+                message=f"direct .{node.func.attr}() to a final path can tear on "
+                        "crash — write to a tmp-named path and rename into place",
+            )

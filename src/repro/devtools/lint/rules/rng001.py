@@ -1,0 +1,81 @@
+"""RNG001 — no entropy-seeded randomness in library code.
+
+Everything the reproduction promises — bit-identical batched/fused/
+spooled reruns, content-addressed cache hits — dies silently the moment
+a code path draws from OS entropy.  Under ``src/`` this rule flags
+
+* ``np.random.default_rng()`` called without a seed or source generator
+  (the classic "reproducible unless you forgot to pass rng" fallback);
+* any use of the legacy ``np.random.*`` global-state API (``seed``,
+  ``rand``, ``shuffle``, ...), whose hidden module-level state leaks
+  across lanes, processes and library boundaries.
+
+Pass an explicit seed (``default_rng(0)``) or thread a caller-owned
+``Generator``.  Genuinely-entropic code (none exists today) must carry
+``# reprolint: allow[RNG001] reason=...``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..index import ModuleIndex, ParsedModule, dotted_name
+from ..registry import rule
+
+__all__ = ["check_rng001"]
+
+#: Legacy global-state entry points of ``numpy.random``; the Generator
+#: API (``default_rng``, ``Generator``, ``SeedSequence``, bit generators)
+#: is exempt — only *seedless* ``default_rng()`` calls are flagged above.
+LEGACY_GLOBALS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "get_state", "gumbel",
+    "laplace", "logistic", "lognormal", "multinomial",
+    "multivariate_normal", "normal", "permutation", "poisson", "rand",
+    "randint", "randn", "random", "random_integers", "random_sample",
+    "ranf", "sample", "seed", "set_state", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "uniform", "vonmises", "weibull", "zipf",
+})
+
+
+@rule(
+    "RNG001",
+    "no seedless default_rng() or legacy np.random.* global state in src/",
+    scopes=("src/",),
+)
+def check_rng001(module: ParsedModule, index: ModuleIndex) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if (
+                name is not None
+                and name.split(".")[-1] == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield Finding(
+                    path=module.relpath, line=node.lineno, col=node.col_offset,
+                    rule="RNG001",
+                    message="seedless np.random.default_rng() draws OS entropy — "
+                            "pass an explicit seed or thread the caller's Generator",
+                )
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) >= 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] in LEGACY_GLOBALS
+            ):
+                yield Finding(
+                    path=module.relpath, line=node.lineno, col=node.col_offset,
+                    rule="RNG001",
+                    message=f"legacy np.random.{parts[2]} uses hidden global RNG "
+                            "state — use a seeded np.random.Generator instead",
+                )

@@ -1,0 +1,156 @@
+"""Run the registered rules over a module index and report.
+
+:func:`run_lint` is the single entry point the CLI, CI and the tests
+share: build the index, run every (selected) rule, apply suppression
+pragmas, and fold in the linter's own meta-findings:
+
+* ``LNT000`` — a file that does not parse (kept as a finding so a broken
+  tree fails the gate instead of being silently skipped);
+* ``SUP001`` — an ``allow[...]`` pragma without a ``reason=`` (every
+  suppression must carry its justification; not itself suppressible);
+* ``SUP002`` — a pragma allowing a rule name that does not exist
+  (catches typos that would otherwise silently suppress nothing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .findings import Finding
+from .index import ModuleIndex
+from .registry import RULES, rule_info
+
+__all__ = ["LintReport", "run_lint"]
+
+JSON_SCHEMA_VERSION = 1
+
+#: Meta-rules emitted by the runner itself; never suppressible, always on.
+META_RULES = {
+    "LNT000": "file does not parse",
+    "SUP001": "allow[...] pragma without reason= justification",
+    "SUP002": "allow[...] pragma names an unknown rule",
+}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint pass."""
+
+    findings: List[Finding]
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "counts": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        tail = (
+            f"reprolint: {len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed ({self.files} file(s), "
+            f"{len(self.rules)} rule(s))"
+        )
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[str]:
+    import repro.devtools.lint.rules  # noqa: F401  (self-registration import)
+
+    if select is None:
+        return sorted(RULES)
+    names = []
+    for name in select:
+        rule_info(name)  # raises KeyError with the available list on typos
+        names.append(name)
+    return sorted(set(names))
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    root: str | Path | None = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) with the registered rules.
+
+    ``root`` anchors the relative paths rules scope on (default: the
+    current working directory — run from the repository root, as CI
+    does).  ``select`` restricts to a subset of rule names.
+    """
+    names = _select_rules(select)
+    index = ModuleIndex.build(list(paths), root=root)
+
+    raw: List[Finding] = []
+    for name in names:
+        entry = RULES[name]
+        if entry.project:
+            raw.extend(entry.check(index))
+        else:
+            for module in index:
+                if entry.applies_to(module.relpath):
+                    raw.extend(entry.check(module, index))
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        module = index.modules.get(finding.path)
+        sup = (
+            module.suppression_for(finding.line, finding.rule)
+            if module is not None
+            else None
+        )
+        if sup is not None:
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+
+    # The linter's own meta-findings (never suppressible).
+    for relpath, line, message in index.errors:
+        findings.append(Finding(path=relpath, line=line, col=0,
+                                rule="LNT000", message=message))
+    known = set(RULES) | set(META_RULES)
+    for module in index:
+        for sups in module.suppressions.values():
+            for sup in sups:
+                if not sup.reason:
+                    findings.append(Finding(
+                        path=module.relpath, line=sup.line, col=0, rule="SUP001",
+                        message="suppression without reason= — every allow[...] "
+                                "pragma must say why the invariant is waived",
+                    ))
+                for rule_name in sup.rules:
+                    if rule_name != "*" and rule_name not in known:
+                        findings.append(Finding(
+                            path=module.relpath, line=sup.line, col=0,
+                            rule="SUP002",
+                            message=f"pragma allows unknown rule {rule_name!r} "
+                                    "— typo? nothing is suppressed",
+                        ))
+
+    return LintReport(
+        findings=sorted(set(findings)),
+        suppressed=sorted(set(suppressed)),
+        files=len(index),
+        rules=names,
+    )

@@ -74,7 +74,9 @@ class MeyersonStatic:
     mobile = False
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback (reprolint RNG001): default construction is
+        # reproducible; experiments thread their own seeded Generator.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
 
 class MobileMeyerson(MeyersonStatic):

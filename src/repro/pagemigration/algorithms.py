@@ -118,7 +118,9 @@ class CoinFlipGraph(PageMigrationAlgorithm):
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback (reprolint RNG001): default construction is
+        # reproducible; simulations thread their own seeded Generator.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def is_randomized(self) -> bool:
         return True

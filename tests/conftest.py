@@ -12,6 +12,10 @@ from repro.core import CostModel, MSPInstance, RequestSequence
 settings.register_profile("repro", max_examples=50, deadline=None, derandomize=True)
 settings.load_profile("repro")
 
+# Lint fixtures under data/ include deliberately-bad code and REG001
+# mini-trees whose files are *named* test_*.py by design — never collect.
+collect_ignore_glob = ["data/*"]
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

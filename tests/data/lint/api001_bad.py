@@ -1,0 +1,10 @@
+"""API001 bad fixture: stale __all__ and a silent deprecation shim."""
+
+import warnings
+
+__all__ = ["run", "vanished"]  # 'vanished' is never bound
+
+
+def run():
+    warnings.warn("run() is deprecated; use spec().run()")  # no category
+    return None

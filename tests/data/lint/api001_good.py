@@ -1,0 +1,17 @@
+"""API001 good fixture: sound __all__ and a proper deprecation shim."""
+
+import warnings
+
+__all__ = ["run", "spec"]
+
+
+def spec():
+    return object()
+
+
+def run():
+    warnings.warn(
+        "run() is deprecated; use spec().run()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return spec()

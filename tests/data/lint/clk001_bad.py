@@ -1,0 +1,14 @@
+"""CLK001 bad fixture: wall-clock values landing in persisted content."""
+
+import time
+from datetime import datetime
+
+
+def submit_task(spool, digest):
+    payload = {"digest": digest, "created": time.time()}  # timestamp in content
+    spool.write(payload)
+
+
+def stamp_payload(payload):
+    payload["written_at"] = datetime.now().isoformat()  # timestamp in content
+    return payload

@@ -1,0 +1,20 @@
+"""CLK001 good fixture: clocks used for timing only, never in content."""
+
+import time
+
+
+def run_cell(compute, timeout):
+    t0 = time.perf_counter()
+    deadline = time.monotonic() + timeout
+    payload = compute()
+    while time.monotonic() < deadline:
+        break
+    elapsed = time.perf_counter() - t0
+    return payload, elapsed
+
+
+def poll(spool, idle_exit):
+    idle_since = time.monotonic()
+    if time.monotonic() - idle_since > idle_exit:
+        return None
+    return spool

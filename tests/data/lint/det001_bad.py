@@ -1,0 +1,14 @@
+"""DET001 bad fixture: order-unstable inputs feeding a digest."""
+
+import hashlib
+import json
+
+
+def digest_params(params):
+    blob = json.dumps(params)  # dict insertion order leaks into the address
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def digest_names(names):
+    joined = ",".join(set(names))  # set iteration order inside the hash call
+    return hashlib.sha256(",".join(set(names)).encode() + joined.encode())

@@ -1,0 +1,19 @@
+"""DET001 good fixture: canonical, order-stable digest inputs."""
+
+import hashlib
+import json
+
+
+def digest_params(params):
+    blob = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def digest_names(names):
+    return hashlib.sha256(",".join(sorted(names)).encode()).hexdigest()
+
+
+def pretty(params):
+    # json.dumps without sort_keys is fine here: nothing in this
+    # function computes a digest.
+    return json.dumps(params, indent=2)

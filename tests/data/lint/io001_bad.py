@@ -1,0 +1,12 @@
+"""IO001 bad fixture: torn-file hazards in a crash-safe layer."""
+
+import json
+
+
+def ack_done(path, payload):
+    with open(path, "w") as fh:  # bare writing open: tears on crash
+        json.dump(payload, fh)
+
+
+def publish(final, text):
+    final.write_text(text)  # direct write to the final name

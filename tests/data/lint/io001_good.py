@@ -1,0 +1,16 @@
+"""IO001 good fixture: the tmp+rename idiom, crash-safe by construction."""
+
+import json
+import os
+
+
+def atomic_write(root, final, payload):
+    tmp = root / f".{final.name}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    tmp.replace(final)
+    return final
+
+
+def read_back(path):
+    with open(path) as fh:  # reading is fine
+        return json.load(fh)

@@ -1,0 +1,11 @@
+"""REG001 bad fixture: the algorithm registry (missing 'orphan-entry')."""
+
+
+def _make_alpha():
+    return object()
+
+
+ALGORITHMS = {
+    "alpha": _make_alpha,
+    "phantom": _make_alpha,
+}

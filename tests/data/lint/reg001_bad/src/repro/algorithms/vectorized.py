@@ -1,0 +1,16 @@
+"""REG001 bad fixture: kernel tags out of step with the KERNELS registry."""
+
+
+class BatchedAlpha:
+    kernel = "alpha"
+
+
+class BatchedPhantom:
+    kernel = "phantom"  # advertised but never registered in KERNELS
+
+
+VECTORIZED = {
+    "alpha": BatchedAlpha,
+    "phantom": BatchedPhantom,
+    "orphan-entry": BatchedAlpha,  # not in ALGORITHMS at all
+}

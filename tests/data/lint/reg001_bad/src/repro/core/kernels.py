@@ -1,0 +1,12 @@
+"""REG001 bad fixture: a dead kernel and a missing one."""
+
+
+class StepKernel:
+    def __init__(self, name):
+        self.name = name
+
+
+KERNELS = {
+    "alpha": StepKernel("alpha"),
+    "ghost": StepKernel("ghost"),  # no vectorized class advertises this
+}

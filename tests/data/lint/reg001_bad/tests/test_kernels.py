@@ -1,0 +1,5 @@
+"""REG001 bad fixture: a hand-listed parity suite that misses kernels."""
+
+
+def test_alpha_parity():
+    assert "alpha"  # only 'alpha' is referenced; 'ghost' never is

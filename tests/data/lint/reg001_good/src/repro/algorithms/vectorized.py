@@ -1,0 +1,16 @@
+"""REG001 good fixture: vectorized classes and kernel tags in lock-step."""
+
+
+class BatchedAlpha:
+    kernel = "alpha"
+
+
+class BatchedBeta:
+    kernel = "beta"
+
+
+VECTORIZED = {
+    "alpha": BatchedAlpha,
+    "beta": BatchedBeta,
+    "beta-soft": lambda: BatchedBeta(),
+}

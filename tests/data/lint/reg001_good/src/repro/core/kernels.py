@@ -1,0 +1,12 @@
+"""REG001 good fixture: every kernel advertised, none dead."""
+
+
+class StepKernel:
+    def __init__(self, name):
+        self.name = name
+
+
+KERNELS = {
+    "alpha": StepKernel("alpha"),
+    "beta": StepKernel("beta"),
+}

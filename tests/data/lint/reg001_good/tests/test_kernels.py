@@ -1,0 +1,10 @@
+"""REG001 good fixture: the parity suite parametrizes over KERNELS itself."""
+
+from repro.core.kernels import KERNELS
+
+KERNEL_ALGOS = sorted(KERNELS)
+
+
+def test_parity():
+    for name in KERNEL_ALGOS:
+        assert name

@@ -1,0 +1,14 @@
+"""RNG001 bad fixture: entropy-seeded randomness in library code."""
+
+import numpy as np
+
+
+def build(rng=None):
+    if rng is None:
+        rng = np.random.default_rng()  # seedless: OS entropy
+    return rng.random()
+
+
+def legacy_draw(n):
+    np.random.seed(42)  # legacy global state
+    return np.random.rand(n)  # legacy global state

@@ -1,0 +1,14 @@
+"""RNG001 good fixture: every draw comes from an explicit seed or Generator."""
+
+import numpy as np
+
+
+def build(rng=None):
+    if rng is None:
+        rng = np.random.default_rng(0)  # deterministic fallback
+    return rng.random()
+
+
+def seeded_draw(n, seed):
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.random(n)
