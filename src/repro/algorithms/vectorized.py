@@ -90,6 +90,19 @@ class ScalarBatchAdapter(VectorizedAlgorithm):
             alg.position = np.array(out[i], dtype=np.float64, copy=True)
         return out
 
+    def export_lane_states(self) -> list:
+        # The scalar algorithm object *is* the lane state: carrying it
+        # across batch recompositions preserves every internal attribute.
+        return list(self._algorithms)
+
+    def import_lane_states(self, states) -> None:
+        if len(states) != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} lane states, got {len(states)}")
+        self._algorithms = [
+            fresh if carried is None else carried
+            for fresh, carried in zip(self._algorithms, states)
+        ]
+
 
 class BatchedStatic(VectorizedAlgorithm):
     """Vectorized :class:`~repro.algorithms.lazy.StaticServer`: never moves."""
@@ -228,6 +241,14 @@ class BatchedMoveToCenter(VectorizedAlgorithm):
         super().reset_batch(instances, caps)
         self._last_centers = [None] * self.batch_size
 
+    def export_lane_states(self) -> list:
+        return list(self._last_centers)
+
+    def import_lane_states(self, states) -> None:
+        if len(states) != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} lane states, got {len(states)}")
+        self._last_centers = list(states)
+
     def _center(self, lane: int, points: np.ndarray, position: np.ndarray) -> np.ndarray:
         if self.tie_break == "closest":
             c = request_center(points, position, warm_start=self._last_centers[lane])
@@ -308,6 +329,16 @@ class _BatchedPursuit(VectorizedAlgorithm):
     def _update_targets(self, t: int, positions: np.ndarray, step: BatchStepRequests) -> None:
         raise NotImplementedError
 
+    def export_lane_states(self) -> list:
+        return list(self._targets)
+
+    def import_lane_states(self, states) -> None:
+        # A ``None`` entry is both "no pursuit target" and "fresh lane" —
+        # the two coincide for this family, so no sentinel is needed.
+        if len(states) != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} lane states, got {len(states)}")
+        self._targets = list(states)
+
     def decide_batch(
         self, t: int, positions: np.ndarray, step: BatchStepRequests
     ) -> np.ndarray:
@@ -337,6 +368,14 @@ class BatchedFollowLast(VectorizedAlgorithm):
     def reset_batch(self, instances: Sequence[MSPInstance], caps: np.ndarray) -> None:
         super().reset_batch(instances, caps)
         self._targets = [None] * self.batch_size
+
+    def export_lane_states(self) -> list:
+        return list(self._targets)
+
+    def import_lane_states(self, states) -> None:
+        if len(states) != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} lane states, got {len(states)}")
+        self._targets = list(states)
 
     def decide_batch(
         self, t: int, positions: np.ndarray, step: BatchStepRequests
@@ -380,6 +419,23 @@ class BatchedLazyThreshold(_BatchedPursuit):
             [inst.m for inst in self.instances]
         )
 
+    def export_lane_states(self) -> list:
+        return [
+            (self._targets[i], float(self._accumulated[i]), list(self._recent[i]))
+            for i in range(self.batch_size)
+        ]
+
+    def import_lane_states(self, states) -> None:
+        if len(states) != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} lane states, got {len(states)}")
+        for i, carried in enumerate(states):
+            if carried is None:  # fresh lane: keep the reset state
+                continue
+            target, accumulated, recent = carried
+            self._targets[i] = target
+            self._accumulated[i] = accumulated
+            self._recent[i] = list(recent)
+
     def _update_targets(self, t: int, positions: np.ndarray, step: BatchStepRequests) -> None:
         for i in np.nonzero(step.counts)[0]:
             i = int(i)
@@ -418,6 +474,23 @@ class BatchedMoveToMin(_BatchedPursuit):
         super().reset_batch(instances, caps)
         self._phase_points = [[] for _ in range(self.batch_size)]
         self._phase_counts = np.zeros(self.batch_size, dtype=np.int64)
+
+    def export_lane_states(self) -> list:
+        return [
+            (self._targets[i], list(self._phase_points[i]), int(self._phase_counts[i]))
+            for i in range(self.batch_size)
+        ]
+
+    def import_lane_states(self, states) -> None:
+        if len(states) != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} lane states, got {len(states)}")
+        for i, carried in enumerate(states):
+            if carried is None:  # fresh lane: keep the reset state
+                continue
+            target, phase_points, phase_count = carried
+            self._targets[i] = target
+            self._phase_points[i] = list(phase_points)
+            self._phase_counts[i] = phase_count
 
     def _phase_size(self, lane: int) -> int:
         if self.phase_requests is not None:
@@ -470,6 +543,24 @@ class BatchedCoinFlip(_BatchedPursuit):
             self._p = np.full(self.batch_size, self.probability)
         else:
             self._p = 1.0 / (2.0 * self.D)
+
+    def export_lane_states(self) -> list:
+        # The Generator object itself is the lane's stream state; carrying
+        # it across batch recompositions continues the draw sequence
+        # exactly where the lane left off.
+        return [
+            (self._targets[i], self._rngs[i]) for i in range(self.batch_size)
+        ]
+
+    def import_lane_states(self, states) -> None:
+        if len(states) != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} lane states, got {len(states)}")
+        for i, carried in enumerate(states):
+            if carried is None:  # fresh lane: keep the reset RNG
+                continue
+            target, rng = carried
+            self._targets[i] = target
+            self._rngs[i] = rng
 
     def _update_targets(self, t: int, positions: np.ndarray, step: BatchStepRequests) -> None:
         for i in np.nonzero(step.counts)[0]:

@@ -8,7 +8,7 @@ addressed by name, mirroring the workload/adversary/algorithm
 registries, so an experiment module stays fully declarative: grid +
 reducer name + formatting.
 
-Four generic reducers ship here, drawing on :mod:`repro.analysis`:
+The generic reducers ship here, drawing on :mod:`repro.analysis`:
 
 ``table``
     One row per grid point — axis coordinates followed by named payload
@@ -21,6 +21,11 @@ Four generic reducers ship here, drawing on :mod:`repro.analysis`:
 ``ratio-curve``
     Group points by one axis, average a payload field per group (the
     ratio-vs-parameter curve every competitive-analysis plot reduces to).
+``bootstrap-ci``
+    Like ``ratio-curve`` but each group's mean comes with a seeded
+    bootstrap confidence interval
+    (:func:`repro.analysis.stats.bootstrap_ci`); an optional bound on
+    the CI's upper end is the pass criterion.
 ``regression-fit``
     Power-law fit (:func:`repro.analysis.regression.fit_power_law`) of a
     payload field against one axis, with an optional exponent window as
@@ -195,6 +200,39 @@ def _reduce_ratio_curve(cells: Mapping[str, Any], *, points: Points,
     notes = list(config.get("notes", []))
     if bound is not None:
         notes.append(f"criterion: mean {value} <= {bound:g} at every {axis}")
+    return Reduction(rows=rows, notes=notes, passed=passed)
+
+
+@register_reducer("bootstrap-ci",
+                  "mean + bootstrap confidence interval of a payload field per axis value")
+def _reduce_bootstrap_ci(cells: Mapping[str, Any], *, points: Points,
+                         config: Mapping[str, Any], scale: float, seed: int) -> Reduction:
+    """Config: ``x`` (grouping axis), ``value`` (payload field, default
+    ``"ratio"``), ``confidence`` (default 0.95), ``n_boot`` (default
+    2000), optional ``bound`` (the CI's *upper* end must stay at or
+    below it at every axis value).  Resampling is seeded from the
+    experiment seed, so the interval is deterministic per run.
+    """
+    from ..analysis.stats import bootstrap_ci
+
+    axis = config["x"]
+    value = config.get("value", "ratio")
+    confidence = float(config.get("confidence", 0.95))
+    n_boot = int(config.get("n_boot", 2000))
+    bound = config.get("bound")
+    rows: list[list[Any]] = []
+    passed = True
+    for x, keys in _grouped(points, axis):
+        data = np.asarray([float(cells[k][value]) for k in keys], dtype=np.float64)
+        lo, hi = bootstrap_ci(data, confidence=confidence, n_boot=n_boot,
+                              rng=np.random.default_rng(seed))
+        rows.append([x, float(data.mean()), lo, hi])
+        if bound is not None and hi > bound:
+            passed = False
+    notes = [f"{confidence:.0%} bootstrap CI, {n_boot} resamples, seeded"]
+    notes.extend(config.get("notes", []))
+    if bound is not None:
+        notes.append(f"criterion: CI upper end of {value} <= {bound:g} at every {axis}")
     return Reduction(rows=rows, notes=notes, passed=passed)
 
 

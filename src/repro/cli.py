@@ -28,6 +28,14 @@ Subcommands
     selected via the registry's capability metadata (dimension support,
     moving-client requirement, cost model).
 
+``serve``
+    Long-lived streaming mode: open per-client sessions, feed request
+    steps as JSONL over stdin or TCP, and read positions/costs/traces
+    incrementally.  Compatible sessions share cross-lane engine waves,
+    state checkpoints ride the content-addressed store with atomic
+    writes, and ``--resume`` replays checkpointed streams so completed
+    traces are bit-identical to uninterrupted runs.
+
 ``list``
     Show registered algorithms, workloads, adversaries and experiments.
 
@@ -434,6 +442,32 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0 if stats.failed == 0 else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeServer
+
+    _apply_no_fuse(args)
+    try:
+        server = ServeServer(
+            args.store,
+            server_id=args.server_id,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ValueError as exc:
+        print(f"bad serve options: {exc}", file=sys.stderr)
+        return 2
+    if args.resume:
+        restored = server.resume()
+        print(f"resumed {len(restored)} session(s)"
+              + (f": {', '.join(restored)}" if restored else ""),
+              file=sys.stderr, flush=True)
+    try:
+        server.run(host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        # Leave resumable state behind, like an EOF would.
+        server.checkpoint_all()
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from .adversaries import available_adversaries
     from .algorithms import available_algorithms
@@ -597,6 +631,42 @@ def main(argv: list[str] | None = None) -> int:
                             "engine pass and average the certified ratios")
     _add_no_fuse_flag(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="long-lived streaming server: feed requests step by step over "
+             "JSONL (stdin or TCP), with checkpointed bit-identical resume",
+        description="Turn the batched engine into a service.  Clients open "
+                    "sessions (one engine lane each), feed request steps as "
+                    "newline-delimited JSON, and read positions/costs/traces "
+                    "back; compatible lanes advance in shared cross-lane "
+                    "engine waves.  Sessions checkpoint periodically through "
+                    "the content-addressed store (atomic writes, pinned "
+                    "against gc), so after a crash '--resume' replays each "
+                    "checkpointed stream and completed traces are "
+                    "bit-identical to an uninterrupted run.")
+    p_srv.add_argument("--store", required=True, metavar="DIR",
+                       help="content-addressed store for checkpoints and "
+                            "final session results")
+    p_srv.add_argument("--server-id", type=str, default="serve",
+                       help="stable identity of this server's checkpoint "
+                            "slots (default: serve); resume with the same id")
+    p_srv.add_argument("--port", type=int, default=None, metavar="N",
+                       help="serve the line protocol on TCP port N (0 picks "
+                            "a free port, announced on stdout); default: "
+                            "stdin/stdout JSONL")
+    p_srv.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address for --port (default 127.0.0.1)")
+    p_srv.add_argument("--checkpoint-every", type=int, default=16, metavar="K",
+                       help="checkpoint a session every K committed steps "
+                            "(default 16; crash loses at most K-1 steps, "
+                            "which an idempotent client replay restores)")
+    p_srv.add_argument("--resume", action="store_true",
+                       help="restore every session in this server-id's "
+                            "manifest by replaying its checkpointed request "
+                            "history before serving")
+    _add_no_fuse_flag(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_list = sub.add_parser("list", help="list algorithms, workloads, adversaries, experiments")
     p_list.set_defaults(func=_cmd_list)

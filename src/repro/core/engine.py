@@ -66,6 +66,7 @@ __all__ = [
     "BatchStepRequests",
     "BatchTrace",
     "VectorizedAlgorithm",
+    "advance_lanes",
     "simulate_batch",
 ]
 
@@ -292,6 +293,45 @@ class VectorizedAlgorithm(abc.ABC):
         floating-point tolerance; the engine validates every lane.
         """
 
+    # -- carried lane state (incremental stepping) ------------------------
+
+    def export_lane_states(self) -> list:
+        """Opaque per-lane decision state after the steps played so far.
+
+        The streaming serve layer advances lanes through the engine
+        incrementally and may regroup them between ticks: it exports each
+        lane's state after a step and imports it into a (possibly
+        differently-composed) batch before the next one.  The contract is
+        that ``import_lane_states(export_lane_states())`` round-trips
+        exactly — a lane stepped under changing batch compositions makes
+        bit-identical decisions to one stepped in a fixed batch.
+
+        Stateless algorithms (decisions are pure functions of positions,
+        requests and caps) inherit this default, which exports ``None``
+        per lane.  Stateful subclasses must override both methods.  The
+        exported values are in-process handles (they may hold live RNGs);
+        durable checkpoints replay the request history instead of
+        serializing them.
+        """
+        return [None] * self.batch_size
+
+    def import_lane_states(self, states: Sequence) -> None:
+        """Restore per-lane decision state exported by :meth:`export_lane_states`.
+
+        Called after :meth:`reset_batch`, with one entry per lane of the
+        *current* batch (entries may come from different earlier batches).
+        """
+        if len(states) != self.batch_size:
+            raise ValueError(
+                f"expected {self.batch_size} lane states, got {len(states)}"
+            )
+        for i, state in enumerate(states):
+            if state is not None:
+                raise ValueError(
+                    f"{type(self).__name__} is stateless but lane {i} carries "
+                    "state — override import_lane_states in the subclass"
+                )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -372,6 +412,50 @@ def _batch_service_costs(
         diff = batch.points - serving[i]
         service[i] = np.sqrt(np.einsum("ij,ij->i", diff, diff)).sum()
     return service
+
+
+def advance_lanes(
+    algo: VectorizedAlgorithm,
+    t: int,
+    positions: np.ndarray,
+    step: BatchStepRequests,
+    *,
+    caps: np.ndarray,
+    tol: np.ndarray,
+    D: np.ndarray,
+    serve_after_move: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One lock-step engine step over externally-held state.
+
+    This is the per-step body of :func:`simulate_batch` — decide, validate
+    against the movement cap, pick the serving position per cost model,
+    and account costs — factored out so callers that *carry* state between
+    steps (the streaming serve layer's :class:`~repro.serve.SessionPool`)
+    perform the exact same float64 arithmetic as a full batched run.
+
+    Returns ``(proposed, movement, service, moved)``: the ``(B, d)`` new
+    positions and the three ``(B,)`` per-lane step costs.  The caller
+    commits ``proposed`` (copying defensively if the algorithm may alias
+    it) and accumulates the costs.
+    """
+    B, dim = positions.shape
+    proposed = np.asarray(algo.decide_batch(t, positions, step), dtype=np.float64)
+    if proposed.shape != (B, dim):
+        raise ValueError(
+            f"decide_batch must return shape {(B, dim)}, got {proposed.shape}"
+        )
+    seg = proposed - positions
+    moved = row_norms(seg)
+    bad = np.nonzero(moved > tol)[0]
+    if bad.size:
+        lane = int(bad[0])
+        raise MovementCapViolation(
+            t, float(moved[lane]), float(caps[lane]), f"{algo.name}[lane {lane}]"
+        )
+    serving = np.where(serve_after_move[:, None], proposed, positions)
+    service = _batch_service_costs(serving, step)
+    movement = D * moved
+    return proposed, movement, service, moved
 
 
 def simulate_batch(
@@ -457,24 +541,10 @@ def simulate_batch(
 
     for t in range(T):
         step = steps[t]
-        proposed = np.asarray(
-            algo.decide_batch(t, state.positions, step), dtype=np.float64
+        proposed, movement, service, moved = advance_lanes(
+            algo, t, state.positions, step,
+            caps=caps, tol=tol, D=D, serve_after_move=serve_after_move,
         )
-        if proposed.shape != (B, dim):
-            raise ValueError(
-                f"decide_batch must return shape {(B, dim)}, got {proposed.shape}"
-            )
-        seg = proposed - state.positions
-        moved = row_norms(seg)
-        bad = np.nonzero(moved > tol)[0]
-        if bad.size:
-            lane = int(bad[0])
-            raise MovementCapViolation(
-                t, float(moved[lane]), float(caps[lane]), f"{algo.name}[lane {lane}]"
-            )
-        serving = np.where(serve_after_move[:, None], proposed, state.positions)
-        service = _batch_service_costs(serving, step)
-        movement = D * moved
         trace.positions[:, t + 1] = proposed
         trace.movement_costs[:, t] = movement
         trace.service_costs[:, t] = service

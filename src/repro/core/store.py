@@ -196,9 +196,26 @@ class ResultsStore:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        # Digests that :meth:`gc` must never evict while this handle is
+        # open — live session checkpoints of an in-flight serve run.  The
+        # pins are per-process by design: a crashed server's stale pins
+        # die with it, leaving its checkpoints ordinary (evictable)
+        # entries until the resuming server re-pins them.
+        self._pins: set[str] = set()
 
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.npz"
+
+    def pin(self, digest: str) -> None:
+        """Shield ``digest`` from :meth:`gc` until :meth:`unpin` or process exit."""
+        self._pins.add(digest)
+
+    def unpin(self, digest: str) -> None:
+        self._pins.discard(digest)
+
+    def pinned(self) -> frozenset[str]:
+        """Currently pinned digests (a snapshot)."""
+        return frozenset(self._pins)
 
     def __contains__(self, digest: str) -> bool:
         return self.path_for(digest).exists()
@@ -307,7 +324,10 @@ class ResultsStore:
         and :meth:`load` re-stamps every cache hit, so eviction order is
         true LRU over both writes and reads.  Entries vanishing mid-pass
         (a concurrent run's own gc) are treated as already evicted by the
-        other party and skipped.
+        other party and skipped.  Entries pinned via :meth:`pin` (live
+        session checkpoints of an in-flight serve run) are never evicted;
+        they still count toward the total, so a heavily pinned store may
+        legitimately finish above ``max_bytes``.
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -328,6 +348,8 @@ class ResultsStore:
         for _, size, path in sorted(entries, key=lambda e: e[0]):
             if total <= max_bytes:
                 break
+            if path.stem in self._pins:
+                continue
             try:
                 path.unlink()
             except OSError:

@@ -5,7 +5,8 @@ same inputs produce the same bytes; a timestamp smuggled into a payload,
 a task file or a digested parameter dict breaks cache hits and the
 byte-for-byte distributed-vs-inline CI diffs.  Within the modules that
 *construct* that content (``core/store.py``, ``core/io.py``, the
-scenario/runtime cells and the executor layer), every clock read —
+scenario/runtime cells, the executor layer and the serve subsystem's
+checkpoint/digest paths under ``serve/``), every clock read —
 ``time.time``/``monotonic``/``perf_counter``, ``datetime.now`` and
 friends — is flagged unless it is provably timing-only:
 
@@ -130,6 +131,7 @@ def _timing_only(module: ParsedModule, call: ast.Call) -> bool:
         "src/repro/api/runtime.py",
         "src/repro/experiments/orchestrator.py",
         "src/repro/experiments/executors/",
+        "src/repro/serve/",
     ),
 )
 def check_clk001(module: ParsedModule, index: ModuleIndex) -> Iterator[Finding]:

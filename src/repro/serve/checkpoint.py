@@ -1,0 +1,179 @@
+"""Durable serve-session checkpoints in the content-addressed store.
+
+A serve checkpoint is deliberately *not* a pickle of live state: the
+algorithms carry in-process handles (RNG streams, scalar algorithm
+objects) that cannot be serialized portably.  Instead a checkpoint stores
+the session's durable identity — its :class:`~repro.serve.session.SessionSpec`
+plus the exact request history committed so far — and resume *replays*
+that history through the incremental engine.  Replay is deterministic
+(the whole repo's bit-parity contract), so a resumed session reaches the
+same position, costs and carried state an uninterrupted run would hold,
+and the completed trace is bit-identical.
+
+Addressing
+----------
+
+Live checkpoints are **mutable slots**: the digest is a function of
+``(server_id, session_id)`` only, so each periodic save atomically
+replaces the previous one (tmp+rename via :meth:`ResultsStore.save`).
+A per-server manifest slot lists the open sessions so ``--resume`` knows
+what to restore.  The digests hash only those identifiers — never
+payload contents, and never wall-clock time (CLK001-linted) — which is
+what makes the slot stable across saves.  Checkpoints are pinned in the
+store for the lifetime of the owning process so a concurrent
+:meth:`ResultsStore.gc` can never evict an in-flight session.
+
+Finished sessions graduate to an ordinary *content-addressed* result:
+:func:`final_result_digest` hashes the spec plus the stream digest, so
+any server (or an inline batch run) completing the same stream writes
+the same entry.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..core.store import MISSING, ResultsStore, digest_key
+from .session import OnlineSession, SessionSpec, request_stream_digest
+
+__all__ = [
+    "delete_session_checkpoint",
+    "final_result_digest",
+    "load_manifest",
+    "load_session_checkpoint",
+    "manifest_digest",
+    "save_final_result",
+    "save_manifest",
+    "save_session_checkpoint",
+    "session_checkpoint_digest",
+]
+
+_CHECKPOINT_FN = "repro.serve.checkpoint:session"
+_MANIFEST_FN = "repro.serve.checkpoint:manifest"
+_FINAL_FN = "repro.serve.checkpoint:final"
+
+
+def session_checkpoint_digest(server_id: str, session_id: str) -> str:
+    """Mutable-slot address of one session's live checkpoint."""
+    return digest_key(_CHECKPOINT_FN, {"server": str(server_id),
+                                       "session": str(session_id)})
+
+
+def manifest_digest(server_id: str) -> str:
+    """Mutable-slot address of a server's open-session manifest."""
+    return digest_key(_MANIFEST_FN, {"server": str(server_id)})
+
+
+def final_result_digest(spec: SessionSpec, stream_digest: str) -> str:
+    """Content address of a *finished* session's result payload."""
+    return digest_key(_FINAL_FN, {"spec": spec.to_dict(),
+                                  "stream": stream_digest})
+
+
+def save_session_checkpoint(
+    store: ResultsStore, server_id: str, session: OnlineSession
+) -> str:
+    """Atomically persist a session's durable identity; returns the digest.
+
+    The entry is pinned before the write so an interleaved ``gc`` pass in
+    this process can never evict a checkpoint the server still owns.
+    """
+    digest = session_checkpoint_digest(server_id, session.session_id)
+    counts = np.asarray([p.shape[0] for p in session.history], dtype=np.int64)
+    if session.history:
+        points = np.ascontiguousarray(
+            np.concatenate(session.history, axis=0), dtype=np.float64
+        )
+    else:
+        points = np.empty((0, session.spec.dim), dtype=np.float64)
+    store.pin(digest)
+    store.save(digest, {
+        "kind": "serve-session-checkpoint",
+        "server": str(server_id),
+        "session": session.session_id,
+        "spec": session.spec.to_dict(),
+        "steps": int(session.steps),
+        "counts": counts,
+        "points": points,
+        "stream_digest": session.stream_digest(),
+    })
+    return digest
+
+
+def load_session_checkpoint(
+    store: ResultsStore, server_id: str, session_id: str
+) -> tuple[SessionSpec, list[np.ndarray]] | None:
+    """Read one session checkpoint back as ``(spec, request history)``.
+
+    Returns ``None`` when no checkpoint exists.  The stored stream digest
+    is re-verified against the reassembled history, so a torn or
+    tampered entry fails loudly instead of resuming a corrupted trace.
+    """
+    payload = store.load_or_none(
+        session_checkpoint_digest(server_id, session_id), default=MISSING
+    )
+    if payload is MISSING:
+        return None
+    if not isinstance(payload, Mapping) or payload.get("kind") != "serve-session-checkpoint":
+        raise ValueError(
+            f"entry for session {session_id!r} is not a serve checkpoint"
+        )
+    spec = SessionSpec.from_dict(payload["spec"])
+    counts = np.asarray(payload["counts"], dtype=np.int64)
+    points = np.asarray(payload["points"], dtype=np.float64)
+    if int(counts.sum()) != points.shape[0]:
+        raise ValueError(
+            f"checkpoint for session {session_id!r} is inconsistent: "
+            f"counts sum to {int(counts.sum())} but {points.shape[0]} points stored"
+        )
+    history: list[np.ndarray] = []
+    offset = 0
+    for c in counts:
+        history.append(points[offset:offset + int(c)])
+        offset += int(c)
+    digest = request_stream_digest(history, spec.dim)
+    if digest != payload.get("stream_digest"):
+        raise ValueError(
+            f"checkpoint for session {session_id!r} failed its stream-digest check"
+        )
+    return spec, history
+
+
+def delete_session_checkpoint(
+    store: ResultsStore, server_id: str, session_id: str
+) -> bool:
+    """Unpin and drop a session's live checkpoint (after close/graduation)."""
+    digest = session_checkpoint_digest(server_id, session_id)
+    store.unpin(digest)
+    return store.delete(digest)
+
+
+def save_manifest(store: ResultsStore, server_id: str, session_ids) -> str:
+    """Persist the set of open sessions; pinned like the checkpoints."""
+    digest = manifest_digest(server_id)
+    store.pin(digest)
+    store.save(digest, {
+        "kind": "serve-manifest",
+        "server": str(server_id),
+        "sessions": sorted(str(s) for s in session_ids),
+    })
+    return digest
+
+
+def load_manifest(store: ResultsStore, server_id: str) -> list[str]:
+    """Open sessions recorded by the last :func:`save_manifest` (or ``[]``)."""
+    payload = store.load_or_none(manifest_digest(server_id), default=MISSING)
+    if payload is MISSING:
+        return []
+    if not isinstance(payload, Mapping) or payload.get("kind") != "serve-manifest":
+        raise ValueError(f"entry for server {server_id!r} is not a serve manifest")
+    return [str(s) for s in payload.get("sessions", [])]
+
+
+def save_final_result(store: ResultsStore, session: OnlineSession) -> str:
+    """Graduate a finished session to a content-addressed result entry."""
+    digest = final_result_digest(session.spec, session.stream_digest())
+    store.save(digest, session.final_payload())
+    return digest

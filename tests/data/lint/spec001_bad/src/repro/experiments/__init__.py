@@ -1,0 +1,22 @@
+"""Fixture registry with every SPEC001 failure mode.
+
+* ``"E1"`` appears twice in SPECS (the first entry is shadowed);
+* ``"E4"`` has a spec builder but no EXPERIMENTS runner;
+* ``"E3"`` has a runner but no SPECS entry;
+* ``e3_imposter`` re-declares ``experiment_id="E1"`` (see that module).
+"""
+
+from . import e1_first, e2_second, e3_imposter
+
+SPECS = {
+    "E1": e1_first.build_spec,
+    "E2": e2_second.build_spec,
+    "E1": e1_first.build_spec,
+    "E4": e2_second.build_spec,
+}
+
+EXPERIMENTS = {
+    "E1": e1_first.run,
+    "E2": e2_second.run,
+    "E3": e3_imposter.run,
+}

@@ -1,0 +1,13 @@
+"""Fixture registry with SPECS and EXPERIMENTS in perfect agreement."""
+
+from . import e1_first, e2_second
+
+SPECS = {
+    "E1": e1_first.build_spec,
+    "E2": e2_second.build_spec,
+}
+
+EXPERIMENTS = {
+    "E1": e1_first.run,
+    "E2": e2_second.run,
+}

@@ -29,7 +29,7 @@ from repro.devtools.lint import (
 FIXTURES = Path(__file__).resolve().parent / "data" / "lint"
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-ALL_RULES = ("API001", "CLK001", "DET001", "IO001", "REG001", "RNG001")
+ALL_RULES = ("API001", "CLK001", "DET001", "IO001", "REG001", "RNG001", "SPEC001")
 
 #: In-scope destination for each per-module rule's fixture snippets —
 #: the scaffold mirrors the real tree so path-scoped rules apply.
@@ -127,6 +127,37 @@ class TestReg001:
         (tmp_path / "src").mkdir()
         (tmp_path / "src" / "other.py").write_text("X = 1\n")
         report = lint_scaffold(tmp_path, select=["REG001"])
+        assert report.findings == []
+
+
+class TestSpec001:
+    def test_bad_tree_fires_every_check(self):
+        root = FIXTURES / "spec001_bad"
+        report = run_lint([root / "src"], root=root, select=["SPEC001"])
+        messages = " ".join(f.message for f in report.findings)
+        assert "duplicate SPECS key 'E1'" in messages
+        assert "SPECS declares 'E4'" in messages       # spec without runner
+        assert "EXPERIMENTS declares 'E3'" in messages  # runner without spec
+        assert "already declared" in messages           # cross-module id clash
+        assert all(f.rule == "SPEC001" for f in report.findings)
+        assert len(report.findings) >= 4
+
+    def test_good_tree_clean(self):
+        root = FIXTURES / "spec001_good"
+        report = run_lint([root / "src"], root=root, select=["SPEC001"])
+        assert report.findings == [], [f.render() for f in report.findings]
+
+    def test_in_module_restatement_allowed(self):
+        # e2_second builds ExperimentSpec(experiment_id="E2") twice; a
+        # repeat inside the owning module must not be flagged.
+        root = FIXTURES / "spec001_good"
+        report = run_lint([root / "src"], root=root, select=["SPEC001"])
+        assert not any("'E2'" in f.message for f in report.findings)
+
+    def test_skips_foreign_trees(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "other.py").write_text("X = 1\n")
+        report = lint_scaffold(tmp_path, select=["SPEC001"])
         assert report.findings == []
 
 

@@ -25,6 +25,16 @@ def test_public_api_quickstart_executes(capsys):
     assert "mean cost" in out and "certified competitive ratio" in out
 
 
+def test_serve_mode_quickstart_executes(capsys):
+    """The '## Serve mode' crash-and-resume block runs verbatim."""
+    match = re.search(r"## Serve mode.*?```python\n(.*?)```",
+                      README.read_text(), re.S)
+    assert match, "README.md must keep a ```python block under '## Serve mode'"
+    exec(compile(match.group(1), "README-serve", "exec"), {"__name__": "__main__"})
+    out = capsys.readouterr().out
+    assert "byte-identical to batch run: YES" in out
+
+
 def test_authoring_an_experiment_executes(capsys):
     """The '## Authoring an experiment' ExperimentSpec block runs verbatim."""
     match = re.search(r"## Authoring an experiment.*?```python\n(.*?)```",

@@ -29,7 +29,8 @@ def cell_square(x: int, offset: int) -> dict:
 class TestReducerRegistry:
     def test_generic_reducers_registered(self):
         names = available_reducers()
-        for name in ("table", "ratio-curve", "regression-fit", "potential-trace"):
+        for name in ("table", "ratio-curve", "bootstrap-ci", "regression-fit",
+                     "potential-trace"):
             assert name in names
 
     def test_experiment_reducers_registered(self):
@@ -71,6 +72,30 @@ class TestGenericReducers:
         assert red.rows == [[1, 2.0], [2, 5.0]]
         assert red.passed is False  # 5.0 > 4.0
         red_ok = reduce_cells("ratio-curve", self.CELLS, points=self.POINTS,
+                              config={"x": "x", "value": "v", "bound": 6.0})
+        assert red_ok.passed is True
+
+    def test_bootstrap_ci_rows_and_determinism(self):
+        red = reduce_cells("bootstrap-ci", self.CELLS, points=self.POINTS,
+                           config={"x": "x", "value": "v"}, seed=3)
+        assert [row[0] for row in red.rows] == [1, 2]
+        x1, mean1, lo1, hi1 = red.rows[0]
+        assert mean1 == 2.0 and lo1 <= mean1 <= hi1
+        # A single-sample group collapses to a degenerate interval.
+        x2, mean2, lo2, hi2 = red.rows[1]
+        assert lo2 == mean2 == hi2 == 5.0
+        assert any("bootstrap CI" in note for note in red.notes)
+        again = reduce_cells("bootstrap-ci", self.CELLS, points=self.POINTS,
+                             config={"x": "x", "value": "v"}, seed=3)
+        assert again.rows == red.rows  # seeded resampling is deterministic
+
+    def test_bootstrap_ci_bound_criterion(self):
+        config = {"x": "x", "value": "v", "bound": 4.0}
+        red = reduce_cells("bootstrap-ci", self.CELLS, points=self.POINTS,
+                           config=config)
+        assert red.passed is False  # the x=2 group's upper end is 5.0
+        assert any("criterion" in note for note in red.notes)
+        red_ok = reduce_cells("bootstrap-ci", self.CELLS, points=self.POINTS,
                               config={"x": "x", "value": "v", "bound": 6.0})
         assert red_ok.passed is True
 

@@ -194,3 +194,31 @@ class TestStoreGC:
         store, _ = self._filled_store(tmp_path)
         with pytest.raises(ValueError, match="non-negative"):
             store.gc(-1)
+
+    def test_gc_never_evicts_pinned_entries(self, tmp_path):
+        # Live serve-session checkpoints pin themselves: even a zero
+        # budget must not evict them, and they still count in the total.
+        store, digests = self._filled_store(tmp_path)
+        store.pin(digests[0])
+        store.pin(digests[2])
+        assert store.pinned() == {digests[0], digests[2]}
+        stats = store.gc(0)
+        assert stats.evicted == 2
+        assert digests[0] in store and digests[2] in store
+        assert digests[1] not in store and digests[3] not in store
+        assert stats.remaining_bytes == store.size_bytes() > 0
+
+    def test_unpin_makes_entry_evictable_again(self, tmp_path):
+        store, digests = self._filled_store(tmp_path)
+        store.pin(digests[0])
+        store.gc(0)
+        assert digests[0] in store
+        store.unpin(digests[0])
+        assert store.pinned() == frozenset()
+        store.gc(0)
+        assert digests[0] not in store and len(store) == 0
+
+    def test_unpin_unknown_digest_is_noop(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        store.unpin("never-pinned")
+        assert store.pinned() == frozenset()
