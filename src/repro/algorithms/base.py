@@ -18,6 +18,7 @@ import abc
 import numpy as np
 
 from ..core.instance import MSPInstance
+from ..core.metric import Metric, get_metric
 from ..core.requests import RequestBatch
 
 __all__ = ["OnlineAlgorithm"]
@@ -37,6 +38,12 @@ class OnlineAlgorithm(abc.ABC):
         any resource augmentation).
     instance:
         The instance being played, for access to ``D``, ``m``, dimension.
+    metric:
+        The :class:`~repro.core.metric.Metric` the run is measured in.
+        Defaults to the Euclidean instance; the simulator injects the
+        scenario's metric *before* calling :meth:`reset`.  Decision rules
+        route their geometry through ``self.metric`` so the same code
+        plays over ℓ1/ℓ∞/graph spaces.
     """
 
     #: Subclasses override; instances may further specialise via __init__.
@@ -46,6 +53,7 @@ class OnlineAlgorithm(abc.ABC):
         self.position: np.ndarray | None = None
         self.cap: float = 0.0
         self.instance: MSPInstance | None = None
+        self.metric: Metric = get_metric("euclidean")
 
     # -- lifecycle --------------------------------------------------------
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.geometry import move_towards
 from ..core.requests import RequestBatch
 from ..median import request_center
 from .base import OnlineAlgorithm
@@ -64,7 +63,7 @@ class CoinFlip(OnlineAlgorithm):
             self._target = request_center(batch.points, self.position)
         if self._target is None:
             return self.position
-        new_pos = move_towards(self.position, self._target, self.cap)
+        new_pos = self.metric.move_towards(self.position, self._target, self.cap)
         if np.allclose(new_pos, self._target, rtol=0.0, atol=1e-12):
             self._target = None
         return new_pos

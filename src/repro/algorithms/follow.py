@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.geometry import move_towards
 from ..core.requests import RequestBatch
 from ..median import request_center
 from .base import OnlineAlgorithm
@@ -53,7 +52,7 @@ class FollowLastRequest(OnlineAlgorithm):
                 self._target = (1.0 - self.smoothing) * self._target + self.smoothing * c
         if self._target is None:
             return self.position
-        return move_towards(self.position, self._target, self.cap)
+        return self.metric.move_towards(self.position, self._target, self.cap)
 
 
 class RetrospectiveCenter(OnlineAlgorithm):
@@ -91,4 +90,4 @@ class RetrospectiveCenter(OnlineAlgorithm):
             return self.position
         pooled = np.concatenate(self._history, axis=0)
         c = request_center(pooled, self.position)
-        return move_towards(self.position, c, self.cap)
+        return self.metric.move_towards(self.position, c, self.cap)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.geometry import centroid, distances_to, move_towards
+from ..core.metric import centroid
 from ..core.requests import RequestBatch
 from ..median import request_center
 from .base import OnlineAlgorithm
@@ -33,7 +33,7 @@ class GreedyCenter(OnlineAlgorithm):
         if batch.count == 0:
             return self.position
         c = request_center(batch.points, self.position)
-        return move_towards(self.position, c, self.cap)
+        return self.metric.move_towards(self.position, c, self.cap)
 
 
 class GreedyCentroid(OnlineAlgorithm):
@@ -50,7 +50,7 @@ class GreedyCentroid(OnlineAlgorithm):
         if batch.count == 0:
             return self.position
         c = centroid(batch.points)
-        return move_towards(self.position, c, self.cap)
+        return self.metric.move_towards(self.position, c, self.cap)
 
 
 class NearestRequestChaser(OnlineAlgorithm):
@@ -61,6 +61,6 @@ class NearestRequestChaser(OnlineAlgorithm):
     def decide(self, t: int, batch: RequestBatch) -> np.ndarray:
         if batch.count == 0:
             return self.position
-        dists = distances_to(self.position, batch.points)
+        dists = self.metric.distances_to(self.position, batch.points)
         target = batch.points[int(np.argmin(dists))]
-        return move_towards(self.position, target, self.cap)
+        return self.metric.move_towards(self.position, target, self.cap)

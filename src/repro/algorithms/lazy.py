@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.geometry import move_towards
 from ..core.requests import RequestBatch
 from ..median import request_center
 from .base import OnlineAlgorithm
@@ -79,7 +78,7 @@ class LazyThreshold(OnlineAlgorithm):
 
         if self._target is None:
             return self.position
-        new_pos = move_towards(self.position, self._target, self.cap)
+        new_pos = self.metric.move_towards(self.position, self._target, self.cap)
         if np.allclose(new_pos, self._target, rtol=0.0, atol=1e-12):
             self._target = None
         return new_pos

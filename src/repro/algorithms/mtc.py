@@ -23,7 +23,6 @@ from typing import Literal
 
 import numpy as np
 
-from ..core.geometry import move_towards, norm
 from ..core.requests import RequestBatch
 from ..median import request_center, weiszfeld
 from .base import OnlineAlgorithm
@@ -103,7 +102,7 @@ class MoveToCenter(OnlineAlgorithm):
         if batch.count == 0:
             return self.position
         c = self.center(batch)
-        dist_to_c = norm(c - self.position)
+        dist_to_c = self.metric.distance(c, self.position)
         if dist_to_c <= 0.0:
             return self.position
         scale = self.step_scale
@@ -112,4 +111,4 @@ class MoveToCenter(OnlineAlgorithm):
         desired = scale * dist_to_c
         allowed = self.cap * self.cap_fraction
         step = min(desired, allowed)
-        return move_towards(self.position, c, step)
+        return self.metric.move_towards(self.position, c, step)

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.geometry import move_towards
 from ..core.requests import RequestBatch
 from .base import OnlineAlgorithm
 from .mtc import MoveToCenter
@@ -70,8 +69,8 @@ class MovingClientMtC(OnlineAlgorithm):
                 f"MovingClientMtC expects exactly one request per step, got {batch.count}"
             )
         agent = batch.points[0]
-        dist = float(np.linalg.norm(agent - self.position))
+        dist = float(np.linalg.norm(agent - self.position))  # reprolint: allow[MET001] reason=moving-client model is Euclidean by construction; rewriting to einsum would change bits
         if dist <= 0.0:
             return self.position
         step = min(self.cap, dist / self.D)
-        return move_towards(self.position, agent, step)
+        return self.metric.move_towards(self.position, agent, step)

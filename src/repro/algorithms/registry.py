@@ -24,10 +24,12 @@ from .base import OnlineAlgorithm
 from .coinflip import CoinFlip
 from .follow import FollowLastRequest, RetrospectiveCenter
 from .greedy import GreedyCenter, GreedyCentroid, NearestRequestChaser
+from .kserver_line import DoubleCoverageLine, GreedyKServerLine
 from .lazy import LazyThreshold, StaticServer
 from .move_to_min import MoveToMin
 from .mtc import MoveToCenter
 from .mtc_variants import AnswerFirstMoveToCenter, MovingClientMtC
+from .page_adapters import PageMigrationAdapter
 from .work_function import WorkFunctionLine
 
 __all__ = [
@@ -58,7 +60,43 @@ ALGORITHMS: Dict[str, AlgorithmFactory] = {
     "move-to-min": MoveToMin,
     "coin-flip": lambda: CoinFlip(rng=np.random.default_rng(0)),
     "work-function": WorkFunctionLine,
+    "dc-line": DoubleCoverageLine,
+    "greedy-kserver": GreedyKServerLine,
 }
+
+
+def _pm(maker: Callable[[], Any]) -> AlgorithmFactory:
+    """Factory wrapping a classical page-migration strategy for the engine."""
+    return lambda: PageMigrationAdapter(maker())
+
+
+def _register_page_migration() -> None:
+    from ..pagemigration.algorithms import (
+        CoinFlipGraph,
+        CountMoveTo,
+        GreedyFollow,
+        MoveToMinGraph,
+        StaticPage,
+    )
+
+    for maker in (
+        StaticPage,
+        GreedyFollow,
+        MoveToMinGraph,
+        CountMoveTo,
+        lambda: CoinFlipGraph(rng=np.random.default_rng(0)),
+    ):
+        adapter = _pm(maker)
+        name = maker().name
+        ALGORITHMS[name] = adapter
+        _CAPABILITIES[name] = {"metrics": ("graph",), "supported_dims": (3,)}
+
+#: Metrics an algorithm supports unless declared otherwise: the normed
+#: spaces, where straight-line pursuit and centroid/median targets are
+#: geometrically valid.  Graph support is opt-in — an algorithm may only
+#: declare it when its decision rule goes exclusively through the
+#: ``self.metric`` interface with targets that are actual space points.
+_DEFAULT_METRICS: tuple[str, ...] = ("euclidean", "l1", "linf")
 
 #: Capability declarations for entries with restrictions; anything absent
 #: here supports every dimension and cost model on the plain
@@ -67,7 +105,21 @@ _CAPABILITIES: Dict[str, Dict[str, Any]] = {
     "mtc-answer-first": {"cost_models": ("answer-first",)},
     "mtc-moving-client": {"requires_moving_client": True},
     "work-function": {"supported_dims": (1,)},
+    # Metric-generic decision rules: stay put, or chase an actual request
+    # point through self.metric — both well-defined on graph geodesics.
+    "static": {"metrics": ("euclidean", "l1", "linf", "graph")},
+    "nearest-chaser": {"metrics": ("euclidean", "l1", "linf", "graph")},
+    # Re-homed k-server baselines: configuration-space rules whose
+    # movement is only meaningful as ℓ1 total server travel, under
+    # movement-only accounting (k-server has no service cost).
+    "dc-line": {"metrics": ("l1",), "cost_models": ("movement-only",)},
+    "greedy-kserver": {"metrics": ("l1",), "cost_models": ("movement-only",)},
 }
+
+# Classical page-migration strategies adapted to the graph metric; their
+# capability entries land in _CAPABILITIES above, so registration runs
+# here, after both tables exist.
+_register_page_migration()
 
 
 @dataclass(frozen=True)
@@ -90,9 +142,13 @@ class AlgorithmInfo:
     supported_dims: tuple[int, ...] | None = None
     requires_moving_client: bool = False
     cost_models: tuple[str, ...] | None = None
+    metrics: tuple[str, ...] = _DEFAULT_METRICS
 
     def supports_dim(self, dim: int) -> bool:
         return self.supported_dims is None or dim in self.supported_dims
+
+    def supports_metric(self, metric: str) -> bool:
+        return metric in self.metrics
 
     def supports_cost_model(self, model: "CostModel | str") -> bool:
         if self.cost_models is None:
@@ -147,6 +203,7 @@ def compatible_algorithms(
     dim: int | None = None,
     moving_client: bool = False,
     cost_model: "CostModel | str | None" = CostModel.MOVE_FIRST,
+    metric: str | None = None,
 ) -> list[str]:
     """Registered names able to play the described setting (sorted).
 
@@ -154,7 +211,9 @@ def compatible_algorithms(
     plain Mobile Server model) excludes algorithms that require the
     moving-client instance structure; ``cost_model`` (default move-first)
     excludes algorithms built for a different accounting model, ``None``
-    skips that check.
+    skips that check.  ``metric`` (a registry name from
+    :mod:`repro.core.metric`) keeps only algorithms declaring support for
+    that space; ``None`` skips the check.
     """
     names = []
     for name in available_algorithms():
@@ -164,6 +223,8 @@ def compatible_algorithms(
         if dim is not None and not info.supports_dim(dim):
             continue
         if cost_model is not None and not info.supports_cost_model(cost_model):
+            continue
+        if metric is not None and not info.supports_metric(metric):
             continue
         names.append(name)
     return names
@@ -177,6 +238,7 @@ def register(
     supported_dims: tuple[int, ...] | None = None,
     requires_moving_client: bool = False,
     cost_models: tuple[str, ...] | None = None,
+    metrics: tuple[str, ...] | None = None,
 ) -> None:
     """Add a factory (plus optional capability limits) to the registry.
 
@@ -194,6 +256,8 @@ def register(
         caps["requires_moving_client"] = True
     if cost_models is not None:
         caps["cost_models"] = tuple(cost_models)
+    if metrics is not None:
+        caps["metrics"] = tuple(metrics)
     is_overwrite = name in ALGORITHMS
     ALGORITHMS[name] = factory
     if caps:

@@ -29,7 +29,7 @@ from typing import Callable, Dict, Sequence
 import numpy as np
 
 from ..core.engine import BatchStepRequests, VectorizedAlgorithm
-from ..core.geometry import batched_move_towards, row_norms
+from ..core.metric import batched_move_towards, row_norms
 from ..core.instance import MSPInstance
 from ..median import request_center, weiszfeld
 from .base import OnlineAlgorithm
@@ -67,6 +67,9 @@ class ScalarBatchAdapter(VectorizedAlgorithm):
         super().__init__()
         self._factory = factory
         self._algorithms: list[OnlineAlgorithm] = []
+        #: Metric injected into every lane algorithm before reset; ``None``
+        #: leaves each algorithm's Euclidean default untouched.
+        self.metric = None
         if name is not None:
             self.name = name
 
@@ -74,6 +77,8 @@ class ScalarBatchAdapter(VectorizedAlgorithm):
         super().reset_batch(instances, caps)
         self._algorithms = [self._factory() for _ in self.instances]
         for alg, inst, cap in zip(self._algorithms, self.instances, self.caps):
+            if self.metric is not None:
+                alg.metric = self.metric
             alg.reset(inst, float(cap))
         if self._algorithms:
             self.name = self._algorithms[0].name
@@ -588,13 +593,17 @@ VECTORIZED: Dict[str, Callable[[], VectorizedAlgorithm]] = {
 }
 
 
-def make_vectorized(name: str) -> VectorizedAlgorithm:
+def make_vectorized(name: str, metric=None) -> VectorizedAlgorithm:
     """Best batched implementation of a registry algorithm.
 
     Truly vectorized when ``name`` appears in :data:`VECTORIZED`, otherwise
-    the scalar algorithm wrapped in :class:`ScalarBatchAdapter`.
+    the scalar algorithm wrapped in :class:`ScalarBatchAdapter`.  Under a
+    non-Euclidean ``metric`` the truly-vectorized classes are skipped —
+    their whole-batch arithmetic hardcodes ℓ2 — and every algorithm runs
+    through the adapter with the metric injected per lane.
     """
-    if name in VECTORIZED:
+    non_euclidean = metric is not None and metric.name != "euclidean"
+    if name in VECTORIZED and not non_euclidean:
         return VECTORIZED[name]()
     try:
         factory = ALGORITHMS[name]
@@ -602,11 +611,15 @@ def make_vectorized(name: str) -> VectorizedAlgorithm:
         raise KeyError(
             f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
         ) from None
-    return ScalarBatchAdapter(factory, name=name)
+    adapter = ScalarBatchAdapter(factory, name=name)
+    if non_euclidean:
+        adapter.metric = metric
+    return adapter
 
 
 def as_vectorized(
     algorithm: VectorizedAlgorithm | str | Callable[[], OnlineAlgorithm],
+    metric=None,
 ) -> VectorizedAlgorithm:
     """Coerce an algorithm spec to a :class:`VectorizedAlgorithm`.
 
@@ -619,12 +632,15 @@ def as_vectorized(
     if isinstance(algorithm, VectorizedAlgorithm):
         return algorithm
     if isinstance(algorithm, str):
-        return make_vectorized(algorithm)
+        return make_vectorized(algorithm, metric=metric)
     if isinstance(algorithm, OnlineAlgorithm):
         raise TypeError(
             f"cannot batch the scalar algorithm instance {algorithm!r}: one stateful "
             "object cannot play several lanes — pass its class or a zero-arg factory"
         )
     if callable(algorithm):
-        return ScalarBatchAdapter(algorithm)
+        adapter = ScalarBatchAdapter(algorithm)
+        if metric is not None and metric.name != "euclidean":
+            adapter.metric = metric
+        return adapter
     raise TypeError(f"cannot interpret {algorithm!r} as a batched algorithm")

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.geometry import move_towards
 from ..core.requests import RequestBatch
 from .base import OnlineAlgorithm
 
@@ -110,4 +109,4 @@ class WorkFunctionLine(OnlineAlgorithm):
         scores = self._w + self.D * np.abs(self._grid - float(self.position[0]))
         target_x = float(self._grid[int(np.argmin(scores))])
         target = np.array([target_x])
-        return move_towards(self.position, target, self.cap)
+        return self.metric.move_towards(self.position, target, self.cap)

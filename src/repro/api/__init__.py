@@ -13,7 +13,9 @@ One declarative object, one entry point::
 
 A :class:`Scenario` names its request source (workload or adversary
 registry entry + params), its algorithm (registry entry + params), the
-seed sweep, augmentation and certification mode; :func:`run` dispatches
+seed sweep, augmentation, certification mode and the metric space the
+run happens in (``metric="euclidean"|"l1"|"linf"|"graph"``, see
+:mod:`repro.core.metric`); :func:`run` dispatches
 to the batched lock-step engine or the scalar simulator — bit-identical
 either way — and returns a :class:`RunResult`.  Scenarios serialize to
 plain JSON (:meth:`Scenario.to_dict`) and carry a content address
@@ -53,6 +55,13 @@ from ..algorithms.registry import (
     compatible_algorithms,
     make_algorithm,
 )
+from ..core.metric import (
+    METRICS,
+    Metric,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
 from ..workloads.registry import (
     WORKLOADS,
     WorkloadInfo,
@@ -90,6 +99,7 @@ __all__ = [
     "ADVERSARIES",
     "BRACKET_FN",
     "CELL_FN",
+    "METRICS",
     "REDUCERS",
     "WORKLOADS",
     "AdaptiveGame",
@@ -98,6 +108,7 @@ __all__ = [
     "BoundAdversary",
     "CellSpec",
     "ExperimentSpec",
+    "Metric",
     "Reduction",
     "ReducerInfo",
     "RunResult",
@@ -108,6 +119,7 @@ __all__ = [
     "algorithm_info",
     "available_adversaries",
     "available_algorithms",
+    "available_metrics",
     "available_reducers",
     "available_workloads",
     "build_instances",
@@ -119,12 +131,14 @@ __all__ = [
     "finalize_spec",
     "fixed",
     "freeze_params",
+    "get_metric",
     "make_adversary",
     "make_algorithm",
     "make_workload",
     "reduce_cells",
     "reducer_info",
     "register_adversary",
+    "register_metric",
     "register_reducer",
     "register_workload",
     "resolve",

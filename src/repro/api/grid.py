@@ -6,8 +6,9 @@ each point a fully declarative :class:`~repro.api.scenario.Scenario`
 carrying its own seed sweep.  :func:`build_grid` (exposed as
 :meth:`Scenario.grid`) expands axis values into that product:
 
-* the top-level fields ``source``, ``algorithm``, ``delta`` and
-  ``cost_model`` become axes when given a sequence of values;
+* the top-level fields ``source``, ``algorithm``, ``delta``,
+  ``cost_model`` and ``metric`` become axes when given a sequence of
+  values;
 * inside ``params`` / ``algorithm_params``, any sequence value becomes an
   axis (wrap a literal list parameter in :func:`fixed` to opt out);
 * ``seeds`` is never an axis — it is the per-scenario lane sweep the
@@ -111,6 +112,7 @@ def build_grid(
     seeds: Iterable[int] = (0,),
     delta: float | Sequence[float] = 0.0,
     cost_model: str | None | Sequence[str | None] = None,
+    metric: str | Sequence[str] = "euclidean",
     ratio: str = "auto",
     engine: str = "auto",
     kind: str | None = None,
@@ -120,8 +122,8 @@ def build_grid(
 
     Axis order is ``source``, ``algorithm``, ``params`` entries
     (declaration order), ``algorithm_params`` entries, ``delta``,
-    ``cost_model`` — outermost first.  ``kind=None`` resolves each source
-    against the workload registry first, then the adversaries.
+    ``cost_model``, ``metric`` — outermost first.  ``kind=None`` resolves
+    each source against the workload registry first, then the adversaries.
     """
     top: dict[str, Any] = {"source": source, "algorithm": algorithm}
     source_keys = list(params or {})
@@ -134,7 +136,8 @@ def build_grid(
         if key in top:
             raise ValueError(f"algorithm parameter {key!r} collides with another axis")
         top[key] = value
-    for key, value in (("delta", delta), ("cost_model", cost_model)):
+    for key, value in (("delta", delta), ("cost_model", cost_model),
+                       ("metric", metric)):
         if key in top:
             raise ValueError(f"parameter {key!r} collides with the scenario field")
         top[key] = value
@@ -154,6 +157,7 @@ def build_grid(
             seeds=tuple(seeds),
             delta=full["delta"],
             cost_model=full["cost_model"],
+            metric=full["metric"],
             ratio=ratio,
             engine=engine,
             name=f"{name}/{label}" if name and label else (name or label or "grid"),

@@ -48,6 +48,7 @@ from ..analysis.ratio import (
 )
 from ..core.engine import simulate_batch
 from ..core.instance import MovingClientInstance, MSPInstance
+from ..core.metric import Metric, get_metric
 from ..core.simulator import simulate
 from ..core.store import ResultsStore
 from ..core.trace import Trace
@@ -289,6 +290,26 @@ def _cost_model(value: str):
     return CostModel(value)
 
 
+def _resolve_metric(scenario: Scenario) -> Metric | None:
+    """The scenario's metric instance, or ``None`` for the default.
+
+    ``None`` (euclidean) makes both engines run the exact pre-metric ℓ2
+    hot path.  For the ``graph`` metric the workload's attached metric
+    wins over the registry default, so a ``graph-dc`` scenario measures
+    distances on the data-center fabric its requests live on rather than
+    on the default road network.
+    """
+    if scenario.metric == "euclidean":
+        return None
+    metric = get_metric(scenario.metric)
+    if scenario.kind == "workload":
+        source = resolve(scenario.source, **scenario.source_kwargs())
+        attached = getattr(source, "metric", None)
+        if isinstance(attached, Metric) and attached.name == scenario.metric:
+            metric = attached
+    return metric
+
+
 def _check_compatibility(scenario: Scenario, info: AlgorithmInfo, instances: Sequence[MSPInstance]) -> None:
     source_info = _source_info(scenario)
     if info.requires_moving_client and not source_info.moving_client:
@@ -296,6 +317,40 @@ def _check_compatibility(scenario: Scenario, info: AlgorithmInfo, instances: Seq
             f"algorithm {info.name!r} requires a moving-client source; "
             f"{scenario.kind} {scenario.source!r} is not one"
         )
+    if scenario.metric != "euclidean":
+        if scenario.kind == "adversary":
+            raise ValueError(
+                f"adversary constructions are Euclidean lower bounds; "
+                f"metric={scenario.metric!r} is not available for source "
+                f"{scenario.source!r}"
+            )
+        if not info.supports_metric(scenario.metric):
+            raise ValueError(
+                f"algorithm {info.name!r} does not support the "
+                f"{scenario.metric!r} metric (supported: {info.metrics})"
+            )
+        if not source_info.supports_metric(scenario.metric):
+            raise ValueError(
+                f"workload {scenario.source!r} does not generate "
+                f"{scenario.metric!r}-space requests (supported: "
+                f"{source_info.metrics})"
+            )
+        if scenario.effective_ratio() == "bracket":
+            raise ValueError(
+                "the offline bracket solver is Euclidean-only; use "
+                "ratio='none' with a non-euclidean metric"
+            )
+    else:
+        if not info.supports_metric("euclidean"):
+            raise ValueError(
+                f"algorithm {info.name!r} only plays under the "
+                f"{info.metrics} metric(s); pass metric= explicitly"
+            )
+        if scenario.kind == "workload" and not source_info.supports_metric("euclidean"):
+            raise ValueError(
+                f"workload {scenario.source!r} generates requests for the "
+                f"{source_info.metrics} metric(s); pass metric= explicitly"
+            )
     for inst in instances:
         if not info.supports_dim(inst.dim):
             raise ValueError(
@@ -425,6 +480,11 @@ def run(
     if scenario.kind == "adversary" and adversary_info(scenario.source).adaptive:
         if scenario.engine == "batched":
             raise ValueError("adaptive adversaries play move-by-move; engine='batched' is impossible")
+        if scenario.metric != "euclidean":
+            raise ValueError(
+                f"adaptive adversaries play in Euclidean space; "
+                f"metric={scenario.metric!r} is not available"
+            )
         return _run_adaptive(scenario, t0)
 
     if instances is None:
@@ -433,6 +493,7 @@ def run(
         instances = list(instances)
     _check_compatibility(scenario, info, instances)
     engine = _choose_engine(scenario, info, instances)
+    metric = _resolve_metric(scenario)
 
     if engine == "batched":
         batch = simulate_batch(
@@ -440,6 +501,7 @@ def run(
             scenario.algorithm if not scenario.algorithm_params
             else (lambda: make_algorithm(scenario.algorithm, **scenario.algorithm_kwargs())),
             delta=scenario.delta,
+            metric=metric,
         )
         costs = batch.total_costs
         traces = batch.traces() if keep_traces else None
@@ -450,6 +512,7 @@ def run(
                 inst,
                 make_algorithm(scenario.algorithm, **scenario.algorithm_kwargs()),
                 delta=scenario.delta,
+                metric=metric,
             )
             for inst in instances
         ]
@@ -489,7 +552,12 @@ def _mega_key(scenario: Scenario, instances: Sequence[MSPInstance]) -> tuple | N
     become per-lane data), so each cell's slice of the wide trace is
     bit-identical to its standalone run.  ``None`` means the cell cannot
     join a group (non-uniform dims would not survive the engine anyway).
+    Non-euclidean cells never join a group: the metric instance is a
+    batch-wide argument (two ``graph`` scenarios may live on different
+    topologies), so they run standalone.
     """
+    if scenario.metric != "euclidean":
+        return None
     dims = {inst.dim for inst in instances}
     if len(dims) != 1:
         return None

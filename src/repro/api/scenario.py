@@ -118,6 +118,11 @@ class Scenario:
         algorithm advertises a batched implementation, the scalar loop
         otherwise — bit-identical either way); ``"scalar"``/``"batched"``
         force a path.
+    metric:
+        Name of the registered metric space the run happens in
+        (:mod:`repro.core.metric`); ``"euclidean"`` — the default — runs
+        the exact pre-metric ℓ2 path and is omitted from the serialized
+        form, so every pre-existing scenario digest is unchanged.
     name:
         Optional label for reports.
     """
@@ -132,6 +137,7 @@ class Scenario:
     cost_model: str | None = None
     ratio: str = "auto"
     engine: str = "auto"
+    metric: str = "euclidean"
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -141,6 +147,11 @@ class Scenario:
             raise ValueError(f"ratio must be one of {_RATIOS}, got {self.ratio!r}")
         if self.engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        from ..core.metric import METRICS
+
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"metric must be one of {tuple(sorted(METRICS))}, got {self.metric!r}")
         if self.delta < 0:
             raise ValueError(f"delta must be non-negative, got {self.delta}")
         if self.kind == "adversary" and self.cost_model is not None:
@@ -172,6 +183,7 @@ class Scenario:
         cost_model: str | None = None,
         ratio: str = "auto",
         engine: str = "auto",
+        metric: str = "euclidean",
         name: str = "",
     ) -> "Scenario":
         """A scenario over a registered workload generator."""
@@ -186,6 +198,7 @@ class Scenario:
             cost_model=cost_model,
             ratio=ratio,
             engine=engine,
+            metric=metric,
             name=name,
         )
 
@@ -200,6 +213,7 @@ class Scenario:
         delta: float = 0.0,
         ratio: str = "auto",
         engine: str = "auto",
+        metric: str = "euclidean",
         name: str = "",
     ) -> "Scenario":
         """A scenario over a registered lower-bound construction."""
@@ -213,6 +227,7 @@ class Scenario:
             delta=delta,
             ratio=ratio,
             engine=engine,
+            metric=metric,
             name=name,
         )
 
@@ -281,8 +296,14 @@ class Scenario:
         return payload
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain JSON-able dict (inverse of :meth:`from_dict`)."""
-        return {
+        """Plain JSON-able dict (inverse of :meth:`from_dict`).
+
+        The ``metric`` key is present only when it differs from
+        ``"euclidean"`` — default-metric scenarios serialize exactly as
+        they did before metrics existed, so their digests (and store
+        entries) are stable across the refactor.
+        """
+        payload = {
             "kind": self.kind,
             "source": self.source,
             "source_params": thaw_params(self.source_params),
@@ -295,6 +316,9 @@ class Scenario:
             "engine": self.engine,
             "name": self.name,
         }
+        if self.metric != "euclidean":
+            payload["metric"] = self.metric
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
@@ -309,6 +333,7 @@ class Scenario:
             cost_model=payload.get("cost_model"),
             ratio=payload.get("ratio", "auto"),
             engine=payload.get("engine", "auto"),
+            metric=payload.get("metric", "euclidean"),
             name=payload.get("name", ""),
         )
 

@@ -254,6 +254,7 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
             seeds=tuple(args.seeds),
             delta=_axis_arg(args.delta, parse=float),
             cost_model=args.cost_model,
+            metric=_axis_arg(args.metric),
             ratio=args.ratio,
             engine=args.engine,
         )
@@ -323,6 +324,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seeds=tuple(args.seeds),
             delta=float(args.delta),
             cost_model=args.cost_model,
+            metric=args.metric,
             ratio=args.ratio,
             engine=args.engine,
         )
@@ -470,17 +472,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     from .adversaries import available_adversaries
-    from .algorithms import available_algorithms
-    from .api import available_reducers, reducer_info
+    from .algorithms import algorithm_info, available_algorithms
+    from .api import available_metrics, available_reducers, reducer_info
     from .experiments import EXPERIMENTS
-    from .workloads import available_workloads
+    from .workloads import available_workloads, workload_info
 
+    default_metrics = ("euclidean", "l1", "linf")
+
+    def metric_tag(metrics: tuple) -> str:
+        return "" if tuple(metrics) == default_metrics else f"  [{', '.join(metrics)}]"
+
+    print("metrics:")
+    for name in available_metrics():
+        print(f"  {name}")
     print("algorithms:")
     for name in available_algorithms():
-        print(f"  {name}")
+        print(f"  {name}{metric_tag(algorithm_info(name).metrics)}")
     print("workloads:")
     for name in available_workloads():
-        print(f"  {name}")
+        print(f"  {name}{metric_tag(workload_info(name).metrics)}")
     print("adversaries:")
     for name in available_adversaries():
         print(f"  {name}")
@@ -577,10 +587,14 @@ def main(argv: list[str] | None = None) -> int:
                             "run every cell (one table row per grid point)")
     p_run.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for a --grid sweep (default 1)")
-    p_run.add_argument("--cost-model", default=None, choices=["move-first", "answer-first"],
+    p_run.add_argument("--cost-model", default=None,
+                       choices=["move-first", "answer-first", "movement-only"],
                        help="override the instance cost model (workload sources only)")
     p_run.add_argument("--ratio", default="auto", choices=["auto", "adversary", "bracket", "none"],
                        help="certification mode")
+    p_run.add_argument("--metric", default="euclidean", metavar="NAME",
+                       help="metric space to run in (euclidean, l1, linf, graph; "
+                            "comma-separated values become a --grid axis)")
     p_run.add_argument("--engine", default="auto", choices=["auto", "scalar", "batched"],
                        help="simulation engine (auto picks; both are bit-identical)")
     p_run.add_argument("--store", type=str, default="", metavar="DIR",

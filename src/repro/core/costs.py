@@ -25,21 +25,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .geometry import distance
+from .metric import distance
 from .requests import RequestBatch
 
 __all__ = ["CostModel", "StepCost", "step_cost", "CostAccumulator"]
 
 
 class CostModel(enum.Enum):
-    """Which position answers the requests of a step."""
+    """Which position answers the requests of a step.
+
+    ``MOVEMENT_ONLY`` charges no service term at all — it is how k-server
+    style problems (where requests must be *covered*, not answered at a
+    distance) are expressed as scenarios of this engine: the algorithm is
+    obliged to place a server on the request, so only movement accrues.
+    """
 
     MOVE_FIRST = "move-first"
     ANSWER_FIRST = "answer-first"
+    MOVEMENT_ONLY = "movement-only"
 
     @property
     def serves_after_move(self) -> bool:
         return self is CostModel.MOVE_FIRST
+
+    @property
+    def counts_service(self) -> bool:
+        """Whether the service term contributes to the step cost."""
+        return self is not CostModel.MOVEMENT_ONLY
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,7 @@ def step_cost(
     batch: RequestBatch,
     D: float,
     model: CostModel = CostModel.MOVE_FIRST,
+    metric=None,
 ) -> StepCost:
     """Cost of one step under the given model.
 
@@ -84,10 +97,17 @@ def step_cost(
         Movement weight (page size); the paper assumes :math:`D \\ge 1`.
     model:
         Which position serves the requests.
+    metric:
+        The :class:`~repro.core.metric.Metric` to measure in; ``None``
+        keeps the ℓ2 fast path (bit-identical to the Euclidean instance).
     """
-    moved = distance(old_position, new_position)
-    serving_pos = new_position if model.serves_after_move else old_position
-    service = batch.service_cost(serving_pos)
+    moved = distance(old_position, new_position) if metric is None \
+        else metric.distance(old_position, new_position)
+    if model.counts_service:
+        serving_pos = new_position if model.serves_after_move else old_position
+        service = batch.service_cost(serving_pos, metric=metric)
+    else:
+        service = 0.0
     return StepCost(movement=D * moved, service=service, distance_moved=moved)
 
 

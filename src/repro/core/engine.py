@@ -52,7 +52,7 @@ from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 import numpy as np
 
-from .geometry import row_norms
+from .metric import Metric, get_metric, row_norms
 from .instance import MSPInstance
 from .requests import RequestBatch, RequestSequence
 from .trace import Trace
@@ -342,14 +342,25 @@ class VectorizedAlgorithm(abc.ABC):
 AlgorithmSpec = Union[VectorizedAlgorithm, str, Callable[[], "OnlineAlgorithm"]]
 
 
-def _resolve_algorithm(algorithm: AlgorithmSpec) -> VectorizedAlgorithm:
+def _resolve_algorithm(algorithm: AlgorithmSpec, metric: Metric | None = None) -> VectorizedAlgorithm:
     if isinstance(algorithm, VectorizedAlgorithm):
+        if metric is not None:
+            # Only the scalar adapter (which exposes a ``metric`` slot) can
+            # honour a non-ℓ2 metric; truly-vectorized classes hardcode ℓ2.
+            if hasattr(algorithm, "metric"):
+                algorithm.metric = metric
+            else:
+                raise ValueError(
+                    f"{algorithm.name!r} is a truly-vectorized (ℓ2-only) "
+                    f"implementation and cannot run under metric {metric.name!r}; "
+                    "pass the registry name or a scalar factory instead"
+                )
         return algorithm
     # Lazy import: keeps the core layer importable without the algorithms
     # package (mirrors the scalar simulator's TYPE_CHECKING-only import).
     from ..algorithms.vectorized import as_vectorized
 
-    return as_vectorized(algorithm)
+    return as_vectorized(algorithm, metric=metric)
 
 
 def _packed_stack(sequences: Sequence[RequestSequence]) -> np.ndarray | None:
@@ -392,15 +403,23 @@ def _gather_steps(instances: Sequence[MSPInstance], T: int) -> list[BatchStepReq
 
 
 def _batch_service_costs(
-    serving: np.ndarray, step: BatchStepRequests
+    serving: np.ndarray, step: BatchStepRequests, metric: Metric | None = None
 ) -> np.ndarray:
     """``(B,)`` per-lane service cost of answering this step from ``serving``.
 
     The summation over a lane's requests uses the same reduction as the
-    scalar :func:`~repro.core.geometry.distances_to` + ``sum`` path so the
-    totals agree bit-for-bit.
+    scalar :func:`~repro.core.metric.distances_to` + ``sum`` path so the
+    totals agree bit-for-bit.  A non-``None`` ``metric`` routes each lane
+    through that metric's ``distances_to`` — same per-lane arithmetic as
+    the scalar simulator's generic branch.
     """
     B = serving.shape[0]
+    if metric is not None:
+        service = np.zeros(B)
+        for i in np.nonzero(step.counts)[0]:
+            batch = step.batch(int(i))
+            service[i] = float(metric.distances_to(serving[i], batch.points).sum())
+        return service
     if step.points is not None:
         diff = step.points - serving[:, None, :]
         return np.sqrt(np.einsum("brd,brd->br", diff, diff)).sum(axis=1)
@@ -424,6 +443,8 @@ def advance_lanes(
     tol: np.ndarray,
     D: np.ndarray,
     serve_after_move: np.ndarray,
+    counts_service: np.ndarray | None = None,
+    metric: Metric | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """One lock-step engine step over externally-held state.
 
@@ -432,6 +453,11 @@ def advance_lanes(
     and account costs — factored out so callers that *carry* state between
     steps (the streaming serve layer's :class:`~repro.serve.SessionPool`)
     perform the exact same float64 arithmetic as a full batched run.
+
+    ``counts_service`` is a ``(B,)`` bool mask of lanes whose cost model
+    charges a service term (``None`` means all — the pre-``MOVEMENT_ONLY``
+    behaviour).  ``metric`` selects the space; ``None`` is the exact ℓ2
+    fast path.
 
     Returns ``(proposed, movement, service, moved)``: the ``(B, d)`` new
     positions and the three ``(B,)`` per-lane step costs.  The caller
@@ -444,8 +470,11 @@ def advance_lanes(
         raise ValueError(
             f"decide_batch must return shape {(B, dim)}, got {proposed.shape}"
         )
-    seg = proposed - positions
-    moved = row_norms(seg)
+    if metric is None:
+        seg = proposed - positions
+        moved = row_norms(seg)
+    else:
+        moved = metric.batched_distances(positions, proposed)
     bad = np.nonzero(moved > tol)[0]
     if bad.size:
         lane = int(bad[0])
@@ -453,7 +482,9 @@ def advance_lanes(
             t, float(moved[lane]), float(caps[lane]), f"{algo.name}[lane {lane}]"
         )
     serving = np.where(serve_after_move[:, None], proposed, positions)
-    service = _batch_service_costs(serving, step)
+    service = _batch_service_costs(serving, step, metric=metric)
+    if counts_service is not None and not counts_service.all():
+        service = np.where(counts_service, service, 0.0)
     movement = D * moved
     return proposed, movement, service, moved
 
@@ -464,6 +495,7 @@ def simulate_batch(
     delta: "float | Sequence[float] | np.ndarray" = 0.0,
     *,
     fuse: bool | None = None,
+    metric: "str | Metric | None" = None,
 ) -> BatchTrace:
     """Run one algorithm on ``B`` same-length instances in lock-step.
 
@@ -487,6 +519,13 @@ def simulate_batch(
         toggle.  The fused path engages only when the algorithm
         advertises a kernel and the request stack packs; either path
         produces bit-identical traces.
+    metric:
+        The space the runs are measured in — a registry name or
+        :class:`~repro.core.metric.Metric` instance.  ``None`` (and the
+        Euclidean instance) keep the exact ℓ2 hot path; any other metric
+        disables kernel fusion (kernels declare ℓ2 only) and routes
+        registry algorithms through the scalar adapter with the metric
+        injected per lane.
 
     Returns
     -------
@@ -495,6 +534,10 @@ def simulate_batch(
     """
     from .kernels import fusion_enabled, kernel_for, run_fused
 
+    if metric is not None:
+        metric = get_metric(metric)
+        if metric.name == "euclidean":
+            metric = None  # ℓ2 fast path is bit-identical by construction
     instances = list(instances)
     if not instances:
         raise ValueError("simulate_batch needs at least one instance")
@@ -519,10 +562,14 @@ def simulate_batch(
     serve_after_move = np.array(
         [inst.cost_model.serves_after_move for inst in instances], dtype=bool
     )
+    counts_service = np.array(
+        [inst.cost_model.counts_service for inst in instances], dtype=bool
+    )
     tol = caps + cap_tolerance(caps)  # cap_tolerance broadcasts elementwise
 
-    algo = _resolve_algorithm(algorithm)
-    if (fusion_enabled() if fuse is None else fuse) and T > 0:
+    algo = _resolve_algorithm(algorithm, metric=metric)
+    fusible = metric is None and counts_service.all()
+    if (fusion_enabled() if fuse is None else fuse) and T > 0 and fusible:
         kernel = kernel_for(algo)
         if kernel is not None:
             big = _packed_stack([inst.requests for inst in instances])
@@ -544,6 +591,7 @@ def simulate_batch(
         proposed, movement, service, moved = advance_lanes(
             algo, t, state.positions, step,
             caps=caps, tol=tol, D=D, serve_after_move=serve_after_move,
+            counts_service=counts_service, metric=metric,
         )
         trace.positions[:, t + 1] = proposed
         trace.movement_costs[:, t] = movement

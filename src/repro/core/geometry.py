@@ -1,234 +1,63 @@
-"""Vectorized Euclidean geometry primitives.
+"""Deprecated shim — the geometry primitives now live in :mod:`repro.core.metric`.
 
-The Mobile Server Problem lives in the Euclidean space :math:`\\mathbb{R}^d`
-for an arbitrary dimension ``d``.  Throughout the library a *point* is a
-one-dimensional ``float64`` NumPy array of shape ``(d,)`` and a *batch of
-points* (e.g. the requests of one time step) is a two-dimensional array of
-shape ``(r, d)``.  All helpers in this module accept plain Python sequences
-and normalise them once; hot paths operate on views without copying.
+Everything this module used to define (``distance``, ``move_towards``,
+``row_norms``, ``as_point``, …) moved verbatim to ``core.metric``, where
+the ℓ2 functions double as the ``euclidean`` :class:`~repro.core.metric.Metric`
+instance's implementation.  Importing from here keeps working but emits a
+``DeprecationWarning``; switch to::
 
-The only geometric operations the model needs are distances, directed
-clamped moves (the server may travel at most a fixed distance per step) and
-segment interpolation; they are collected here so that every algorithm,
-adversary and analysis module shares one well-tested implementation.
+    from repro.core.metric import distance, move_towards  # etc.
 
-Batched variants (:func:`row_norms`, :func:`batched_move_towards`) operate
-on ``(B, d)`` stacks of points — one row per simulation lane — and perform
-the exact same float64 arithmetic per row as their scalar counterparts, so
-the batched engine (:mod:`repro.core.engine`) reproduces scalar runs
-bit-for-bit.
+or, inside algorithms/adversaries, use the injected ``self.metric`` so the
+code runs unchanged over ℓ1/ℓ∞/graph spaces.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import warnings
 
-import numpy as np
+from . import metric as _metric
 
 __all__ = [
+    "EPS",
     "as_point",
     "as_points",
+    "batched_move_towards",
+    "bounding_box",
+    "centroid",
+    "clamp_step",
+    "direction",
     "distance",
     "distances_to",
-    "pairwise_distances",
-    "norm",
-    "row_norms",
-    "direction",
-    "move_towards",
-    "batched_move_towards",
-    "clamp_step",
     "interpolate",
+    "move_towards",
+    "norm",
+    "pairwise_distances",
+    "row_norms",
     "total_path_length",
-    "centroid",
-    "bounding_box",
-    "EPS",
 ]
 
-#: Absolute tolerance used when validating movement-cap constraints.  The
-#: simulator allows moves to exceed the cap by ``EPS * (1 + cap)`` to absorb
-#: floating-point round-off in ``direction``/``move_towards`` chains.
-EPS: float = 1e-9
+warnings.warn(
+    "repro.core.geometry is deprecated; import from repro.core.metric "
+    "(or use the Metric interface) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 
-def as_point(p: Sequence[float] | np.ndarray, dim: int | None = None) -> np.ndarray:
-    """Return ``p`` as a float64 vector of shape ``(d,)``.
-
-    Parameters
-    ----------
-    p:
-        A scalar (treated as a 1-D point), sequence, or array.
-    dim:
-        If given, validate that the point has exactly this dimension.
-
-    Raises
-    ------
-    ValueError
-        If ``p`` is not interpretable as a single point or the dimension
-        does not match ``dim``.
-    """
-    arr = np.asarray(p, dtype=np.float64)
-    if arr.ndim == 0:
-        arr = arr.reshape(1)
-    if arr.ndim != 1:
-        raise ValueError(f"expected a single point, got array of shape {arr.shape}")
-    if dim is not None and arr.shape[0] != dim:
-        raise ValueError(f"expected dimension {dim}, got {arr.shape[0]}")
-    if not np.all(np.isfinite(arr)):
-        raise ValueError(f"point contains non-finite coordinates: {arr}")
-    return arr
-
-
-def as_points(ps: Iterable[Sequence[float]] | np.ndarray, dim: int | None = None) -> np.ndarray:
-    """Return ``ps`` as a float64 batch of shape ``(r, d)``.
-
-    A single point is promoted to a batch of one.  An empty input yields an
-    array of shape ``(0, dim or 0)``.
-    """
-    arr = np.asarray(ps, dtype=np.float64)
-    if arr.size == 0:
-        d = dim if dim is not None else (arr.shape[-1] if arr.ndim == 2 else 0)
-        return np.empty((0, d), dtype=np.float64)
-    if arr.ndim == 1:
-        arr = arr.reshape(1, -1)
-    if arr.ndim != 2:
-        raise ValueError(f"expected a batch of points, got array of shape {arr.shape}")
-    if dim is not None and arr.shape[1] != dim:
-        raise ValueError(f"expected dimension {dim}, got {arr.shape[1]}")
-    if not np.all(np.isfinite(arr)):
-        raise ValueError("point batch contains non-finite coordinates")
-    return arr
-
-
-def _sq_norm(v: np.ndarray) -> float:
-    """Squared norm via ``einsum``.
-
-    ``np.dot`` may use FMA-fused BLAS kernels whose rounding differs from
-    the batched ``einsum("ij,ij->i")`` reductions by 1 ulp; routing every
-    scalar norm through the same ``einsum`` contraction keeps the scalar
-    and batched engines bit-for-bit identical.
-    """
-    return float(np.einsum("i,i->", v, v))
-
-
-def norm(v: np.ndarray) -> float:
-    """Euclidean norm of a vector, as a Python float."""
-    return float(np.sqrt(_sq_norm(v)))
-
-
-def distance(a: np.ndarray, b: np.ndarray) -> float:
-    """Euclidean distance between two points."""
-    d = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
-    return float(np.sqrt(_sq_norm(d)))
-
-
-def distances_to(p: np.ndarray, batch: np.ndarray) -> np.ndarray:
-    """Distances from point ``p`` to each row of ``batch``; shape ``(r,)``.
-
-    This is the hot path of request answering: one subtraction, one square,
-    one reduction — no Python-level loop.
-    """
-    diff = batch - p
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
-
-
-def pairwise_distances(batch_a: np.ndarray, batch_b: np.ndarray) -> np.ndarray:
-    """All pairwise distances; shape ``(len(a), len(b))``."""
-    diff = batch_a[:, None, :] - batch_b[None, :, :]
-    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-
-
-def direction(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
-    """Unit vector from ``src`` towards ``dst``; zero vector if coincident."""
-    v = dst - src
-    n = np.sqrt(_sq_norm(v))
-    if n <= 0.0:
-        return np.zeros_like(v)
-    return v / n
-
-
-def move_towards(src: np.ndarray, dst: np.ndarray, step: float) -> np.ndarray:
-    """Move from ``src`` towards ``dst`` by at most ``step``.
-
-    Returns ``dst`` itself (not a copy of ``src``) when the target is within
-    reach, so that repeated calls converge exactly.
-    """
-    if step < 0.0:
-        raise ValueError(f"step must be non-negative, got {step}")
-    v = dst - src
-    n = np.sqrt(_sq_norm(v))
-    if n <= step:
-        return np.array(dst, dtype=np.float64, copy=True)
-    return src + (step / n) * v
-
-
-#: Clamping a proposed move ``src -> dst`` to a movement cap is the same
-#: operation as a bounded directed move, so ``clamp_step`` is an alias of
-#: :func:`move_towards` (kept for readability at call sites that think in
-#: terms of cap enforcement rather than pursuit).
-clamp_step = move_towards
-
-
-def row_norms(vs: np.ndarray) -> np.ndarray:
-    """Euclidean norm of each row of a ``(B, d)`` array; shape ``(B,)``."""
-    return np.sqrt(np.einsum("ij,ij->i", vs, vs))
-
-
-def batched_move_towards(src: np.ndarray, dst: np.ndarray, steps: np.ndarray | float) -> np.ndarray:
-    """Row-wise :func:`move_towards` for ``(B, d)`` stacks of points.
-
-    Each lane ``i`` moves from ``src[i]`` towards ``dst[i]`` by at most
-    ``steps[i]`` (``steps`` broadcasts, so a scalar cap is fine).  Rows whose
-    destination is within reach land exactly on ``dst[i]``, matching the
-    scalar function's convergence guarantee; the per-row arithmetic is
-    identical to the scalar path so results agree bit-for-bit.
-    """
-    src = np.asarray(src, dtype=np.float64)
-    dst = np.asarray(dst, dtype=np.float64)
-    steps = np.broadcast_to(np.asarray(steps, dtype=np.float64), src.shape[:1])
-    if np.any(steps < 0.0):
-        raise ValueError("steps must be non-negative")
-    v = dst - src
-    n = row_norms(v)
-    reached = n <= steps
-    safe_n = np.where(reached, 1.0, n)  # avoid 0/0 on zero-length moves
-    out = src + (steps / safe_n)[:, None] * v
-    out[reached] = dst[reached]
-    return out
-
-
-def interpolate(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
-    """Affine interpolation ``(1 - t) * a + t * b``."""
-    return (1.0 - t) * a + t * b
-
-
-def total_path_length(path: np.ndarray) -> float:
-    """Total Euclidean length of a polyline given as an ``(n, d)`` array."""
-    path = np.asarray(path, dtype=np.float64)
-    if path.ndim != 2 or path.shape[0] < 2:
-        return 0.0
-    seg = np.diff(path, axis=0)
-    return float(np.sqrt(np.einsum("ij,ij->i", seg, seg)).sum())
-
-
-def centroid(batch: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
-    """(Weighted) arithmetic mean of a batch of points."""
-    batch = as_points(batch)
-    if batch.shape[0] == 0:
-        raise ValueError("centroid of an empty batch is undefined")
-    if weights is None:
-        return batch.mean(axis=0)
-    weights = np.asarray(weights, dtype=np.float64)
-    if weights.shape != (batch.shape[0],):
-        raise ValueError("weights must have one entry per point")
-    total = weights.sum()
-    if total <= 0:
-        raise ValueError("weights must have positive sum")
-    return (weights[:, None] * batch).sum(axis=0) / total
-
-
-def bounding_box(batch: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Axis-aligned bounding box ``(lo, hi)`` of a non-empty batch."""
-    batch = as_points(batch)
-    if batch.shape[0] == 0:
-        raise ValueError("bounding box of an empty batch is undefined")
-    return batch.min(axis=0), batch.max(axis=0)
+EPS = _metric.EPS
+as_point = _metric.as_point
+as_points = _metric.as_points
+batched_move_towards = _metric.batched_move_towards
+bounding_box = _metric.bounding_box
+centroid = _metric.centroid
+clamp_step = _metric.clamp_step
+direction = _metric.direction
+distance = _metric.distance
+distances_to = _metric.distances_to
+interpolate = _metric.interpolate
+move_towards = _metric.move_towards
+norm = _metric.norm
+pairwise_distances = _metric.pairwise_distances
+row_norms = _metric.row_norms
+total_path_length = _metric.total_path_length

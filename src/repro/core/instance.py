@@ -15,7 +15,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from .costs import CostModel
-from .geometry import EPS, as_point
+from .metric import EPS, as_point
 from .requests import RequestSequence
 
 __all__ = ["MSPInstance", "MovingClientInstance"]

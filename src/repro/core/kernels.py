@@ -62,7 +62,7 @@ reformulations:
 
 Movement distances are recomputed from the committed trajectory (never
 shortcut through the clamp's ``min``), the clamp mirrors
-:func:`~repro.core.geometry.batched_move_towards` term for term, and
+:func:`~repro.core.metric.batched_move_towards` term for term, and
 ``tests/test_kernels.py`` asserts bit-identical traces against the
 per-step loop for every registered kernel under both cost models, mixed
 per-lane caps/``D`` and δ sweeps.
@@ -172,11 +172,18 @@ class StepKernel:
 
     and must perform, per lane and step, arithmetic bit-identical to the
     algorithm's ``decide_batch`` packed path.
+
+    ``metrics`` declares which metric spaces the kernel's arithmetic is
+    valid in.  Every kernel shipped here reduces with ℓ2 ``einsum`` norms,
+    so the default is ``("euclidean",)``; the engine only dispatches a
+    kernel when the run's metric appears in this tuple (any other metric
+    falls back to the per-step reference loop).
     """
 
     name: str
     build: Callable[[KernelContext], Callable]
     layout: str = field(default="time_major")
+    metrics: tuple = field(default=("euclidean",))
 
 
 def _time_major_stack(big: np.ndarray) -> np.ndarray:
@@ -238,7 +245,7 @@ _copyto = np.copyto
 
 def _clamped_move(out: np.ndarray, src: np.ndarray, dst: np.ndarray,
                   caps: np.ndarray, s: _ClampScratch) -> None:
-    """One :func:`~repro.core.geometry.batched_move_towards` step into ``out``.
+    """One :func:`~repro.core.metric.batched_move_towards` step into ``out``.
 
     Mirrors the library clamp bit-for-bit: the same sum-of-squares row
     norms (slice adds only where that is exactly ``einsum``'s order, see
@@ -635,12 +642,21 @@ KERNELS: Dict[str, StepKernel] = {
 }
 
 
-def kernel_for(algorithm) -> StepKernel | None:
-    """The registered kernel an algorithm instance advertises, if any."""
+def kernel_for(algorithm, metric: str | None = None) -> StepKernel | None:
+    """The registered kernel an algorithm instance advertises, if any.
+
+    ``metric`` is the run's metric name (``None`` means ``"euclidean"``);
+    a kernel is only returned when that metric appears in its declared
+    :attr:`StepKernel.metrics` — every other space takes the per-step
+    reference loop.
+    """
     name = getattr(algorithm, "kernel", None)
     if name is None:
         return None
-    return KERNELS.get(name)
+    kernel = KERNELS.get(name)
+    if kernel is not None and (metric or "euclidean") not in kernel.metrics:
+        return None
+    return kernel
 
 
 def run_fused(

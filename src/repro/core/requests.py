@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from .geometry import as_points, distances_to
+from .metric import as_points, distances_to
 
 __all__ = ["RequestBatch", "RequestSequence"]
 
@@ -51,15 +51,18 @@ class RequestBatch:
         """Dimension of the ambient space."""
         return int(self.points.shape[1])
 
-    def service_cost(self, position: np.ndarray) -> float:
+    def service_cost(self, position: np.ndarray, metric=None) -> float:
         """Total cost of answering every request from ``position``.
 
         This is :math:`\\sum_i d(P, v_i)` — the per-step serving term of the
-        paper's cost function.
+        paper's cost function.  ``metric`` selects the space; ``None`` keeps
+        the ℓ2 fast path (identical arithmetic to the Euclidean instance).
         """
         if self.count == 0:
             return 0.0
-        return float(distances_to(position, self.points).sum())
+        if metric is None:
+            return float(distances_to(position, self.points).sum())
+        return float(metric.distances_to(position, self.points).sum())
 
     def __iter__(self) -> Iterator[np.ndarray]:
         return iter(self.points)

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from .geometry import distances_to
+from .metric import Metric, distances_to, get_metric
 from .instance import MovingClientInstance, MSPInstance
 from .trace import Trace
 from .validation import check_move
@@ -49,6 +49,7 @@ def simulate(
     algorithm: "OnlineAlgorithm",
     delta: float = 0.0,
     callback: StepCallback | None = None,
+    metric: "str | Metric | None" = None,
 ) -> Trace:
     """Run ``algorithm`` on ``instance`` with augmentation ``delta``.
 
@@ -63,12 +64,23 @@ def simulate(
     callback:
         Optional per-step observer (used by the potential-function
         analysis); receives positions *after* validation.
+    metric:
+        The space the run is measured in — a registry name or
+        :class:`~repro.core.metric.Metric` instance.  ``None`` (and the
+        Euclidean instance) keep the exact ℓ2 hot path; the instance is
+        also injected as ``algorithm.metric`` *before* ``reset`` so
+        metric-aware algorithms pick it up.
 
     Returns
     -------
     Trace
         Full trajectory and per-step cost breakdown.
     """
+    if metric is not None:
+        metric = get_metric(metric)
+        algorithm.metric = metric
+        if metric.name == "euclidean":
+            metric = None  # ℓ2 fast path is bit-identical by construction
     cap = instance.online_cap(delta)
     algorithm.reset(instance, cap)
     requests = instance.requests
@@ -77,6 +89,7 @@ def simulate(
     trace.positions[0] = algorithm.position
     D = instance.D
     serve_after_move = instance.cost_model.serves_after_move
+    counts_service = instance.cost_model.counts_service
 
     # ``pos`` is the simulator's private copy of the pre-move position.  It
     # must never alias ``algorithm.position``: a decide() that mutates its
@@ -86,10 +99,13 @@ def simulate(
     for t in range(T):
         batch = requests[t]
         new_pos = np.asarray(algorithm.decide(t, batch), dtype=np.float64)
-        moved = check_move(t, pos, new_pos, cap, algorithm.name)
+        moved = check_move(t, pos, new_pos, cap, algorithm.name, metric=metric)
         serving_pos = new_pos if serve_after_move else pos
-        if batch.count:
-            service = float(distances_to(serving_pos, batch.points).sum())
+        if batch.count and counts_service:
+            if metric is None:
+                service = float(distances_to(serving_pos, batch.points).sum())
+            else:
+                service = float(metric.distances_to(serving_pos, batch.points).sum())
         else:
             service = 0.0
         trace.positions[t + 1] = new_pos  # copies values out of new_pos

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .geometry import distance
+from .metric import distance
 
 __all__ = ["MovementCapViolation", "check_move", "cap_tolerance"]
 
@@ -40,15 +40,20 @@ def check_move(
     new_position: np.ndarray,
     cap: float,
     algorithm: str = "",
+    metric=None,
 ) -> float:
     """Validate one move and return the distance travelled.
+
+    ``metric`` selects the space the move is measured in; ``None`` keeps
+    the ℓ2 fast path.
 
     Raises
     ------
     MovementCapViolation
         If the move exceeds ``cap`` beyond floating-point tolerance.
     """
-    moved = distance(old_position, new_position)
+    moved = distance(old_position, new_position) if metric is None \
+        else metric.distance(old_position, new_position)
     if moved > cap + cap_tolerance(cap):
         raise MovementCapViolation(step, moved, cap, algorithm)
     return moved

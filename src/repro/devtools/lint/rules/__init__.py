@@ -4,6 +4,6 @@ Importing this package populates :data:`repro.devtools.lint.registry.RULES`
 — one module per rule, each self-registering via the ``@rule`` decorator.
 """
 
-from . import api001, clk001, det001, io001, reg001, rng001, spec001  # noqa: F401
+from . import api001, clk001, det001, io001, met001, reg001, rng001, spec001  # noqa: F401
 
-__all__ = ["api001", "clk001", "det001", "io001", "reg001", "rng001", "spec001"]
+__all__ = ["api001", "clk001", "det001", "io001", "met001", "reg001", "rng001", "spec001"]

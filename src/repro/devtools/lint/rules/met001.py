@@ -1,0 +1,65 @@
+"""MET001 — no raw ``np.linalg.norm`` on positions outside the metric layer.
+
+The metric refactor routes every position-space distance through the
+:class:`~repro.core.metric.Metric` interface (``self.metric.distance`` in
+algorithms, an explicit ``Metric`` argument elsewhere).  A raw
+``np.linalg.norm`` in decision or accounting code silently hardwires ℓ2
+— correct under the default metric, wrong the moment the same code runs
+under ``l1``/``linf``/``graph`` — and, worse, ``np.linalg.norm`` is not
+bit-identical to the engine's einsum norm for ``d >= 2``, so a stray
+call can break batched/fused parity too.
+
+Scoped to the trees whose code executes under a caller-chosen metric:
+``algorithms/``, ``adversaries/``, ``extensions/``, ``serve/`` and
+``core/`` (minus ``core/metric.py`` itself, where the ℓ2 implementation
+legitimately lives).  Analysis, offline and workload code is out of
+scope — those layers are explicitly Euclidean (DP grids, Lemma 6
+geometry, ℝᵈ samplers).  Deliberately-Euclidean legacy sites carry
+``# reprolint: allow[MET001] reason=...``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..index import ModuleIndex, ParsedModule, dotted_name
+from ..registry import rule
+
+__all__ = ["check_met001"]
+
+#: The one module allowed to spell out ℓ2 arithmetic: the metric layer.
+_METRIC_MODULE = "src/repro/core/metric.py"
+
+
+@rule(
+    "MET001",
+    "no raw np.linalg.norm in metric-generic code — distances go through core.metric",
+    scopes=(
+        "src/repro/algorithms/",
+        "src/repro/adversaries/",
+        "src/repro/extensions/",
+        "src/repro/serve/",
+        "src/repro/core/",
+    ),
+)
+def check_met001(module: ParsedModule, index: ModuleIndex) -> Iterator[Finding]:
+    if module.relpath == _METRIC_MODULE:
+        return
+    # Bare ``norm(...)`` bound by ``from numpy.linalg import norm``.
+    bare = module.imported_names(("numpy.linalg",))
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        parts = name.split(".")
+        if parts[-2:] == ["linalg", "norm"] or name in bare:
+            yield Finding(
+                path=module.relpath, line=node.lineno, col=node.col_offset,
+                rule="MET001",
+                message="raw np.linalg.norm hardwires l2 in metric-generic code — "
+                        "use the Metric interface (repro.core.metric) for distances",
+            )

@@ -7,7 +7,7 @@ Every experiment appears in ``SPECS`` (id → ``build_spec(scale, seed)``):
 its sweep is flattened into work units that execute in parallel across
 processes and cache per-cell in a persistent results store, so the whole
 suite shares one scheduler, one cache and one ``--jobs`` fan-out.  The
-E9–E16 builders lower a declarative :class:`repro.api.ExperimentSpec`
+E4/E8–E16 builders lower a declarative :class:`repro.api.ExperimentSpec`
 (grid + registry-addressed reducer); the rest declare their work units
 directly.
 """
@@ -38,9 +38,9 @@ from .runner import ExperimentResult
 
 #: Every experiment declared as an orchestrator sweep (id → spec builder).
 #: E1/E2/E3/E6/E7/E12 build their cells as :class:`repro.api.Scenario`
-#: work units; E9/E10/E11/E14/E15/E16 are declarative
+#: work units; E4/E8/E9/E10/E11/E14/E15/E16 are declarative
 #: :class:`repro.api.ExperimentSpec` grids (``build_spec`` lowers them);
-#: the earlier migrations (E4/E5/E8/E13/E17) still use hand-written cell
+#: the earlier migrations (E5/E13/E17) still use hand-written cell
 #: functions where they share offline brackets.
 SPECS: Dict[str, Callable[[float, int], SweepSpec]] = {
     "E1": e1_thm1.build_spec,
@@ -78,13 +78,13 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E1": e1_thm1.run,
     "E2": e2_thm2.run,
     "E3": e3_thm3.run,
-    "E4": e4_mtc_line.run,
+    # E4/E8–E16's module-level ``run`` functions are deprecation shims;
+    # the registry routes straight through their specs instead.
+    "E4": _spec_runner("E4"),
     "E5": e5_mtc_plane.run,
     "E6": e6_answer_first.run,
     "E7": e7_moving_client_lb.run,
-    "E8": e8_moving_client_mtc.run,
-    # E9–E16's module-level ``run`` functions are deprecation shims; the
-    # registry routes straight through their specs instead.
+    "E8": _spec_runner("E8"),
     "E9": _spec_runner("E9"),
     "E10": _spec_runner("E10"),
     "E11": _spec_runner("E11"),

@@ -9,14 +9,18 @@ shapes:
 * ``ratio * δ`` stays bounded across the δ sweep on the adversarial
   workload — the O(1/δ) envelope.
 
-Declared as an orchestrator sweep: the offline DP brackets are computed
-once per benign workload (one ``brackets/*`` cell) and shared by all
+Declared as an :class:`~repro.api.ExperimentSpec` with hand-built
+function cells (the δ sweep shares the offline DP brackets through
+explicit cell deps, which :func:`~repro.api.cell_grid` does not express):
+the brackets are computed once per benign workload and consumed by all
 four δ simulation cells, instead of being re-solved per δ as the old
-sequential loop did.
+sequential loop did.  The ``e4/mtc-line`` reducer folds the payloads
+into the table.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping
 
 import numpy as np
@@ -30,16 +34,17 @@ from ..analysis import (
     measures_from_payload,
     measures_to_payload,
 )
+from ..api import CellSpec, ExperimentSpec, Reduction, register_reducer
 from ..offline import bracket_optimum
 from ..workloads import DriftWorkload, RandomWalkWorkload
-from .orchestrator import SweepSpec, WorkUnit, execute_spec, grid
 from .runner import ExperimentResult, scaled, seeded_instances, sweep_seeds
 
-__all__ = ["build_spec", "finalize", "run"]
+__all__ = ["build_spec", "run", "spec"]
 
 _MODULE = "repro.experiments.e4_mtc_line"
 DELTAS = [1.0, 0.5, 0.25, 0.125]
 WORKLOADS = ["random-walk", "drift"]
+DELTA0 = 0.25
 
 
 def _workload(name: str, T: int):
@@ -90,72 +95,89 @@ def cell_t_doubling(T: int, delta0: float, seed: int) -> dict:
     return {"r_small": r_small, "r_large": r_large}
 
 
-# -- spec ------------------------------------------------------------------
+# -- reducer ---------------------------------------------------------------
 
 
-def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
-    T = scaled(400, scale, minimum=100)
-    n_seeds = scaled(4, scale, minimum=2)
-    units: list[WorkUnit] = []
-    for workload in WORKLOADS:
-        units.append(WorkUnit(
-            key=f"brackets/{workload}",
-            fn=f"{_MODULE}:cell_brackets",
-            params={"workload": workload, "T": T, "n_seeds": n_seeds, "seed": seed},
-        ))
-    for p in grid(delta=DELTAS, workload=WORKLOADS):
-        units.append(WorkUnit(
-            key=f"benign/{p['workload']}/delta={p['delta']}",
-            fn=f"{_MODULE}:cell_benign",
-            params={**p, "T": T, "n_seeds": n_seeds, "seed": seed},
-            deps=(f"brackets/{p['workload']}",),
-        ))
-    for delta in DELTAS:
-        units.append(WorkUnit(
-            key=f"adversarial/delta={delta}",
-            fn=f"{_MODULE}:cell_adversarial",
-            params={"delta": delta, "n_seeds": n_seeds, "seed": seed},
-        ))
-    units.append(WorkUnit(
-        key="t-doubling",
-        fn=f"{_MODULE}:cell_t_doubling",
-        params={"T": T, "delta0": 0.25, "seed": seed},
-    ))
-    return SweepSpec("E4", tuple(units), finalize=f"{_MODULE}:finalize",
-                     scale=scale, seed=seed)
-
-
-def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+@register_reducer("e4/mtc-line",
+                  "benign + adversarial ratio table, O(1/delta) envelope, T-doubling check")
+def _reduce(cells: Mapping[str, Any], *, points, config, scale: float,
+            seed: int) -> Reduction:
     T = scaled(400, scale, minimum=100)
     rows = []
     envelope = []
     for delta in DELTAS:
         for workload in WORKLOADS:
-            measures = measures_from_payload(results[f"benign/{workload}/delta={delta}"]["measures"])
+            measures = measures_from_payload(cells[f"benign/{workload}/delta={delta}"]["measures"])
             ratios = [m.ratio_upper for m in measures]
             rows.append([workload, delta, float(np.mean(ratios)), float(np.mean(ratios)) * delta])
-        mean_adv = results[f"adversarial/delta={delta}"]["mean"]
+        mean_adv = cells[f"adversarial/delta={delta}"]["mean"]
         rows.append(["thm2-adversarial", delta, mean_adv, mean_adv * delta])
         envelope.append(mean_adv * delta)
 
-    doubling = results["t-doubling"]
+    doubling = cells["t-doubling"]
     r_small, r_large = doubling["r_small"], doubling["r_large"]
-    delta0 = 0.25
     notes = [
         "criterion: MtC ratio bounded independent of T; ratio * delta bounded over delta sweep (Thm 4, line)",
-        f"T-independence at delta={delta0}: ratio(T={T}) = {r_small:.2f} vs ratio(T={2 * T}) = {r_large:.2f}",
+        f"T-independence at delta={DELTA0}: ratio(T={T}) = {r_small:.2f} vs ratio(T={2 * T}) = {r_large:.2f}",
         f"adversarial envelope ratio*delta over deltas: min {min(envelope):.2f}, max {max(envelope):.2f}",
     ]
     ok = r_large <= r_small * 1.5 + 0.5 and max(envelope) <= 10.0 * max(min(envelope), 0.1)
-    return ExperimentResult(
+    return Reduction(rows=rows, notes=notes, passed=ok)
+
+
+# -- spec ------------------------------------------------------------------
+
+
+def spec(scale: float = 1.0, seed: int = 0) -> ExperimentSpec:
+    T = scaled(400, scale, minimum=100)
+    n_seeds = scaled(4, scale, minimum=2)
+    cells: list[CellSpec] = []
+    for workload in WORKLOADS:
+        cells.append(CellSpec(
+            key=f"brackets/{workload}",
+            fn=f"{_MODULE}:cell_brackets",
+            params={"workload": workload, "T": T, "n_seeds": n_seeds, "seed": seed},
+        ))
+    for delta in DELTAS:
+        for workload in WORKLOADS:
+            cells.append(CellSpec(
+                key=f"benign/{workload}/delta={delta}",
+                fn=f"{_MODULE}:cell_benign",
+                params={"workload": workload, "delta": delta, "T": T,
+                        "n_seeds": n_seeds, "seed": seed},
+                point={"workload": workload, "delta": delta},
+                deps=(f"brackets/{workload}",),
+            ))
+    for delta in DELTAS:
+        cells.append(CellSpec(
+            key=f"adversarial/delta={delta}",
+            fn=f"{_MODULE}:cell_adversarial",
+            params={"delta": delta, "n_seeds": n_seeds, "seed": seed},
+            point={"delta": delta},
+        ))
+    cells.append(CellSpec(
+        key="t-doubling",
+        fn=f"{_MODULE}:cell_t_doubling",
+        params={"T": T, "delta0": DELTA0, "seed": seed},
+    ))
+    return ExperimentSpec(
         experiment_id="E4",
         title="Thm 4 (line): MtC O(1/delta)-competitive with (1+delta)m augmentation",
         headers=["workload", "delta", "ratio(MtC)", "ratio*delta"],
-        rows=rows,
-        notes=notes,
-        passed=ok,
+        reducer="e4/mtc-line",
+        cells=tuple(cells),
+        scale=scale, seed=seed,
     )
 
 
+def build_spec(scale: float = 1.0, seed: int = 0):
+    return spec(scale, seed).to_sweep()
+
+
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return execute_spec(build_spec(scale, seed))
+    warnings.warn(
+        "repro.experiments.e4_mtc_line.run() is deprecated; E4 is declared as an "
+        "ExperimentSpec — use spec(scale, seed).run() or repro.experiments.run_all(['E4'])",
+        DeprecationWarning, stacklevel=2,
+    )
+    return spec(scale, seed).run()

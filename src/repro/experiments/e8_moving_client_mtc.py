@@ -10,12 +10,17 @@ Runs the moving-client MtC on random-waypoint patrol agents for a sweep of
 OPT is bracketed by the exact 1-D DP (agents patrol a line here so the
 certificate is tight); a 2-D spot row uses the convex bracket.
 
-Declared as an orchestrator sweep: one cell per (regime, T) plus the 2-D
-spot check, all independent, so the T sweep parallelizes across workers.
+Declared as an :class:`~repro.api.ExperimentSpec` with hand-built
+function cells — one per (regime, T) plus the 2-D spot check, all
+independent, so the T sweep parallelizes across workers.  The cells take
+pre-scaled horizons (``T_wl``/``T_steps``) rather than axis values, which
+:func:`~repro.api.cell_grid` would forward verbatim; the
+``e8/moving-client`` reducer folds the payloads into the table.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping
 
 import numpy as np
@@ -23,14 +28,14 @@ import numpy as np
 from ..adversaries import build_thm8
 from ..algorithms import MovingClientMtC
 from ..analysis import measure_adversarial_ratio_batch
+from ..api import CellSpec, ExperimentSpec, Reduction, register_reducer
 from ..core.engine import simulate_batch
 from ..core.simulator import simulate
 from ..offline import bracket_optimum
 from ..workloads import PatrolAgentWorkload
-from .orchestrator import SweepSpec, WorkUnit, execute_spec
 from .runner import ExperimentResult, scaled, seeded_instances, sweep_seeds
 
-__all__ = ["build_spec", "finalize", "run"]
+__all__ = ["build_spec", "run", "spec"]
 
 _MODULE = "repro.experiments.e8_moving_client_mtc"
 TS = [200, 400, 800]
@@ -71,44 +76,22 @@ def cell_spot_2d(T_wl: int, seed: int) -> dict:
     return {"ratio": tr2.total_cost / max(br2.lower, 1e-12), "T": wl2.T}
 
 
-# -- spec ------------------------------------------------------------------
+# -- reducer ---------------------------------------------------------------
 
 
-def build_spec(scale: float = 1.0, seed: int = 0) -> SweepSpec:
-    n_seeds = scaled(4, scale, minimum=2)
-    units: list[WorkUnit] = []
-    for T in TS:
-        units.append(WorkUnit(
-            key=f"patrol/T={T}",
-            fn=f"{_MODULE}:cell_patrol",
-            params={"T_wl": scaled(T, scale, minimum=50), "n_seeds": n_seeds, "seed": seed},
-        ))
-    for T in TS:
-        units.append(WorkUnit(
-            key=f"thm8/T={T}",
-            fn=f"{_MODULE}:cell_thm8",
-            params={"T_steps": scaled(T, scale, minimum=64) * 4, "n_seeds": n_seeds,
-                    "seed": seed},
-        ))
-    units.append(WorkUnit(
-        key="spot-2d",
-        fn=f"{_MODULE}:cell_spot_2d",
-        params={"T_wl": scaled(200, scale, minimum=50), "seed": seed},
-    ))
-    return SweepSpec("E8", tuple(units), finalize=f"{_MODULE}:finalize",
-                     scale=scale, seed=seed)
-
-
-def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentResult:
+@register_reducer("e8/moving-client",
+                  "patrol-vs-thm8 ratio table + flatness-in-T criterion")
+def _reduce(cells: Mapping[str, Any], *, points, config, scale: float,
+            seed: int) -> Reduction:
     rows = []
     flat_ratios = []
     for T in TS:
-        mean = float(np.mean(results[f"patrol/T={T}"]["ratios"]))
+        mean = float(np.mean(cells[f"patrol/T={T}"]["ratios"]))
         rows.append(["patrol (ms=ma)", T, mean])
         flat_ratios.append(mean)
     for T in TS:
-        rows.append(["thm8 (ma=2ms)", T * 4, results[f"thm8/T={T}"]["mean"]])
-    spot = results["spot-2d"]
+        rows.append(["thm8 (ma=2ms)", T * 4, cells[f"thm8/T={T}"]["mean"]])
+    spot = cells["spot-2d"]
     rows.append(["patrol-2d (ms=ma)", spot["T"], spot["ratio"]])
 
     spread = max(flat_ratios) / max(min(flat_ratios), 1e-12)
@@ -118,15 +101,54 @@ def finalize(results: Mapping[str, Any], scale: float, seed: int) -> ExperimentR
         f"flatness of the ms=ma rows: max/min ratio across T = {spread:.2f}",
     ]
     ok = spread <= 2.0 and max(flat_ratios) <= 40.0
-    return ExperimentResult(
+    return Reduction(rows=rows, notes=notes, passed=ok)
+
+
+# -- spec ------------------------------------------------------------------
+
+
+def spec(scale: float = 1.0, seed: int = 0) -> ExperimentSpec:
+    n_seeds = scaled(4, scale, minimum=2)
+    cells: list[CellSpec] = []
+    for T in TS:
+        cells.append(CellSpec(
+            key=f"patrol/T={T}",
+            fn=f"{_MODULE}:cell_patrol",
+            params={"T_wl": scaled(T, scale, minimum=50), "n_seeds": n_seeds, "seed": seed},
+            point={"T": T},
+        ))
+    for T in TS:
+        cells.append(CellSpec(
+            key=f"thm8/T={T}",
+            fn=f"{_MODULE}:cell_thm8",
+            params={"T_steps": scaled(T, scale, minimum=64) * 4, "n_seeds": n_seeds,
+                    "seed": seed},
+            point={"T": T},
+        ))
+    cells.append(CellSpec(
+        key="spot-2d",
+        fn=f"{_MODULE}:cell_spot_2d",
+        params={"T_wl": scaled(200, scale, minimum=50), "seed": seed},
+    ))
+    return ExperimentSpec(
         experiment_id="E8",
         title="Thm 10: moving-client MtC is O(1)-competitive when the server is as fast",
         headers=["regime", "T", "certified ratio"],
-        rows=rows,
-        notes=notes,
-        passed=ok,
+        reducer="e8/moving-client",
+        cells=tuple(cells),
+        scale=scale, seed=seed,
     )
 
 
+def build_spec(scale: float = 1.0, seed: int = 0):
+    return spec(scale, seed).to_sweep()
+
+
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    return execute_spec(build_spec(scale, seed))
+    warnings.warn(
+        "repro.experiments.e8_moving_client_mtc.run() is deprecated; E8 is declared "
+        "as an ExperimentSpec — use spec(scale, seed).run() or "
+        "repro.experiments.run_all(['E8'])",
+        DeprecationWarning, stacklevel=2,
+    )
+    return spec(scale, seed).run()

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.geometry import EPS, as_point
+from ..core.metric import EPS, as_point
 from ..core.instance import MSPInstance
 from ..core.requests import RequestSequence
 from ..algorithms.mtc import MoveToCenter

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.geometry import move_towards
+from ..core.metric import get_metric
 from ..core.requests import RequestBatch
 from ..median import request_center
 
@@ -89,6 +89,7 @@ class MultiServerAlgorithm(abc.ABC):
         self.positions: np.ndarray | None = None  # (k, d)
         self.cap = 0.0
         self.D = 1.0
+        self.metric = get_metric("euclidean")
 
     def reset(self, starts: np.ndarray, cap: float, D: float) -> None:
         starts = np.asarray(starts, dtype=np.float64)
@@ -125,7 +126,7 @@ class KGreedyCenters(MultiServerAlgorithm):
             if idx.size == 0:
                 continue
             c = request_center(batch.points[idx], self.positions[i])
-            new[i] = move_towards(self.positions[i], c, self.cap)
+            new[i] = self.metric.move_towards(self.positions[i], c, self.cap)
         return new
 
 
@@ -143,11 +144,11 @@ class KMoveToCenter(MultiServerAlgorithm):
             if idx.size == 0:
                 continue
             c = request_center(batch.points[idx], self.positions[i])
-            dist = float(np.linalg.norm(c - self.positions[i]))
+            dist = float(np.linalg.norm(c - self.positions[i]))  # reprolint: allow[MET001] reason=multi-server extension is Euclidean; E15 goldens pin these bits
             if dist <= 0.0:
                 continue
             step = min(min(1.0, idx.size / self.D) * dist, self.cap)
-            new[i] = move_towards(self.positions[i], c, step)
+            new[i] = self.metric.move_towards(self.positions[i], c, step)
         return new
 
 

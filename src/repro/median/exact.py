@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.geometry import as_points, distances_to
+from ..core.metric import as_points, distances_to
 
 __all__ = [
     "MedianSet",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.geometry import as_points
+from ..core.metric import as_points
 from .exact import MedianSet, collinearity_frame, median_collinear, median_pair, median_single
 from .weiszfeld import weiszfeld
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.geometry import as_points
+from ..core.metric import as_points
 
 __all__ = ["WeiszfeldResult", "weiszfeld", "weber_gradient_norm"]
 

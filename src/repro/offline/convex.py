@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
-from ..core.geometry import move_towards
+from ..core.metric import move_towards
 from ..core.instance import MSPInstance
 from ..core.simulator import replay_cost
 

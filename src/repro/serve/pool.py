@@ -44,6 +44,7 @@ from ..algorithms.registry import make_algorithm
 from ..algorithms.vectorized import VECTORIZED, ScalarBatchAdapter, make_vectorized
 from ..core.engine import BatchStepRequests, VectorizedAlgorithm, advance_lanes
 from ..core.kernels import fusion_enabled
+from ..core.metric import Metric, get_metric
 from ..core.requests import RequestBatch
 from ..core.validation import cap_tolerance
 from .session import OnlineSession, SessionSpec
@@ -60,22 +61,33 @@ def poolable(spec: SessionSpec) -> bool:
     """Whether lanes of this spec may share a multi-lane wave.
 
     True for parameter-free algorithms with a truly vectorized
-    implementation — those decide independently of ``t`` and of batch
-    composition (given carried lane state).  Everything else runs through
-    the scalar adapter one lane at a time.
+    implementation under the default metric — those decide independently
+    of ``t`` and of batch composition (given carried lane state).
+    Everything else (including every non-euclidean lane: the truly
+    vectorized implementations hardcode ℓ2) runs through the scalar
+    adapter one lane at a time.
     """
-    return spec.algorithm in VECTORIZED and not spec.algorithm_params
+    return (spec.algorithm in VECTORIZED and not spec.algorithm_params
+            and spec.metric == "euclidean")
+
+
+def _spec_metric(spec: SessionSpec) -> Metric | None:
+    """The lane's metric instance; ``None`` keeps the exact ℓ2 hot path."""
+    return None if spec.metric == "euclidean" else get_metric(spec.metric)
 
 
 def _build_algorithm(spec: SessionSpec) -> VectorizedAlgorithm:
+    metric = _spec_metric(spec)
     if poolable(spec):
         return VECTORIZED[spec.algorithm]()
     if spec.algorithm_params:
         kwargs = spec.algorithm_kwargs()
-        return ScalarBatchAdapter(
+        adapter = ScalarBatchAdapter(
             lambda: make_algorithm(spec.algorithm, **kwargs), name=spec.algorithm
         )
-    return make_vectorized(spec.algorithm)
+        adapter.metric = metric
+        return adapter
+    return make_vectorized(spec.algorithm, metric=metric)
 
 
 class _OneStep:
@@ -99,6 +111,8 @@ class _WaveRuntime:
     tol: np.ndarray
     D: np.ndarray
     serve_after_move: np.ndarray
+    counts_service: np.ndarray
+    metric: "Metric | None"
 
 
 class SessionPool:
@@ -229,6 +243,10 @@ class SessionPool:
             serve_after_move=np.array(
                 [inst.cost_model.serves_after_move for inst in instances], dtype=bool
             ),
+            counts_service=np.array(
+                [inst.cost_model.counts_service for inst in instances], dtype=bool
+            ),
+            metric=_spec_metric(sessions[0].spec),
         )
 
     def _runtime_for(
@@ -280,6 +298,7 @@ class SessionPool:
                 algo, t, positions, step,
                 caps=runtime.caps, tol=runtime.tol,
                 D=runtime.D, serve_after_move=runtime.serve_after_move,
+                counts_service=runtime.counts_service, metric=runtime.metric,
             )
         except Exception:
             # A failed decide may have mutated the algorithm's internals

@@ -27,7 +27,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..core.costs import CostModel
-from ..core.geometry import as_points
+from ..core.metric import as_points
 from ..core.instance import MSPInstance
 from ..core.requests import RequestSequence
 from ..core.trace import Trace
@@ -69,8 +69,14 @@ class SessionSpec:
     cost_model: str = "move-first"
     delta: float = 0.0
     algorithm_params: tuple = ()
+    metric: str = "euclidean"
 
     def __post_init__(self) -> None:
+        from ..core.metric import METRICS
+
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"metric must be one of {tuple(sorted(METRICS))}, got {self.metric!r}")
         if int(self.dim) <= 0:
             raise ValueError(f"dim must be positive, got {self.dim}")
         object.__setattr__(self, "dim", int(self.dim))
@@ -101,7 +107,8 @@ class SessionSpec:
     @property
     def group_key(self) -> tuple:
         """Sessions sharing this key may ride one cross-lane engine wave."""
-        return (self.algorithm, self.algorithm_params, self.dim, self.cost_model)
+        return (self.algorithm, self.algorithm_params, self.dim, self.cost_model,
+                self.metric)
 
     def algorithm_kwargs(self) -> dict:
         return dict(self.algorithm_params)
@@ -139,7 +146,9 @@ class SessionSpec:
     # -- wire format -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        # metric is omitted at its default so pre-metric spec payloads
+        # (and their hashes) are reproduced byte-for-byte.
+        payload = {
             "algorithm": self.algorithm,
             "dim": self.dim,
             "start": list(self.start),
@@ -149,12 +158,15 @@ class SessionSpec:
             "delta": self.delta,
             "algorithm_params": {k: v for k, v in self.algorithm_params},
         }
+        if self.metric != "euclidean":
+            payload["metric"] = self.metric
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SessionSpec":
         known = {
             "algorithm", "dim", "start", "D", "m",
-            "cost_model", "delta", "algorithm_params",
+            "cost_model", "delta", "algorithm_params", "metric",
         }
         unknown = set(data) - known
         if unknown:
@@ -170,6 +182,7 @@ class SessionSpec:
             cost_model=str(data.get("cost_model", "move-first")),
             delta=float(data.get("delta", 0.0)),
             algorithm_params=tuple(sorted(dict(data.get("algorithm_params", {})).items())),
+            metric=str(data.get("metric", "euclidean")),
         )
 
 

@@ -1,0 +1,175 @@
+"""Graph-space workloads: requests on network topologies.
+
+These generators produce :class:`~repro.core.instance.MSPInstance` objects
+whose request points are ``(u, v, t)`` encodings of positions on a weighted
+graph (see :func:`repro.core.metric.graph_point`) — the inputs of the
+``graph`` metric.  Two canonical topologies ship here:
+
+``road``
+    A small road network (12 intersections, ring roads plus cross streets
+    with heterogeneous travel times) — the mobile-server-on-a-street-map
+    picture from the paper's motivation.
+``dc``
+    A leaf-spine data-center fabric (2 spines, 4 leaves, 8 hosts): requests
+    are accesses from hosts, the server is the primary replica migrating
+    through the fabric — the page-migration picture.
+
+Requests follow a *hotspot random walk*: a demand center wanders the nodes
+(neighbour steps with occasional uniform jumps) and each step's requests
+arrive on or adjacent to it — locality an online algorithm can exploit,
+with enough churn that staying put loses.
+
+Topologies and their metrics are memoized so every seed of a scenario cell
+shares one all-pairs table and geodesic path cache.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.metric import GraphMetric, graph_point
+from .base import WorkloadGenerator, make_instance
+
+__all__ = [
+    "GraphWorkload",
+    "TOPOLOGIES",
+    "data_center_network",
+    "default_network",
+    "road_network",
+    "topology_metric",
+]
+
+#: Road network: (u, v, travel time).  A ring of arterials with cross
+#: streets; weights are deliberately non-uniform so shortest paths are
+#: topology-dependent rather than hop counts.
+_ROAD_EDGES = [
+    (0, 1, 1.0), (1, 2, 1.5), (2, 3, 1.0), (3, 4, 2.0), (4, 5, 1.0),
+    (5, 0, 2.5), (1, 6, 1.0), (6, 7, 1.2), (7, 3, 0.8), (6, 8, 2.0),
+    (8, 9, 1.0), (9, 10, 1.5), (10, 11, 1.0), (11, 8, 1.2), (9, 4, 2.2),
+    (7, 10, 1.7),
+]
+
+
+@lru_cache(maxsize=None)
+def road_network():
+    """The canonical small road network (12 intersections)."""
+    import networkx as nx
+
+    from ..pagemigration.graph import MigrationNetwork
+
+    g = nx.Graph()
+    for u, v, w in _ROAD_EDGES:
+        g.add_edge(u, v, weight=w)
+    return MigrationNetwork.from_graph(g)
+
+
+@lru_cache(maxsize=None)
+def data_center_network():
+    """A leaf-spine fabric: spines {0,1}, leaves {2..5}, hosts {6..13}.
+
+    Every leaf uplinks to both spines (weight 2.0); each leaf serves two
+    hosts (weight 1.0), so host-to-host latency is 2 within a rack and 6
+    across racks.
+    """
+    import networkx as nx
+
+    from ..pagemigration.graph import MigrationNetwork
+
+    g = nx.Graph()
+    for spine in (0, 1):
+        for leaf in (2, 3, 4, 5):
+            g.add_edge(spine, leaf, weight=2.0)
+    for i, leaf in enumerate((2, 3, 4, 5)):
+        for host in (6 + 2 * i, 7 + 2 * i):
+            g.add_edge(leaf, host, weight=1.0)
+    return MigrationNetwork.from_graph(g)
+
+
+TOPOLOGIES = {"road": road_network, "dc": data_center_network}
+
+
+def default_network():
+    """The network behind the registered ``graph`` metric's default
+    instance — the road topology."""
+    return road_network()
+
+
+@lru_cache(maxsize=None)
+def topology_metric(topology: str) -> GraphMetric:
+    """The (shared) :class:`GraphMetric` of a named topology."""
+    if topology not in TOPOLOGIES:
+        raise KeyError(
+            f"unknown topology {topology!r}; available: {', '.join(sorted(TOPOLOGIES))}")
+    return GraphMetric(TOPOLOGIES[topology]())
+
+
+class GraphWorkload(WorkloadGenerator):
+    """Hotspot-random-walk requests on a network topology.
+
+    Parameters
+    ----------
+    T, D, m:
+        As every workload: horizon, movement weight, per-step cap (in
+        travel-time units of the topology).
+    topology:
+        ``"road"`` or ``"dc"``.
+    requests_per_step:
+        Requests per step; each lands on the hotspot or a neighbour.
+    jump_prob:
+        Per-step probability the hotspot teleports to a uniform node
+        (otherwise it steps to a uniform neighbour).
+    """
+
+    def __init__(
+        self,
+        T: int = 200,
+        dim: int = 3,
+        D: float = 2.0,
+        m: float = 1.0,
+        topology: str = "road",
+        requests_per_step: int = 2,
+        jump_prob: float = 0.15,
+    ) -> None:
+        if dim != 3:
+            raise ValueError(
+                f"graph workloads use the (u, v, t) point encoding (dim=3), got dim={dim}")
+        super().__init__(T, dim=3, D=D, m=m)
+        if requests_per_step < 1:
+            raise ValueError("requests_per_step must be positive")
+        if not 0.0 <= jump_prob <= 1.0:
+            raise ValueError("jump_prob must lie in [0, 1]")
+        self.topology = topology
+        self.requests_per_step = requests_per_step
+        self.jump_prob = jump_prob
+        self.metric = topology_metric(topology)
+        self.network = self.metric.network
+        self.name = f"graph-{topology}"
+
+    def _neighbours(self, node: int) -> list[int]:
+        label = self.metric._labels[node]
+        return sorted(self.metric._index[v] for v in self.network.graph.neighbors(label))
+
+    def generate(self, rng: np.random.Generator) -> "object":
+        n = self.network.n
+        hotspot = int(rng.integers(0, n))
+        points = np.zeros((self.T, self.requests_per_step, 3))
+        for t in range(self.T):
+            if rng.random() < self.jump_prob:
+                hotspot = int(rng.integers(0, n))
+            else:
+                nbrs = self._neighbours(hotspot)
+                hotspot = int(nbrs[int(rng.integers(0, len(nbrs)))])
+            for r in range(self.requests_per_step):
+                nbrs = self._neighbours(hotspot)
+                choices = [hotspot] + nbrs
+                node = int(choices[int(rng.integers(0, len(choices)))])
+                points[t, r] = graph_point(node)
+        return make_instance(
+            points,
+            start=graph_point(0),
+            D=self.D,
+            m=self.m,
+            name=f"{self.name}[T={self.T}]",
+        )

@@ -26,6 +26,7 @@ from .bursty import BurstyWorkload
 from .clustered import ClusteredWorkload
 from .disaster import PatrolAgentWorkload
 from .drift import DriftWorkload
+from .kserver import KServerLineWorkload
 from .random_walk import RandomWalkWorkload
 from .vehicles import VehiclePlatoonWorkload
 
@@ -78,15 +79,24 @@ class WorkloadInfo:
     moving_client:
         Whether ``generate`` returns
         :class:`~repro.core.instance.MovingClientInstance` objects.
+    metrics:
+        Metric spaces (registry names from :mod:`repro.core.metric`) the
+        generated requests live in.  Euclidean generators default to the
+        normed spaces; graph workloads declare ``("graph",)`` — their
+        request points are ``(u, v, t)`` encodings, meaningless under ℓp.
     """
 
     name: str
     factory: WorkloadFactory
     supported_dims: tuple[int, ...] | None = None
     moving_client: bool = False
+    metrics: tuple[str, ...] = ("euclidean", "l1", "linf")
 
     def supports_dim(self, dim: int) -> bool:
         return self.supported_dims is None or dim in self.supported_dims
+
+    def supports_metric(self, metric: str) -> bool:
+        return metric in self.metrics
 
 
 WORKLOADS: Dict[str, WorkloadInfo] = {}
@@ -99,6 +109,7 @@ def register_workload(
     *,
     supported_dims: tuple[int, ...] | None = None,
     moving_client: bool = False,
+    metrics: tuple[str, ...] = ("euclidean", "l1", "linf"),
 ) -> None:
     """Add a workload factory (plus capability limits) to the registry."""
     if name in WORKLOADS and not overwrite:
@@ -108,6 +119,7 @@ def register_workload(
         factory=factory,
         supported_dims=tuple(supported_dims) if supported_dims is not None else None,
         moving_client=moving_client,
+        metrics=tuple(metrics),
     )
 
 
@@ -125,6 +137,29 @@ register_workload("clustered", ClusteredWorkload)
 register_workload("vehicles", VehiclePlatoonWorkload)
 register_workload("patrol-agent", PatrolAgentWorkload, moving_client=True)
 register_workload("splice", _make_splice)
+# k-server configuration-space instances: movement-only accounting, ℓ1
+# movement = total server travel (see repro.algorithms.kserver_line).
+register_workload("kserver-line", KServerLineWorkload, metrics=("l1",))
+
+# Graph-space workloads: requests on weighted-network topologies, encoded
+# as (u, v, t) metric points.  Lazy import avoids loading networkx (and the
+# all-pairs tables) until a graph scenario actually asks for one.
+
+
+def _make_graph_road(**kw: Any) -> Any:
+    from .graphnet import GraphWorkload
+
+    return GraphWorkload(topology="road", **kw)
+
+
+def _make_graph_dc(**kw: Any) -> Any:
+    from .graphnet import GraphWorkload
+
+    return GraphWorkload(topology="dc", **kw)
+
+
+register_workload("graph-road", _make_graph_road, supported_dims=(3,), metrics=("graph",))
+register_workload("graph-dc", _make_graph_dc, supported_dims=(3,), metrics=("graph",))
 
 
 def workload_info(name: str) -> WorkloadInfo:

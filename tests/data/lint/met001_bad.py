@@ -1,0 +1,15 @@
+"""MET001 bad fixture: raw l2 norms in metric-generic decision code."""
+
+import numpy as np
+from numpy.linalg import norm
+
+
+def decide(position, target, cap):
+    dist = float(np.linalg.norm(target - position))  # hardwired l2
+    if dist <= cap:
+        return target
+    return position + (cap / dist) * (target - position)
+
+
+def movement_cost(old, new):
+    return float(norm(new - old))  # bare alias from numpy.linalg

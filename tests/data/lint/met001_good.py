@@ -1,0 +1,16 @@
+"""MET001 good fixture: distances routed through the Metric interface."""
+
+from repro.core.metric import get_metric
+
+_METRIC = get_metric("euclidean")
+
+
+def decide(position, target, cap):
+    dist = _METRIC.distance(position, target)
+    if dist <= cap:
+        return target
+    return _METRIC.move_towards(position, target, cap)
+
+
+def movement_cost(old, new):
+    return _METRIC.distance(old, new)

@@ -164,6 +164,26 @@ def _parity_scenario(name: str) -> Scenario:
             seeds=[0, 1, 2],
             delta=0.5,
         )
+    if not info.supports_metric("euclidean"):
+        # Metric-restricted entries: the re-homed classical scenarios.
+        if "graph" in info.metrics:
+            return Scenario.workload(
+                "graph-road",
+                algorithm=name,
+                params={"T": 25, "D": 2.0, "m": 50.0, "requests_per_step": 1},
+                seeds=[0, 1, 2],
+                metric="graph",
+                ratio="none",
+            )
+        return Scenario.workload(
+            "kserver-line",
+            algorithm=name,
+            params={"T": 25, "dim": 3},
+            seeds=[0, 1, 2],
+            metric=info.metrics[0],
+            cost_model="movement-only",
+            ratio="none",
+        )
     cost_model = None
     if info.cost_models is not None:
         cost_model = info.cost_models[0]
@@ -194,13 +214,15 @@ class TestDispatcherParity:
         # Legacy path 1: the scalar simulator loop.
         instances, _ = build_instances(sc)
         legacy = np.array([
-            simulate(inst, make_algorithm(name), delta=sc.delta).total_cost
+            simulate(inst, make_algorithm(name), delta=sc.delta,
+                     metric=sc.metric).total_cost
             for inst in instances
         ])
         np.testing.assert_array_equal(scalar.costs, legacy)
 
         # Legacy path 2: the batched engine called directly.
-        direct = simulate_batch(instances, name, delta=sc.delta).total_costs
+        direct = simulate_batch(instances, name, delta=sc.delta,
+                                metric=sc.metric).total_costs
         np.testing.assert_array_equal(batched.costs, direct)
 
     def test_auto_prefers_vectorized_entries(self):

@@ -1,4 +1,13 @@
-"""Unit and property tests for repro.core.geometry."""
+"""Unit and property tests for the Euclidean primitives (repro.core.metric).
+
+These functions lived in ``repro.core.geometry`` before the metric
+refactor; the module now re-exports them as a deprecated shim, which
+:class:`TestGeometryShim` covers.
+"""
+
+import importlib
+import sys
+import warnings
 
 import numpy as np
 import pytest
@@ -6,7 +15,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.geometry import (
+from repro.core.metric import (
     as_point,
     as_points,
     bounding_box,
@@ -228,3 +237,22 @@ class TestBoundingBox:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             bounding_box(np.empty((0, 2)))
+
+
+class TestGeometryShim:
+    """``repro.core.geometry`` is a deprecated re-export of ``core.metric``."""
+
+    def test_import_warns(self):
+        sys.modules.pop("repro.core.geometry", None)
+        with pytest.warns(DeprecationWarning, match="repro.core.geometry is deprecated"):
+            importlib.import_module("repro.core.geometry")
+
+    def test_reexports_are_the_metric_functions(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            sys.modules.pop("repro.core.geometry", None)
+            geometry = importlib.import_module("repro.core.geometry")
+        from repro.core import metric
+
+        for name in geometry.__all__:
+            assert getattr(geometry, name) is getattr(metric, name), name

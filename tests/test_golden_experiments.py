@@ -5,7 +5,9 @@ code at ``scale=0.15, seed=1``, always *before* the corresponding
 refactor landed: the hand-rolled per-seed loops of E1, E2, E3, E6, E7 and
 E12 (PR 2 state, migrated to scenario cells in PR 3), and of E9, E10,
 E11, E14, E15 and E16 (PR 3 state, migrated to declarative
-``ExperimentSpec`` grids in PR 4).  The migrated experiments must
+``ExperimentSpec`` grids in PR 4), and the shared-bracket sweeps of E4
+and E8 (PR 9 state, migrated to ``ExperimentSpec`` function cells in
+PR 10).  The migrated experiments must
 reproduce the captured tables *exactly* (every float rendered at 10
 digits, every note string), which is the acceptance criterion for each
 migration.
@@ -20,7 +22,8 @@ from repro.experiments import EXPERIMENTS, SPECS
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_migrated.json"
 MIGRATED = ["E1", "E2", "E3", "E6", "E7", "E12",
-            "E9", "E10", "E11", "E14", "E15", "E16"]
+            "E9", "E10", "E11", "E14", "E15", "E16",
+            "E4", "E8"]
 
 with GOLDEN_PATH.open() as fh:
     GOLDEN = json.load(fh)

@@ -29,7 +29,8 @@ from repro.devtools.lint import (
 FIXTURES = Path(__file__).resolve().parent / "data" / "lint"
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-ALL_RULES = ("API001", "CLK001", "DET001", "IO001", "REG001", "RNG001", "SPEC001")
+ALL_RULES = ("API001", "CLK001", "DET001", "IO001", "MET001", "REG001",
+             "RNG001", "SPEC001")
 
 #: In-scope destination for each per-module rule's fixture snippets —
 #: the scaffold mirrors the real tree so path-scoped rules apply.
@@ -39,6 +40,7 @@ PLACEMENTS = {
     "IO001": "src/repro/experiments/executors/fixture_mod.py",
     "DET001": "src/repro/analysis/fixture_mod.py",
     "API001": "src/repro/api/surface_mod.py",
+    "MET001": "src/repro/algorithms/fixture_mod.py",
 }
 
 
@@ -80,6 +82,24 @@ class TestRuleFixtures:
         dst.parent.mkdir(parents=True)
         dst.write_text((FIXTURES / "rng001_bad.py").read_text())
         report = run_lint([tmp_path / "tests"], root=tmp_path, select=["RNG001"])
+        assert report.findings == []
+
+    def test_met001_flags_both_shapes(self, tmp_path):
+        place(tmp_path, "met001_bad.py", PLACEMENTS["MET001"])
+        report = lint_scaffold(tmp_path, select=["MET001"])
+        assert len(report.findings) == 2  # dotted np.linalg.norm + bare alias
+
+    def test_met001_exempts_metric_module(self, tmp_path):
+        # The metric layer itself legitimately spells out l2 arithmetic.
+        place(tmp_path, "met001_bad.py", "src/repro/core/metric.py")
+        report = lint_scaffold(tmp_path, select=["MET001"])
+        assert report.findings == []
+
+    def test_met001_out_of_scope_analysis_tree(self, tmp_path):
+        # Analysis geometry is explicitly Euclidean; the rule only guards
+        # the trees that execute under a caller-chosen metric.
+        place(tmp_path, "met001_bad.py", "src/repro/analysis/fixture_mod.py")
+        report = lint_scaffold(tmp_path, select=["MET001"])
         assert report.findings == []
 
     def test_det001_requires_hash_context(self, tmp_path):

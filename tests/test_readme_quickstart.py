@@ -25,6 +25,18 @@ def test_public_api_quickstart_executes(capsys):
     assert "mean cost" in out and "certified competitive ratio" in out
 
 
+def test_metric_spaces_quickstart_executes(capsys):
+    """The '## Metric spaces' graph block runs verbatim."""
+    match = re.search(r"## Metric spaces.*?```python\n(.*?)```",
+                      README.read_text(), re.S)
+    assert match, "README.md must keep a ```python block under '## Metric spaces'"
+    exec(compile(match.group(1), "README-metric", "exec"), {"__name__": "__main__"})
+    out = capsys.readouterr().out
+    assert "['euclidean', 'graph', 'l1', 'linf']" in out
+    assert "travel time" in out
+    assert "on the 'graph' metric" in out
+
+
 def test_serve_mode_quickstart_executes(capsys):
     """The '## Serve mode' crash-and-resume block runs verbatim."""
     match = re.search(r"## Serve mode.*?```python\n(.*?)```",
